@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§8). With no arguments it runs every experiment; otherwise each
+// argument is an experiment id (fig3, fig8, …, table1, …).
+//
+// Usage:
+//
+//	experiments [-scale f] [-workers n] [-seed n] [-list] [id ...]
+//
+// Scale 1.0 runs the full scaled dataset profiles documented in DESIGN.md;
+// smaller values shrink everything proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"maxembed/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	workers := flag.Int("workers", 8, "closed-loop serving workers")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Scale:   *scale,
+		Workers: *workers,
+		Seed:    *seed,
+	}
+	start := time.Now()
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nall done in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,80 @@
+// Command maxembed-server runs the MaxEmbed embedding store as an HTTP
+// service: the offline phase at startup, then lookups over a JSON API.
+//
+//	maxembed-server -profile Criteo -scale 0.1 -ratio 0.2 -addr :8080
+//	curl -s localhost:8080/v1/lookup -d '{"keys":[1,2,3]}'
+//	curl -s localhost:8080/v1/stats
+//
+// With -trace, a previously generated trace file seeds the placement
+// instead of a synthetic profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"maxembed"
+	"maxembed/internal/server"
+	"maxembed/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	profile := flag.String("profile", "Criteo", "dataset profile for the synthetic history")
+	scale := flag.Float64("scale", 0.1, "profile scale multiplier")
+	tracePath := flag.String("trace", "", "seed placement from this trace file instead of a profile")
+	strategy := flag.String("strategy", "maxembed", "placement strategy")
+	ratio := flag.Float64("ratio", 0.2, "replication ratio r")
+	cacheRatio := flag.Float64("cache", 0.1, "DRAM cache fraction")
+	indexLimit := flag.Int("k", 10, "index-shrinking limit")
+	seed := flag.Int64("seed", 1, "placement seed")
+	flag.Parse()
+
+	var history *maxembed.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		history, err = workload.Decode(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		p, ok := workload.ProfileByName(*profile)
+		if !ok {
+			log.Fatalf("unknown profile %q", *profile)
+		}
+		var err error
+		history, err = maxembed.GenerateTrace(p, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	log.Printf("building placement: %d items, %d history queries, strategy=%s r=%.0f%%",
+		history.NumItems, history.NumQueries(), *strategy, *ratio*100)
+	db, err := maxembed.Open(history.NumItems, history.Queries,
+		maxembed.WithStrategy(maxembed.Strategy(*strategy)),
+		maxembed.WithReplicationRatio(*ratio),
+		maxembed.WithCacheRatio(*cacheRatio),
+		maxembed.WithIndexLimit(*indexLimit),
+		maxembed.WithSeed(*seed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls := db.LayoutStats()
+	log.Printf("layout ready: %d pages, %.1f%% replica slots", ls.NumPages, ls.ReplicationRatio*100)
+
+	h := server.New(db.Engine(), db.Device())
+	log.Printf("serving on %s", *addr)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maxembed/internal/selection"
+)
+
+// cmdExplain walks one query through the online phase's page selection,
+// printing the §6.1 algorithm step by step: the replica-count ordering,
+// each key's candidate pages, the page chosen per step and the keys it
+// covers — the debugging view for placement and selection behaviour.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	trace := fs.String("trace", "trace.bin", "trace path")
+	strategy := fs.String("strategy", "maxembed", "placement strategy")
+	ratio := fs.Float64("ratio", 0.1, "replication ratio r")
+	dim := fs.Int("dim", 64, "embedding dimension")
+	seed := fs.Int64("seed", 1, "placement seed")
+	indexLimit := fs.Int("k", 10, "index-shrinking limit (0 = unlimited)")
+	queryIdx := fs.Int("query", 0, "index of the evaluation query to explain")
+	keysFlag := fs.String("keys", "", "explicit comma-separated keys (overrides -query)")
+	fs.Parse(args)
+
+	lay, _, eval, err := offline(*trace, *strategy, *ratio, *dim, *seed, 0.5)
+	if err != nil {
+		return err
+	}
+	var query []uint32
+	if *keysFlag != "" {
+		for _, part := range strings.Split(*keysFlag, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return fmt.Errorf("parsing -keys: %v", err)
+			}
+			query = append(query, uint32(v))
+		}
+	} else {
+		if *queryIdx < 0 || *queryIdx >= eval.NumQueries() {
+			return fmt.Errorf("-query %d out of range (%d eval queries)", *queryIdx, eval.NumQueries())
+		}
+		query = eval.Queries[*queryIdx]
+	}
+
+	idx := selection.NewIndex(lay, *indexLimit)
+	sel := selection.NewSelector(idx)
+
+	fmt.Printf("query: %d keys (%d distinct)\n", len(query), countDistinct(query))
+	fmt.Printf("layout: %s r=%.0f%%, %d pages, index limit k=%d\n\n",
+		*strategy, *ratio*100, lay.NumPages(), *indexLimit)
+
+	// Pre-selection view: candidates per distinct key, in replica order.
+	seen := map[uint32]bool{}
+	fmt.Println("❶ keys by ascending replica count (home page first):")
+	type keyInfo struct {
+		k     uint32
+		cands []uint32
+	}
+	var infos []keyInfo
+	for _, k := range query {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		infos = append(infos, keyInfo{k, idx.Candidates(k)})
+	}
+	for i := 0; i < len(infos); i++ {
+		for j := i + 1; j < len(infos); j++ {
+			if len(infos[j].cands) < len(infos[i].cands) ||
+				(len(infos[j].cands) == len(infos[i].cands) && infos[j].k < infos[i].k) {
+				infos[i], infos[j] = infos[j], infos[i]
+			}
+		}
+	}
+	for _, info := range infos {
+		fmt.Printf("   key %-8d → pages %v\n", info.k, info.cands)
+	}
+
+	fmt.Println("\n❷–❹ one-pass selection:")
+	step := 0
+	stats, err := sel.OnePass(query, nil, func(p uint32, covered []uint32, sofar selection.Stats) {
+		step++
+		fmt.Printf("   step %2d: read page %-8d covers %d keys %v\n", step, p, len(covered), covered)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nresult: %d page reads for %d keys (%.2f keys/read)\n",
+		stats.Pages, stats.Keys, float64(stats.Keys)/float64(stats.Pages))
+	fmt.Printf("work:   %d candidate pages examined, %d invert-index entries scanned\n",
+		stats.CandidatePages, stats.InvertScans)
+
+	// Contrast with the no-replica lower bound (distinct home pages).
+	homes := map[uint32]bool{}
+	for _, info := range infos {
+		homes[lay.Home[info.k]] = true
+	}
+	fmt.Printf("homes:  %d distinct home pages (the r=0 read count)\n", len(homes))
+	return nil
+}
+
+func countDistinct(keys []uint32) int {
+	m := map[uint32]bool{}
+	for _, k := range keys {
+		m[k] = true
+	}
+	return len(m)
+}

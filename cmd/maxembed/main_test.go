@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pipeline drives gen → inspect → place → serve → explain end to end in a
+// temp dir, covering both persistence formats.
+func TestCLIPipeline(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.bin")
+	layoutPath := filepath.Join(dir, "layout.bin")
+	pages := filepath.Join(dir, "pages.bin")
+
+	if err := cmdGen([]string{"-profile", "Amazon M2", "-scale", "0.02", "-out", trace}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := cmdInspect([]string{"-trace", trace}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := cmdPlace([]string{"-trace", trace, "-ratio", "0.2",
+		"-out", layoutPath, "-pages", pages}); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if fi, err := os.Stat(layoutPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("layout file missing or empty: %v", err)
+	}
+	if fi, err := os.Stat(pages); err != nil || fi.Size() == 0 {
+		t.Fatalf("pages file missing or empty: %v", err)
+	}
+	if err := cmdServe([]string{"-trace", trace, "-ratio", "0.2", "-workers", "2"}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := cmdServe([]string{"-trace", trace, "-layout", layoutPath,
+		"-pages", pages, "-workers", "2"}); err != nil {
+		t.Fatalf("serve from saved artifacts: %v", err)
+	}
+	if err := cmdExplain([]string{"-trace", trace, "-ratio", "0.2", "-query", "1"}); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if err := cmdExplain([]string{"-trace", trace, "-keys", "1, 2,3"}); err != nil {
+		t.Fatalf("explain -keys: %v", err)
+	}
+}
+
+func TestCLITextFormat(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.txt")
+	if err := cmdGen([]string{"-profile", "Amazon M2", "-scale", "0.02",
+		"-format", "text", "-out", trace}); err != nil {
+		t.Fatalf("gen text: %v", err)
+	}
+	if err := cmdInspect([]string{"-trace", trace}); err != nil {
+		t.Fatalf("inspect text: %v", err)
+	}
+	if err := cmdGen([]string{"-profile", "Amazon M2", "-scale", "0.02",
+		"-format", "bogus", "-out", trace}); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdGen([]string{"-profile", "NoSuchSet", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := cmdInspect([]string{"-trace", filepath.Join(dir, "missing.bin")}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	trace := filepath.Join(dir, "t.bin")
+	if err := cmdGen([]string{"-profile", "Amazon M2", "-scale", "0.02", "-out", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlace([]string{"-trace", trace, "-strategy", "bogus"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := cmdServe([]string{"-trace", trace, "-device", "bogus"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := cmdExplain([]string{"-trace", trace, "-query", "99999999"}); err == nil {
+		t.Error("out-of-range query index accepted")
+	}
+	if err := cmdExplain([]string{"-trace", trace, "-keys", "abc"}); err == nil {
+		t.Error("bad -keys accepted")
+	}
+}

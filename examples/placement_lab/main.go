@@ -1,0 +1,79 @@
+// Placement lab: compare all five placement strategies (§5, Figure 14) on
+// one workload — vanilla, SHP (Bandana baseline), the two strawmen (RPP,
+// FPR) and MaxEmbed's connectivity-priority replication — and report page
+// reads, throughput and layout characteristics side by side.
+//
+//	go run ./examples/placement_lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"maxembed"
+)
+
+func main() {
+	trace, err := maxembed.GenerateTrace(maxembed.ProfileAvazu, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history, live := trace.Split(0.5)
+	eval := live.Queries
+	if len(eval) > 2500 {
+		eval = eval[:2500]
+	}
+	const ratio = 0.4
+
+	strategies := []maxembed.Strategy{
+		maxembed.StrategyVanilla,
+		maxembed.StrategySHP,
+		maxembed.StrategyRPP,
+		maxembed.StrategyFPR,
+		maxembed.StrategyMaxEmbed,
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tpages\treplica slots\tpages/query\tQPS (virtual)\tmean latency")
+	for _, s := range strategies {
+		db, err := maxembed.Open(trace.NumItems, history.Queries,
+			maxembed.WithStrategy(s),
+			maxembed.WithReplicationRatio(ratio),
+			maxembed.WithCacheRatio(0.1),
+			maxembed.TimingOnly(),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Several concurrent sessions, as in real serving: the simulated
+		// device is shared and their virtual clocks overlap.
+		sessions := make([]*maxembed.Session, 8)
+		for i := range sessions {
+			sessions[i] = db.NewSession()
+		}
+		var pages, latency int64
+		for i, q := range eval {
+			res, err := sessions[i%len(sessions)].Lookup(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pages += int64(res.Stats.PagesRead)
+			latency += res.Stats.LatencyNS()
+		}
+		ls := db.LayoutStats()
+		var makespan int64
+		for _, s := range sessions {
+			if s.Now() > makespan {
+				makespan = s.Now()
+			}
+		}
+		qps := float64(len(eval)) / (float64(makespan) / 1e9)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.0f\t%.1f µs\n",
+			s, ls.NumPages, ls.ReplicaSlots,
+			float64(pages)/float64(len(eval)), qps,
+			float64(latency)/float64(len(eval))/1e3)
+	}
+	w.Flush()
+	fmt.Printf("\n(replication ratio %.0f%%, 10%% DRAM cache, Avazu-profile workload)\n", ratio*100)
+}

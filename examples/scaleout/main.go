@@ -1,0 +1,78 @@
+// Scaleout: sharding a MaxEmbed deployment across several SSDs — the
+// cluster shape the paper's trillion-parameter motivation implies. Each
+// shard runs its own offline phase; lookups fan out and finish at the
+// slowest shard. The example contrasts hash sharding (balanced but
+// structure-destroying) with locality-aware sharding (a coarse hypergraph
+// partition keeps co-appearing keys together).
+//
+//	go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"maxembed/internal/cluster"
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+func main() {
+	trace, err := workload.Generate(workload.Criteo.Scaled(0.08))
+	if err != nil {
+		log.Fatal(err)
+	}
+	history, live := trace.Split(0.5)
+	eval := live.Queries
+	if len(eval) > 3000 {
+		eval = eval[:3000]
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shards\tsharding\tmean shards/query\tpages/query\tmean latency")
+	for _, shards := range []int{1, 4} {
+		for _, sharding := range []cluster.Sharding{cluster.ShardingHash, cluster.ShardingLocality} {
+			if shards == 1 && sharding == cluster.ShardingLocality {
+				continue
+			}
+			c, err := cluster.Build(history.Queries, cluster.Config{
+				Shards:           shards,
+				NumItems:         trace.NumItems,
+				Strategy:         placement.StrategyMaxEmbed,
+				ReplicationRatio: 0.4,
+				Seed:             1,
+				CacheRatio:       0.1,
+				IndexLimit:       10,
+				Sharding:         sharding,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sess := c.NewSession()
+			var touched, pages, latency int64
+			for _, q := range eval {
+				res, err := sess.Lookup(q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				touched += int64(res.ShardsTouched)
+				pages += int64(res.PagesRead)
+				latency += res.LatencyNS
+			}
+			n := int64(len(eval))
+			label := "hash"
+			if sharding == cluster.ShardingLocality {
+				label = "locality"
+			}
+			fmt.Fprintf(w, "%d\t%s\t%.2f\t%.2f\t%.1f µs\n",
+				shards, label, float64(touched)/float64(n),
+				float64(pages)/float64(n), float64(latency)/float64(n)/1e3)
+		}
+	}
+	w.Flush()
+	fmt.Println("\nFanning a query across shards cuts its latency (parallel devices),")
+	fmt.Println("but hash sharding splits recurring key sets, so each shard sees less")
+	fmt.Println("exploitable structure; locality sharding keeps them together.")
+}

@@ -1,0 +1,3 @@
+module maxembed
+
+go 1.22

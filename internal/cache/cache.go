@@ -1,0 +1,263 @@
+// Package cache implements a sharded, concurrent LRU cache.
+//
+// The paper fronts the SSD with Meta's CacheLib configured as an LRU cache
+// with update-on-read (but not update-on-write) — a read-intensive
+// configuration (§8.1). CacheLib is a C++ library and is not available
+// here, so this package provides an LRU with the same externally
+// observable semantics: bounded entry count, recency updated on Get,
+// insertion at the head on Put, eviction from the tail. Sharding keeps
+// contention low for the multi-worker serving engine.
+package cache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"container/list"
+)
+
+// Hasher maps a key to a shard-selection hash. It must be deterministic.
+type Hasher[K comparable] func(K) uint64
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns Hits / (Hits+Misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU cache from K to V. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	shards []shard[K, V]
+	mask   uint64
+	hash   Hasher[K]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*list.Element
+	order    *list.List // front = most recent (probation segment when segmented)
+
+	// Segmented (2Q-style) policy state; see segmented.go.
+	policy       Policy
+	protected    *list.List
+	protectedCap int
+}
+
+type kv[K comparable, V any] struct {
+	key       K
+	val       V
+	protected bool
+}
+
+// New returns a cache holding at most capacity entries, split over a
+// power-of-two shard count derived from GOMAXPROCS. A capacity of zero or
+// below yields a cache that stores nothing (every Get misses), matching a
+// "no DRAM cache" configuration (§8.3 / Fig 13).
+func New[K comparable, V any](capacity int, hash Hasher[K]) *Cache[K, V] {
+	nShards := 1
+	for nShards < runtime.GOMAXPROCS(0)*2 {
+		nShards *= 2
+	}
+	return NewSharded[K, V](capacity, nShards, hash)
+}
+
+// NewSharded is New with an explicit shard count, which must be a power of
+// two; other values are rounded up. Capacity is divided evenly among
+// shards (each shard gets at least one slot if capacity > 0).
+func NewSharded[K comparable, V any](capacity, nShards int, hash Hasher[K]) *Cache[K, V] {
+	if nShards < 1 {
+		nShards = 1
+	}
+	p := 1
+	for p < nShards {
+		p *= 2
+	}
+	nShards = p
+	if capacity > 0 && nShards > capacity {
+		// More shards than slots would strand capacity; shrink.
+		nShards = 1
+		for nShards*2 <= capacity {
+			nShards *= 2
+		}
+	}
+	c := &Cache[K, V]{
+		shards: make([]shard[K, V], nShards),
+		mask:   uint64(nShards - 1),
+		hash:   hash,
+	}
+	per := capacity / nShards
+	extra := capacity % nShards
+	for i := range c.shards {
+		cap := per
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = shard[K, V]{
+			capacity: cap,
+			entries:  make(map[K]*list.Element),
+			order:    list.New(),
+		}
+	}
+	return c
+}
+
+// Uint32Hasher is a Hasher for uint32 keys (splitmix-style finalizer).
+func Uint32Hasher(k uint32) uint64 {
+	x := uint64(k) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
+	return &c.shards[c.hash(k)&c.mask]
+}
+
+// Get returns the cached value for k, promoting it to most-recently-used
+// (update-on-read). The second result reports whether k was present.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	v := el.Value.(kv[K, V]).val
+	if s.policy == PolicySegmented {
+		s.segmentedGet(el)
+	} else {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Contains reports whether k is cached without promoting it and without
+// touching hit/miss statistics.
+func (c *Cache[K, V]) Contains(k K) bool {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	_, ok := s.entries[k]
+	s.mu.Unlock()
+	return ok
+}
+
+// Put inserts or replaces the value for k at the most-recently-used
+// position, evicting the least-recently-used entry of k's shard if the
+// shard is at capacity. Following the paper's CacheLib configuration,
+// writes do not refresh recency of other entries (updateOnWrite is off);
+// the inserted entry itself naturally starts most-recent.
+func (c *Cache[K, V]) Put(k K, v V) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if s.capacity <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	if el, ok := s.entries[k]; ok {
+		old := el.Value.(kv[K, V])
+		el.Value = kv[K, V]{key: k, val: v, protected: old.protected}
+		if old.protected {
+			s.protected.MoveToFront(el)
+		} else {
+			s.order.MoveToFront(el)
+		}
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.len() >= s.capacity {
+		evicted = s.evict()
+	}
+	// New entries start in the probation segment (plain LRU has only
+	// that segment).
+	s.entries[k] = s.order.PushFront(kv[K, V]{key: k, val: v})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the shard's entry count (caller holds the lock).
+func (s *shard[K, V]) len() int {
+	if s.policy == PolicySegmented {
+		return s.segmentedLen()
+	}
+	return s.order.Len()
+}
+
+// evict removes the shard's eviction victim (caller holds the lock) and
+// reports whether anything was removed.
+func (s *shard[K, V]) evict() bool {
+	if s.policy == PolicySegmented {
+		return s.segmentedEvict()
+	}
+	back := s.order.Back()
+	if back == nil {
+		return false
+	}
+	delete(s.entries, back.Value.(kv[K, V]).key)
+	s.order.Remove(back)
+	return true
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total entry capacity.
+func (c *Cache[K, V]) Capacity() int {
+	n := 0
+	for i := range c.shards {
+		n += c.shards[i].capacity
+	}
+	return n
+}
+
+// Stats returns a snapshot of hit/miss/eviction counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// ResetStats zeroes the statistics counters without touching contents.
+func (c *Cache[K, V]) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}

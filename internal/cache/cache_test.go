@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newTest(capacity int) *Cache[uint32, int] {
+	// Single shard makes LRU order assertions exact.
+	return NewSharded[uint32, int](capacity, 1, Uint32Hasher)
+}
+
+func TestGetPut(t *testing.T) {
+	c := newTest(4)
+	if _, ok := c.Get(1); ok {
+		t.Error("Get on empty cache hit")
+	}
+	c.Put(1, 100)
+	v, ok := c.Get(1)
+	if !ok || v != 100 {
+		t.Errorf("Get(1) = %d,%v, want 100,true", v, ok)
+	}
+	c.Put(1, 200) // replace
+	if v, _ := c.Get(1); v != 200 {
+		t.Errorf("after replace Get(1) = %d, want 200", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	c := newTest(3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	// Touch 1 so it becomes most-recent; 2 is now LRU.
+	c.Get(1)
+	c.Put(4, 4)
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	for _, k := range []uint32{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %d wrongly evicted", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestUpdateOnReadSemantics(t *testing.T) {
+	// Without the Get, 1 would be evicted first (pure insertion order).
+	c := newTest(2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Get(1) // promotes 1 over 2
+	c.Put(3, 3)
+	if _, ok := c.Get(1); !ok {
+		t.Error("promoted entry 1 evicted")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("stale entry 2 survived")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := newTest(0)
+	c.Put(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+	if c.Len() != 0 || c.Capacity() != 0 {
+		t.Errorf("Len=%d Capacity=%d, want 0,0", c.Len(), c.Capacity())
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := newTest(2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if !c.Contains(1) {
+		t.Error("Contains(1) = false")
+	}
+	// Contains must not promote: 1 stays LRU and gets evicted next.
+	c.Put(3, 3)
+	if c.Contains(1) {
+		t.Error("Contains promoted entry 1")
+	}
+	// Contains must not affect stats.
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("Contains affected stats: %+v", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := newTest(2)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Put(2, 2)
+	c.Put(3, 3) // evicts
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 1 {
+		t.Errorf("Stats = %+v, want 1/1/1", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Evictions != 0 {
+		t.Errorf("stats after reset: %+v", s)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("HitRate of empty stats should be 0")
+	}
+}
+
+func TestShardedCapacity(t *testing.T) {
+	c := NewSharded[uint32, int](100, 8, Uint32Hasher)
+	if c.Capacity() != 100 {
+		t.Errorf("Capacity = %d, want 100", c.Capacity())
+	}
+	// Uneven split: capacity not divisible by shards.
+	c2 := NewSharded[uint32, int](10, 4, Uint32Hasher)
+	if c2.Capacity() != 10 {
+		t.Errorf("Capacity = %d, want 10", c2.Capacity())
+	}
+	// More shards than capacity must not strand slots.
+	c3 := NewSharded[uint32, int](3, 64, Uint32Hasher)
+	if c3.Capacity() != 3 {
+		t.Errorf("Capacity = %d, want 3", c3.Capacity())
+	}
+	c4 := New[uint32, int](1000, Uint32Hasher)
+	if c4.Capacity() != 1000 {
+		t.Errorf("New Capacity = %d, want 1000", c4.Capacity())
+	}
+}
+
+// TestLenNeverExceedsCapacity is a property test: under random workloads the
+// cache never exceeds capacity and a single-shard cache matches a reference
+// LRU implementation exactly.
+func TestReferenceLRUEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 1 + rng.Intn(16)
+		c := newTest(capacity)
+		// Reference: slice ordered most-recent first.
+		type refEntry struct {
+			k uint32
+			v int
+		}
+		var ref []refEntry
+		refGet := func(k uint32) (int, bool) {
+			for i, e := range ref {
+				if e.k == k {
+					ref = append(ref[:i], ref[i+1:]...)
+					ref = append([]refEntry{e}, ref...)
+					return e.v, true
+				}
+			}
+			return 0, false
+		}
+		refPut := func(k uint32, v int) {
+			for i, e := range ref {
+				if e.k == k {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+				_ = e
+			}
+			ref = append([]refEntry{{k, v}}, ref...)
+			if len(ref) > capacity {
+				ref = ref[:capacity]
+			}
+		}
+		for op := 0; op < 500; op++ {
+			k := uint32(rng.Intn(24))
+			if rng.Intn(2) == 0 {
+				v := rng.Int()
+				c.Put(k, v)
+				refPut(k, v)
+			} else {
+				gv, gok := c.Get(k)
+				rv, rok := refGet(k)
+				if gok != rok || (gok && gv != rv) {
+					t.Fatalf("trial %d op %d: Get(%d) = (%d,%v), ref (%d,%v)",
+						trial, op, k, gv, gok, rv, rok)
+				}
+			}
+			if c.Len() > capacity {
+				t.Fatalf("Len %d exceeds capacity %d", c.Len(), capacity)
+			}
+			if c.Len() != len(ref) {
+				t.Fatalf("Len %d != ref %d", c.Len(), len(ref))
+			}
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[uint32, int](1000, Uint32Hasher)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := uint32(rng.Intn(4000))
+				if rng.Intn(3) == 0 {
+					c.Put(k, int(k))
+				} else if v, ok := c.Get(k); ok && v != int(k) {
+					t.Errorf("Get(%d) = %d", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Errorf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestUint32HasherSpreads(t *testing.T) {
+	// Adjacent keys should land on different shards most of the time.
+	const shards = 16
+	counts := make([]int, shards)
+	for k := uint32(0); k < 1600; k++ {
+		counts[Uint32Hasher(k)&(shards-1)]++
+	}
+	for s, n := range counts {
+		if n < 50 || n > 150 {
+			t.Errorf("shard %d got %d of 1600 keys; poor spread", s, n)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package cache
+
+import "container/list"
+
+// Policy selects the per-shard eviction discipline.
+type Policy int
+
+const (
+	// PolicyLRU is plain LRU with update-on-read — the paper's CacheLib
+	// configuration (§8.1).
+	PolicyLRU Policy = iota
+	// PolicySegmented is a 2Q-style segmented LRU: new entries enter a
+	// probation segment and are promoted to a protected segment on their
+	// first hit, so one-shot scans cannot evict the established working
+	// set. CacheLib ships this as its scan-resistant configuration.
+	PolicySegmented
+)
+
+// protectedFraction is the protected segment's share of shard capacity
+// under PolicySegmented.
+const protectedFraction = 0.75
+
+// NewSegmentedLRU returns a cache using PolicySegmented with a
+// GOMAXPROCS-derived shard count.
+func NewSegmentedLRU[K comparable, V any](capacity int, hash Hasher[K]) *Cache[K, V] {
+	c := New[K, V](capacity, hash)
+	c.enableSegmented()
+	return c
+}
+
+// enableSegmented switches every shard to the segmented policy. Must be
+// called before any entries are inserted.
+func (c *Cache[K, V]) enableSegmented() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.policy = PolicySegmented
+		s.protectedCap = int(protectedFraction * float64(s.capacity))
+		if s.protectedCap >= s.capacity && s.capacity > 0 {
+			s.protectedCap = s.capacity - 1
+		}
+		s.protected = list.New()
+	}
+}
+
+// segmentedGet promotes a hit: probation entries move to the protected
+// segment (evicting the protected LRU back to probation when over budget);
+// protected entries just refresh recency.
+func (s *shard[K, V]) segmentedGet(el *list.Element) {
+	e := el.Value.(kv[K, V])
+	if e.protected {
+		s.protected.MoveToFront(el)
+		return
+	}
+	// Promote out of probation.
+	s.order.Remove(el)
+	e.protected = true
+	s.entries[e.key] = s.protected.PushFront(e)
+	// Keep the protected segment within budget by demoting its LRU.
+	for s.protected.Len() > s.protectedCap {
+		back := s.protected.Back()
+		d := back.Value.(kv[K, V])
+		s.protected.Remove(back)
+		d.protected = false
+		s.entries[d.key] = s.order.PushFront(d)
+	}
+}
+
+// segmentedLen returns the total entries across both segments.
+func (s *shard[K, V]) segmentedLen() int {
+	n := s.order.Len()
+	if s.protected != nil {
+		n += s.protected.Len()
+	}
+	return n
+}
+
+// segmentedEvict removes the probation LRU, or the protected LRU if
+// probation is empty. Reports whether anything was evicted.
+func (s *shard[K, V]) segmentedEvict() bool {
+	if back := s.order.Back(); back != nil {
+		delete(s.entries, back.Value.(kv[K, V]).key)
+		s.order.Remove(back)
+		return true
+	}
+	if back := s.protected.Back(); back != nil {
+		delete(s.entries, back.Value.(kv[K, V]).key)
+		s.protected.Remove(back)
+		return true
+	}
+	return false
+}

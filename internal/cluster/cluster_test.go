@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"testing"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+func testTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	p := workload.Profile{
+		Name: "t", Items: 3000, Queries: 5000, MeanQueryLen: 16,
+		Communities: 250, CommunityAffinity: 0.8, CommunitySpread: 0.5,
+		ZipfS: 1.2, PopularityOffset: 0.05, Seed: 8,
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func build(t *testing.T, tr *workload.Trace, shards int, ratio float64) *Cluster {
+	t.Helper()
+	history, _ := tr.Split(0.5)
+	c, err := Build(history.Queries, Config{
+		Shards:           shards,
+		NumItems:         tr.NumItems,
+		Strategy:         placement.StrategyMaxEmbed,
+		ReplicationRatio: ratio,
+		Seed:             1,
+		CacheRatio:       0.1,
+		IndexLimit:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterCoversAllKeys(t *testing.T) {
+	tr := testTrace(t)
+	c := build(t, tr, 4, 0.2)
+	// Every global key maps to exactly one shard and back.
+	counts := make([]int, c.NumShards())
+	for k := 0; k < tr.NumItems; k++ {
+		s := c.ShardOf(Key(k))
+		if s < 0 || s >= c.NumShards() {
+			t.Fatalf("key %d on invalid shard %d", k, s)
+		}
+		counts[s]++
+	}
+	total := 0
+	for s, n := range counts {
+		if n == 0 {
+			t.Errorf("shard %d empty", s)
+		}
+		total += n
+	}
+	if total != tr.NumItems {
+		t.Fatalf("shards hold %d keys, want %d", total, tr.NumItems)
+	}
+	// Hash sharding should be roughly balanced.
+	per := tr.NumItems / c.NumShards()
+	for s, n := range counts {
+		if n < per/2 || n > per*2 {
+			t.Errorf("shard %d holds %d keys (expected ≈%d)", s, n, per)
+		}
+	}
+}
+
+func TestClusterLookup(t *testing.T) {
+	tr := testTrace(t)
+	c := build(t, tr, 4, 0.2)
+	_, eval := tr.Split(0.5)
+	sess := c.NewSession()
+	for i := 0; i < 300; i++ {
+		q := eval.Queries[i]
+		res, err := sess.Lookup(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LatencyNS <= 0 {
+			t.Fatalf("query %d: non-positive latency", i)
+		}
+		if res.ShardsTouched < 1 || res.ShardsTouched > c.NumShards() {
+			t.Fatalf("query %d: ShardsTouched = %d", i, res.ShardsTouched)
+		}
+	}
+	if c.Stats().Reads == 0 {
+		t.Error("no device reads recorded")
+	}
+}
+
+func TestClusterFanOutLatencyIsMaxNotSum(t *testing.T) {
+	tr := testTrace(t)
+	single := build(t, tr, 1, 0)
+	four := build(t, tr, 4, 0)
+	_, eval := tr.Split(0.5)
+
+	var sumSingle, sumFour int64
+	s1, s4 := single.NewSession(), four.NewSession()
+	for i := 0; i < 500; i++ {
+		r1, err := s1.Lookup(eval.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := s4.Lookup(eval.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSingle += r1.LatencyNS
+		sumFour += r4.LatencyNS
+	}
+	// Four shards split each query's reads across four devices in
+	// parallel; mean latency must drop substantially.
+	if float64(sumFour) > 0.8*float64(sumSingle) {
+		t.Errorf("4-shard latency %d not well below 1-shard %d", sumFour, sumSingle)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := Build(nil, Config{Shards: 0, NumItems: 10}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := Build(nil, Config{Shards: 300, NumItems: 10}); err == nil {
+		t.Error("300 shards accepted")
+	}
+	if _, err := Build(nil, Config{Shards: 2, NumItems: -1}); err == nil {
+		t.Error("negative NumItems accepted")
+	}
+	if _, err := Build([][]Key{{99}}, Config{Shards: 2, NumItems: 10}); err == nil {
+		t.Error("out-of-range history key accepted")
+	}
+	c, err := Build(nil, Config{Shards: 2, NumItems: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := c.NewSession()
+	if _, err := sess.Lookup([]Key{42}); err == nil {
+		t.Error("out-of-range lookup key accepted")
+	}
+}
+
+func TestLocalitySharding(t *testing.T) {
+	tr := testTrace(t)
+	history, eval := tr.Split(0.5)
+	mk := func(sharding Sharding) *Cluster {
+		c, err := Build(history.Queries, Config{
+			Shards:     4,
+			NumItems:   tr.NumItems,
+			Strategy:   placement.StrategySHP,
+			Seed:       1,
+			CacheRatio: 0,
+			IndexLimit: 10,
+			Sharding:   sharding,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	hash := mk(ShardingHash)
+	loc := mk(ShardingLocality)
+
+	// Locality sharding must concentrate each query on fewer shards.
+	var hashTouched, locTouched int
+	hs, ls := hash.NewSession(), loc.NewSession()
+	for i := 0; i < 400; i++ {
+		hr, err := hs.Lookup(eval.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := ls.Lookup(eval.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashTouched += hr.ShardsTouched
+		locTouched += lr.ShardsTouched
+	}
+	if locTouched >= hashTouched {
+		t.Errorf("locality sharding touched %d shards total, hash %d — no concentration",
+			locTouched, hashTouched)
+	}
+
+	// Balance: every shard still holds a meaningful share of keys.
+	counts := make([]int, loc.NumShards())
+	for k := 0; k < tr.NumItems; k++ {
+		counts[loc.ShardOf(Key(k))]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Errorf("locality shard %d empty", s)
+		}
+	}
+
+	if _, err := Build(nil, Config{Shards: 2, NumItems: 4, Sharding: Sharding("bogus")}); err == nil {
+		t.Error("unknown sharding accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package embedding
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageCapacity(t *testing.T) {
+	cases := []struct {
+		pageSize, dim, want int
+	}{
+		{4096, 64, 15},  // paper default: 256 B vector + 4 B key = 260 B
+		{4096, 32, 31},  // 132 B slot
+		{4096, 128, 7},  // 516 B slot
+		{4096, 16, 60},  // 68 B slot
+		{4096, 2048, 1}, // oversized vector still gets one slot
+	}
+	for _, c := range cases {
+		if got := PageCapacity(c.pageSize, c.dim); got != c.want {
+			t.Errorf("PageCapacity(%d,%d) = %d, want %d", c.pageSize, c.dim, got, c.want)
+		}
+	}
+}
+
+func TestBytesPerVector(t *testing.T) {
+	if got := BytesPerVector(64); got != 256 {
+		t.Errorf("BytesPerVector(64) = %d, want 256", got)
+	}
+	if got := SlotSize(64); got != 260 {
+		t.Errorf("SlotSize(64) = %d, want 260", got)
+	}
+}
+
+func TestSynthesizerDeterministic(t *testing.T) {
+	s1, err := NewSynthesizer(16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewSynthesizer(16, 7)
+	s3, _ := NewSynthesizer(16, 8)
+	for k := Key(0); k < 50; k++ {
+		a := s1.Vector(k, nil)
+		b := s2.Vector(k, nil)
+		c := s3.Vector(k, nil)
+		if len(a) != 16 {
+			t.Fatalf("Vector length = %d", len(a))
+		}
+		same, diff := true, false
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+			}
+			if a[j] != c[j] {
+				diff = true
+			}
+		}
+		if !same {
+			t.Fatalf("same seed gave different vectors for key %d", k)
+		}
+		if !diff {
+			t.Fatalf("different seeds gave identical vectors for key %d", k)
+		}
+	}
+}
+
+func TestSynthesizerRange(t *testing.T) {
+	s, _ := NewSynthesizer(8, 1)
+	for k := Key(0); k < 200; k++ {
+		for j := 0; j < 8; j++ {
+			v := s.At(k, j)
+			if v < -1 || v >= 1 {
+				t.Fatalf("At(%d,%d) = %v outside [-1,1)", k, j, v)
+			}
+		}
+	}
+}
+
+func TestSynthesizerDistinctKeys(t *testing.T) {
+	// Vectors of different keys should differ (probabilistically certain).
+	s, _ := NewSynthesizer(8, 1)
+	a := s.Vector(1, nil)
+	b := s.Vector(2, nil)
+	same := true
+	for j := range a {
+		if a[j] != b[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("keys 1 and 2 produced identical vectors")
+	}
+}
+
+func TestNewSynthesizerRejectsBadDim(t *testing.T) {
+	if _, err := NewSynthesizer(0, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewSynthesizer(-4, 1); err == nil {
+		t.Error("negative dim accepted")
+	}
+}
+
+func TestVectorCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(64)
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()*2 - 1
+		}
+		enc := EncodeVector(v, nil)
+		if len(enc) != dim*4 {
+			return false
+		}
+		dec, err := DecodeVector(enc, dim, nil)
+		if err != nil {
+			return false
+		}
+		for j := range v {
+			if dec[j] != v[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVectorShortBuffer(t *testing.T) {
+	if _, err := DecodeVector(make([]byte, 7), 2, nil); err == nil {
+		t.Error("DecodeVector accepted short buffer")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/placement"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+	"maxembed/internal/workload"
+)
+
+// Ablation isolates the contribution of each online-phase design choice
+// (§6) on a replicated layout: the classic greedy set cover the paper
+// starts from, MaxEmbed's one-pass selection with and without the
+// ascending replica-count ordering (step ❶), and the index limit. For each
+// variant it reports the selection quality (pages per query) and cost
+// (selection time per query), the trade at the heart of challenge #2.
+func Ablation(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, workload.AlibabaIFashion)
+	if err != nil {
+		return err
+	}
+	lay, err := buildLayout(cfg, pr, placement.StrategyMaxEmbed, 0.40)
+	if err != nil {
+		return err
+	}
+	type variant struct {
+		name     string
+		greedy   bool
+		unsorted bool
+		limit    int
+	}
+	variants := []variant{
+		{"classic greedy set cover", true, false, 0},
+		{"one-pass, unsorted keys", false, true, 0},
+		{"one-pass (§6.1)", false, false, 0},
+		{"one-pass + index limit k=10", false, false, 10},
+	}
+	t := newTable(cfg.Out, "Ablation: page selection variants, iFashion ME(r=40%), no cache")
+	t.row("variant", "pages/query", "select µs/query", "QPS (virtual)")
+	for _, v := range variants {
+		dev, err := ssd.NewDevice(ssd.P5800X)
+		if err != nil {
+			return err
+		}
+		eng, err := serving.New(serving.Config{
+			Layout:            lay,
+			Device:            dev,
+			IndexLimit:        v.limit,
+			Pipeline:          true,
+			Greedy:            v.greedy,
+			UnsortedSelection: v.unsorted,
+			VectorBytes:       embedding.BytesPerVector(cfg.Dim),
+		})
+		if err != nil {
+			return err
+		}
+		res, err := serving.Run(eng, pr.eval.Queries, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		t.row(v.name,
+			fmt.Sprintf("%.2f", float64(res.PagesRead)/float64(res.Queries)),
+			fmt.Sprintf("%.2f", float64(res.SelectNS)/float64(res.Queries)/1e3),
+			fmt.Sprintf("%.0f", res.QPS))
+	}
+	t.flush()
+	return nil
+}

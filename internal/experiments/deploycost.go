@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/ssd"
+	"maxembed/internal/workload"
+)
+
+// DeployCost is a supplementary experiment: the offline cost of shipping a
+// layout to the SSD. Replication trades extra space — and, quantified
+// here, extra one-time write bandwidth — for steady-state read bandwidth.
+// The paper prices the space (§7.3); this prices the deployment writes,
+// showing they amortize in seconds-to-minutes of serving.
+func DeployCost(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out, "Deployment cost (supplementary): one-time page writes per layout")
+	t.row("dataset", "strategy", "pages", "GB written", "write time", "reads to amortize")
+	for _, p := range []workload.Profile{workload.AlibabaIFashion, workload.Criteo} {
+		pr, err := prepare(cfg, p)
+		if err != nil {
+			return err
+		}
+		for _, v := range []struct {
+			name  string
+			strat placement.Strategy
+			r     float64
+		}{
+			{"SHP", placement.StrategySHP, 0},
+			{"ME(r=10%)", placement.StrategyMaxEmbed, 0.10},
+			{"ME(r=80%)", placement.StrategyMaxEmbed, 0.80},
+		} {
+			lay, err := buildLayout(cfg, pr, v.strat, v.r)
+			if err != nil {
+				return err
+			}
+			dev, err := ssd.NewDevice(ssd.P5800X)
+			if err != nil {
+				return err
+			}
+			var done int64
+			for page := 0; page < lay.NumPages(); page++ {
+				if c := dev.Write(ssd.PageID(page), 0); c > done {
+					done = c
+				}
+			}
+			prof := dev.Profile()
+			bytes := float64(lay.NumPages()) * float64(prof.PageSize)
+			// Extra pages vs the SHP baseline, expressed as the number of
+			// saved page reads needed to pay back the write time (reads
+			// and writes contend for the same bus).
+			extraPages := lay.NumPages() - (lay.NumKeys+lay.Capacity-1)/lay.Capacity
+			t.row(p.Name, v.name,
+				fmt.Sprintf("%d", lay.NumPages()),
+				fmt.Sprintf("%.2f", bytes/1e9),
+				fmt.Sprintf("%.1f ms", float64(done)/1e6),
+				fmt.Sprintf("%d", extraPages*2)) // write slot ≈ 2 read slots
+		}
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig shrinks every experiment far enough for unit-test budgets.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:     buf,
+		Scale:   0.02,
+		Workers: 2,
+		Seed:    1,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	ResetMemo()
+	t.Cleanup(ResetMemo)
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "===") {
+				t.Errorf("%s produced no table header:\n%s", e.ID, out)
+			}
+			if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+				t.Errorf("%s produced fewer than 3 output lines:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig8"); !ok {
+		t.Error("fig8 not registered")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id found")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	// One experiment per paper evaluation artifact.
+	for _, want := range []string{
+		"fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17a", "fig17b",
+		"table1", "table2", "table3",
+	} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers != 8 || c.Dim != 64 || c.PageSize != 4096 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.Scale != 1.0 || c.HistoryFrac != 0.5 || c.Seed != 1 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.Out == nil {
+		t.Error("Out not defaulted")
+	}
+}
+
+func TestMemoReuse(t *testing.T) {
+	ResetMemo()
+	t.Cleanup(ResetMemo)
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	pr1, err := prepare(cfg, overallProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := prepare(cfg, overallProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr1 != pr2 {
+		t.Error("prepare did not memoize")
+	}
+	l1, err := buildLayout(cfg, pr1, "shp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := buildLayout(cfg, pr1, "shp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("buildLayout did not memoize")
+	}
+}
+
+// TestExperimentDeterminism guards the virtual-clock design goal: the same
+// experiment run twice produces byte-identical output.
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig9", "fig13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		var a, b bytes.Buffer
+		ResetMemo()
+		if err := e.Run(tinyConfig(&a)); err != nil {
+			t.Fatal(err)
+		}
+		ResetMemo()
+		if err := e.Run(tinyConfig(&b)); err != nil {
+			t.Fatal(err)
+		}
+		ResetMemo()
+		if a.String() != b.String() {
+			t.Errorf("%s output differs across runs:\n%s\n---\n%s", id, a.String(), b.String())
+		}
+	}
+}

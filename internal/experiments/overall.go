@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+)
+
+// Fig3 reproduces Figure 3: SSD effective bandwidth under vanilla and
+// SHP-partitioned placement (no replication). The paper observes SHP
+// improves effective bandwidth 1.1×–2.2× but still leaves it far below the
+// device cap (~8.58% utilization on Criteo).
+func Fig3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out, "Figure 3: effective bandwidth, vanilla vs SHP (no cache)")
+	t.row("dataset", "vanilla MB/s", "vanilla util", "SHP MB/s", "SHP util", "SHP/vanilla")
+	so := defaultServing()
+	so.cacheRatio = 0 // Fig 3 isolates placement: no DRAM cache
+	for _, p := range overallProfiles() {
+		pr, err := prepare(cfg, p)
+		if err != nil {
+			return err
+		}
+		res := map[placement.Strategy]serving.RunResult{}
+		for _, s := range []placement.Strategy{placement.StrategyVanilla, placement.StrategySHP} {
+			lay, err := buildLayout(cfg, pr, s, 0)
+			if err != nil {
+				return err
+			}
+			r, err := serve(cfg, pr, lay, so)
+			if err != nil {
+				return err
+			}
+			res[s] = r
+		}
+		v, s := res[placement.StrategyVanilla], res[placement.StrategySHP]
+		t.row(p.Name,
+			mbps(v.EffectiveBandwidth), pct(v.Utilization),
+			mbps(s.EffectiveBandwidth), pct(s.Utilization),
+			fmt.Sprintf("%.2fx", s.EffectiveBandwidth/v.EffectiveBandwidth))
+	}
+	t.flush()
+	return nil
+}
+
+// overallRow is one (dataset, ratio) measurement shared by Figs 8/10/11.
+type overallRow struct {
+	base serving.RunResult             // SHP baseline
+	me   map[float64]serving.RunResult // MaxEmbed per ratio
+}
+
+func overallSweep(cfg Config) (map[string]overallRow, error) {
+	out := map[string]overallRow{}
+	so := defaultServing()
+	for _, p := range overallProfiles() {
+		pr, err := prepare(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		baseLay, err := buildLayout(cfg, pr, placement.StrategySHP, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := serve(cfg, pr, baseLay, so)
+		if err != nil {
+			return nil, err
+		}
+		row := overallRow{base: base, me: map[float64]serving.RunResult{}}
+		for _, r := range ratios {
+			lay, err := buildLayout(cfg, pr, placement.StrategyMaxEmbed, r)
+			if err != nil {
+				return nil, err
+			}
+			res, err := serve(cfg, pr, lay, so)
+			if err != nil {
+				return nil, err
+			}
+			row.me[r] = res
+		}
+		out[p.Name] = row
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: effective bandwidth normalized to the SHP
+// baseline across replication ratios (cache 10%). Paper: +2%–10% at r=10%,
+// +7%–19% at r=80%, with shopping datasets gaining most.
+func Fig8(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sweep, err := overallSweep(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "Figure 8: normalized effective bandwidth (SHP = 100%)")
+	t.row("dataset", "SHP", "ME(r=10%)", "ME(r=20%)", "ME(r=40%)", "ME(r=80%)")
+	for _, p := range overallProfiles() {
+		row := sweep[p.Name]
+		cells := []string{p.Name, "100.0%"}
+		for _, r := range ratios {
+			cells = append(cells, pct(row.me[r].EffectiveBandwidth/row.base.EffectiveBandwidth))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig10 reproduces Figure 10: end-to-end throughput normalized to SHP.
+// Paper: +1.7%–8.8% at r=10%, +8.9%–18.7% at r=80%.
+func Fig10(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sweep, err := overallSweep(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "Figure 10: normalized end-to-end throughput (SHP = 100%)")
+	t.row("dataset", "SHP QPS", "ME(r=10%)", "ME(r=20%)", "ME(r=40%)", "ME(r=80%)")
+	for _, p := range overallProfiles() {
+		row := sweep[p.Name]
+		cells := []string{p.Name, fmt.Sprintf("%.0f", row.base.QPS)}
+		for _, r := range ratios {
+			cells = append(cells, pct(row.me[r].QPS/row.base.QPS))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig11 reproduces Figure 11: end-to-end mean latency normalized to SHP.
+// Paper: −2%–7.4% at r=10%, −10%–14.8% at r=80%.
+func Fig11(cfg Config) error {
+	cfg = cfg.withDefaults()
+	sweep, err := overallSweep(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "Figure 11: normalized end-to-end latency (SHP = 100%)")
+	t.row("dataset", "SHP mean µs", "ME(r=10%)", "ME(r=20%)", "ME(r=40%)", "ME(r=80%)")
+	for _, p := range overallProfiles() {
+		row := sweep[p.Name]
+		cells := []string{p.Name, fmt.Sprintf("%.1f", row.base.Latency.MeanNS/1e3)}
+		for _, r := range ratios {
+			cells = append(cells, pct(row.me[r].Latency.MeanNS/row.base.Latency.MeanNS))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig9 reproduces Figure 9: the distribution (CDF) of valid embeddings
+// obtained per page read on Criteo, SHP vs MaxEmbed r=10%, without cache.
+// Paper: the mean rises from 3.59 to 4.79 and single-valid-embedding reads
+// drop sharply.
+func Fig9(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, overallProfiles()[3]) // Criteo
+	if err != nil {
+		return err
+	}
+	so := defaultServing()
+	so.cacheRatio = 0
+
+	t := newTable(cfg.Out, "Figure 9: valid embeddings per read, Criteo (no cache)")
+	t.row("valid/read", "SHP CDF", "ME(r=10%) CDF")
+	shp, shpMean, err := validPerReadCDF(cfg, pr, placement.StrategySHP, 0, so)
+	if err != nil {
+		return err
+	}
+	me, meMean, err := validPerReadCDF(cfg, pr, placement.StrategyMaxEmbed, 0.10, so)
+	if err != nil {
+		return err
+	}
+	max := len(shp)
+	if len(me) > max {
+		max = len(me)
+	}
+	at := func(cdf []float64, i int) string {
+		if i < len(cdf) {
+			return pct(cdf[i])
+		}
+		return "100.0%"
+	}
+	for v := 1; v < max; v++ {
+		t.row(fmt.Sprintf("%d", v), at(shp, v), at(me, v))
+	}
+	t.row("mean", fmt.Sprintf("%.2f", shpMean), fmt.Sprintf("%.2f", meMean))
+	t.flush()
+	return nil
+}
+
+// validPerReadCDF runs serving and returns the Fig 9 histogram CDF.
+func validPerReadCDF(cfg Config, pr *prepared, strat placement.Strategy, ratio float64, so servingOpts) ([]float64, float64, error) {
+	lay, err := buildLayout(cfg, pr, strat, ratio)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev, err := ssd.NewDevice(so.device)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := serving.New(serving.Config{
+		Layout:      lay,
+		Device:      dev,
+		IndexLimit:  so.indexLimit,
+		Pipeline:    so.pipeline,
+		VectorBytes: 4 * cfg.Dim,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := serving.Run(eng, pr.eval.Queries, cfg.Workers); err != nil {
+		return nil, 0, err
+	}
+	return eng.ValidPerRead.CDF(), eng.ValidPerRead.Mean(), nil
+}

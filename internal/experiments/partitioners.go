@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+// Partitioners is a supplementary experiment comparing base partitioning
+// algorithms for the offline phase: the paper's SHP versus size-
+// constrained label propagation (LPA), each with and without MaxEmbed's
+// replication on top (r=40%). It reports the quality the online phase
+// sees — effective bandwidth — and the offline wall time, the trade the
+// paper's Table 1 raises for hours-scale datasets.
+func Partitioners(cfg Config) error {
+	cfg = cfg.withDefaults()
+	t := newTable(cfg.Out, "Partitioner comparison (supplementary): SHP vs label propagation")
+	t.row("dataset", "partitioner", "partition time", "eff bw r=0 (MB/s)", "eff bw ME(r=40%)")
+	so := defaultServing()
+	for _, p := range []workload.Profile{workload.AlibabaIFashion, workload.Criteo} {
+		pr, err := prepare(cfg, p)
+		if err != nil {
+			return err
+		}
+		for _, part := range []struct {
+			name string
+			id   placement.Partitioner
+		}{
+			{"SHP", placement.PartitionerSHP},
+			{"LPA", placement.PartitionerLPA},
+		} {
+			opts := placement.Options{
+				Capacity:    embedding.PageCapacity(cfg.PageSize, cfg.Dim),
+				Seed:        cfg.Seed,
+				Partitioner: part.id,
+			}
+			start := time.Now()
+			base, err := placement.SHP(pr.graph, opts)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			baseRes, err := serve(cfg, pr, base, so)
+			if err != nil {
+				return err
+			}
+			opts.ReplicationRatio = 0.40
+			me, err := placement.MaxEmbed(pr.graph, opts)
+			if err != nil {
+				return err
+			}
+			meRes, err := serve(cfg, pr, me, so)
+			if err != nil {
+				return err
+			}
+			t.row(p.Name, part.name,
+				elapsed.Round(time.Millisecond).String(),
+				mbps(baseRes.EffectiveBandwidth),
+				fmt.Sprintf("%s (%.1f%%)", mbps(meRes.EffectiveBandwidth),
+					100*(meRes.EffectiveBandwidth/baseRes.EffectiveBandwidth-1)))
+		}
+	}
+	t.flush()
+	return nil
+}

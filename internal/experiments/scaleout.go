@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/cluster"
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+// ScaleOut is a supplementary experiment: sharding the key space across
+// multiple SSDs, the deployment shape the paper's trillion-parameter
+// motivation implies (§1). Each shard runs the offline phase on its own
+// key subset; queries fan out and complete at the slowest shard. The
+// per-shard read-amplification reduction from replication carries through
+// to cluster latency and throughput at every scale.
+func ScaleOut(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, workload.Criteo)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.Out, "Scale-out (supplementary): sharded serving, Criteo")
+	t.row("shards", "sharding", "strategy", "mean latency µs", "pages/query", "QPS (virtual)", "ME/SHP QPS")
+	for _, shards := range []int{1, 2, 4, 8} {
+		shardings := []cluster.Sharding{cluster.ShardingHash}
+		if shards > 1 {
+			shardings = append(shardings, cluster.ShardingLocality)
+		}
+		for _, sharding := range shardings {
+			var shpQPS float64
+			for _, v := range []struct {
+				name  string
+				strat placement.Strategy
+				r     float64
+			}{
+				{"SHP", placement.StrategySHP, 0},
+				{"ME(r=40%)", placement.StrategyMaxEmbed, 0.40},
+			} {
+				c, err := cluster.Build(pr.history.Queries, cluster.Config{
+					Shards:           shards,
+					NumItems:         pr.profile.Items,
+					Strategy:         v.strat,
+					ReplicationRatio: v.r,
+					Seed:             cfg.Seed,
+					Dim:              cfg.Dim,
+					PageSize:         cfg.PageSize,
+					CacheRatio:       0.10,
+					IndexLimit:       10,
+					Sharding:         sharding,
+				})
+				if err != nil {
+					return err
+				}
+				// Closed loop over cfg.Workers fan-out sessions.
+				sessions := make([]*cluster.Session, cfg.Workers)
+				for i := range sessions {
+					sessions[i] = c.NewSession()
+				}
+				var pages, latency int64
+				n := len(pr.eval.Queries)
+				for i, q := range pr.eval.Queries {
+					res, err := sessions[i%len(sessions)].Lookup(q)
+					if err != nil {
+						return err
+					}
+					pages += int64(res.PagesRead)
+					latency += res.LatencyNS
+				}
+				var makespan int64
+				for _, s := range sessions {
+					if s.Now() > makespan {
+						makespan = s.Now()
+					}
+				}
+				qps := float64(n) / (float64(makespan) / 1e9)
+				shardLabel, policyLabel := "", ""
+				if v.name == "SHP" {
+					shpQPS = qps
+					shardLabel = fmt.Sprintf("%d", shards)
+					policyLabel = "hash"
+					if sharding == cluster.ShardingLocality {
+						policyLabel = "locality"
+					}
+				}
+				ratio := ""
+				if v.name != "SHP" {
+					ratio = pct(qps / shpQPS)
+				}
+				t.row(shardLabel, policyLabel, v.name,
+					fmt.Sprintf("%.1f", float64(latency)/float64(n)/1e3),
+					fmt.Sprintf("%.2f", float64(pages)/float64(n)),
+					fmt.Sprintf("%.0f", qps), ratio)
+			}
+		}
+	}
+	t.flush()
+	return nil
+}

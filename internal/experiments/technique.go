@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+// Fig14 reproduces Figure 14: effective bandwidth of the three replication
+// strategies (MaxEmbed, RPP, FPR) normalized to SHP across replication
+// ratios, on Alibaba-iFashion, Amazon M2, and Avazu. Paper: RPP gives
+// slight but stable gains, FPR is unstable (good only on Amazon M2's short
+// queries, sometimes below 100%), MaxEmbed is highest and stable.
+func Fig14(cfg Config) error {
+	cfg = cfg.withDefaults()
+	profiles := []workload.Profile{
+		workload.AlibabaIFashion,
+		workload.AmazonM2,
+		workload.Avazu,
+	}
+	strategies := []placement.Strategy{
+		placement.StrategyMaxEmbed,
+		placement.StrategyRPP,
+		placement.StrategyFPR,
+	}
+	so := defaultServing()
+	for _, p := range profiles {
+		pr, err := prepare(cfg, p)
+		if err != nil {
+			return err
+		}
+		baseLay, err := buildLayout(cfg, pr, placement.StrategySHP, 0)
+		if err != nil {
+			return err
+		}
+		base, err := serve(cfg, pr, baseLay, so)
+		if err != nil {
+			return err
+		}
+		t := newTable(cfg.Out, fmt.Sprintf("Figure 14 (%s): normalized effective bandwidth (SHP = 100%%)", p.Name))
+		t.row("strategy", "r=10%", "r=20%", "r=40%", "r=80%")
+		for _, s := range strategies {
+			cells := []string{string(s)}
+			for _, r := range ratios {
+				lay, err := buildLayout(cfg, pr, s, r)
+				if err != nil {
+					return err
+				}
+				res, err := serve(cfg, pr, lay, so)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, pct(res.EffectiveBandwidth/base.EffectiveBandwidth))
+			}
+			t.row(cells...)
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// Fig15 reproduces Figure 15: the time breakdown of online query
+// processing on Alibaba-iFashion with r=40% and 8 workers, comparing Raw
+// (no pipeline, full index), +Pipeline, and +Pipeline+IndexLimit(k=5).
+// Paper: pipeline cuts end-to-end time ~10%, pipeline+limit ~34%, leaving
+// selection under 25% of the procedure.
+func Fig15(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, workload.AlibabaIFashion)
+	if err != nil {
+		return err
+	}
+	lay, err := buildLayout(cfg, pr, placement.StrategyMaxEmbed, 0.40)
+	if err != nil {
+		return err
+	}
+	type variant struct {
+		name     string
+		pipeline bool
+		limit    int
+	}
+	variants := []variant{
+		{"Raw", false, 0},
+		{"+Pipeline", true, 0},
+		{"+IndexLimit(k=5)", true, 5},
+	}
+	t := newTable(cfg.Out, "Figure 15: online query time breakdown, iFashion r=40%")
+	t.row("config", "sort µs/q", "select µs/q", "ssd-wait µs/q", "e2e µs/q", "normalized")
+	var baseline float64
+	for _, v := range variants {
+		so := defaultServing()
+		so.pipeline = v.pipeline
+		so.indexLimit = v.limit
+		res, err := serve(cfg, pr, lay, so)
+		if err != nil {
+			return err
+		}
+		q := float64(res.Queries)
+		e2e := res.Latency.MeanNS
+		if baseline == 0 {
+			baseline = e2e
+		}
+		t.row(v.name,
+			fmt.Sprintf("%.2f", float64(res.SortNS)/q/1e3),
+			fmt.Sprintf("%.2f", float64(res.SelectNS)/q/1e3),
+			fmt.Sprintf("%.2f", float64(res.SSDWaitNS)/q/1e3),
+			fmt.Sprintf("%.2f", e2e/1e3),
+			pct(e2e/baseline))
+	}
+	t.flush()
+	return nil
+}
+
+// Fig16 reproduces Figure 16: effective bandwidth under index shrinking
+// (k = 5, 10, unlimited) across replication ratios on Alibaba-iFashion.
+// Paper: k=10 retains >98% and k=5 >96% of the unlimited-index bandwidth
+// even at r=80%.
+func Fig16(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, workload.AlibabaIFashion)
+	if err != nil {
+		return err
+	}
+	sweep := []float64{0.10, 0.20, 0.30, 0.80}
+	t := newTable(cfg.Out, "Figure 16: index shrinking, iFashion (all-index = 100%)")
+	t.row("r", "all index MB/s", "k=10", "k=5")
+	for _, r := range sweep {
+		lay, err := buildLayout(cfg, pr, placement.StrategyMaxEmbed, r)
+		if err != nil {
+			return err
+		}
+		run := func(limit int) (float64, error) {
+			so := defaultServing()
+			so.indexLimit = limit
+			res, err := serve(cfg, pr, lay, so)
+			return res.EffectiveBandwidth, err
+		}
+		full, err := run(0)
+		if err != nil {
+			return err
+		}
+		k10, err := run(10)
+		if err != nil {
+			return err
+		}
+		k5, err := run(5)
+		if err != nil {
+			return err
+		}
+		t.row(pct(r), mbps(full), pct(k10/full), pct(k5/full))
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,97 @@
+package hypergraph
+
+import "sort"
+
+// CoAppearanceDegree returns, for each vertex, the number of *distinct*
+// other vertices it shares at least one hyperedge with. This is the
+// quantity behind the paper's §3 motivation: the hottest embeddings
+// co-appear with far more neighbours than one SSD page can hold, so
+// single-copy placement necessarily severs most of their combinations.
+func (g *Graph) CoAppearanceDegree() []int {
+	deg := make([]int, g.NumVertices())
+	seen := make([]int32, g.NumVertices())
+	epoch := int32(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		epoch++
+		n := 0
+		for _, e := range g.IncidentEdges(Vertex(v)) {
+			for _, u := range g.Edge(e) {
+				if int(u) == v || seen[u] == epoch {
+					continue
+				}
+				seen[u] = epoch
+				n++
+			}
+		}
+		deg[v] = n
+	}
+	return deg
+}
+
+// MotivationStats quantifies the §3 observation for a graph: how many
+// distinct co-appearing neighbours the hottest vertices have, versus page
+// capacity.
+type MotivationStats struct {
+	// HotFraction is the popularity percentile examined (e.g. 0.05).
+	HotFraction float64
+	// MedianHotCoAppear and MeanHotCoAppear summarize the co-appearance
+	// degree of the hottest HotFraction of vertices.
+	MedianHotCoAppear int
+	MeanHotCoAppear   float64
+	// FracHotAbove reports the fraction of hot vertices whose
+	// co-appearance degree exceeds Threshold.
+	Threshold    int
+	FracHotAbove float64
+	// MedianAllCoAppear is the median over all vertices, for contrast.
+	MedianAllCoAppear int
+}
+
+// ComputeMotivationStats evaluates the §3 claim: hot vertices (top
+// hotFraction by degree) co-appearing with more than threshold distinct
+// neighbours. The paper cites hotFraction=0.05 and threshold=40 for
+// CriteoTB against a page capacity of 8–32.
+func (g *Graph) ComputeMotivationStats(hotFraction float64, threshold int) MotivationStats {
+	st := MotivationStats{HotFraction: hotFraction, Threshold: threshold}
+	n := g.NumVertices()
+	if n == 0 {
+		return st
+	}
+	co := g.CoAppearanceDegree()
+
+	// Rank vertices by hotness (query frequency = degree).
+	order := make([]Vertex, n)
+	for v := range order {
+		order[v] = Vertex(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	nHot := int(hotFraction * float64(n))
+	if nHot < 1 {
+		nHot = 1
+	}
+	hot := make([]int, nHot)
+	var sum, above int
+	for i := 0; i < nHot; i++ {
+		c := co[order[i]]
+		hot[i] = c
+		sum += c
+		if c > threshold {
+			above++
+		}
+	}
+	sort.Ints(hot)
+	st.MedianHotCoAppear = hot[nHot/2]
+	st.MeanHotCoAppear = float64(sum) / float64(nHot)
+	st.FracHotAbove = float64(above) / float64(nHot)
+
+	all := make([]int, n)
+	copy(all, co)
+	sort.Ints(all)
+	st.MedianAllCoAppear = all[n/2]
+	return st
+}

@@ -1,0 +1,101 @@
+package hypergraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCoAppearanceDegree(t *testing.T) {
+	g := mustGraph(t, 5, [][]Vertex{
+		{0, 1, 2},
+		{0, 1}, // repeats the (0,1) pair: must not double-count
+		{3},
+		{},
+	})
+	got := g.CoAppearanceDegree()
+	want := []int{2, 2, 2, 0, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CoAppearanceDegree = %v, want %v", got, want)
+	}
+}
+
+func TestCoAppearanceDegreeStar(t *testing.T) {
+	// Vertex 0 appears with everyone; leaves only with 0 and one peer.
+	g := mustGraph(t, 7, [][]Vertex{
+		{0, 1, 2}, {0, 3, 4}, {0, 5, 6},
+	})
+	got := g.CoAppearanceDegree()
+	if got[0] != 6 {
+		t.Errorf("hub co-appearance = %d, want 6", got[0])
+	}
+	for v := 1; v < 7; v++ {
+		if got[v] != 2 {
+			t.Errorf("leaf %d co-appearance = %d, want 2", v, got[v])
+		}
+	}
+}
+
+func TestComputeMotivationStats(t *testing.T) {
+	// Hub vertex 0 is both hottest (degree 3) and has the most
+	// co-appearing neighbours (6 > threshold 5).
+	g := mustGraph(t, 7, [][]Vertex{
+		{0, 1, 2}, {0, 3, 4}, {0, 5, 6},
+	})
+	st := g.ComputeMotivationStats(0.10, 5)
+	if st.MeanHotCoAppear != 6 || st.MedianHotCoAppear != 6 {
+		t.Errorf("hot co-appearance = %v/%v, want 6/6", st.MeanHotCoAppear, st.MedianHotCoAppear)
+	}
+	if st.FracHotAbove != 1.0 {
+		t.Errorf("FracHotAbove = %v, want 1.0", st.FracHotAbove)
+	}
+	if st.MedianAllCoAppear != 2 {
+		t.Errorf("MedianAllCoAppear = %d, want 2", st.MedianAllCoAppear)
+	}
+}
+
+func TestComputeMotivationStatsEmpty(t *testing.T) {
+	g := mustGraph(t, 0, nil)
+	st := g.ComputeMotivationStats(0.05, 40)
+	if st.MeanHotCoAppear != 0 || st.FracHotAbove != 0 {
+		t.Errorf("empty graph stats = %+v", st)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	g := mustGraph(t, 10, [][]Vertex{
+		{0},                   // too small with MinEdgeSize 2
+		{1, 2},                // kept
+		{3, 4, 5, 6, 7, 8, 9}, // truncated at 4
+		{0, 1},                // sampled out with SampleEvery 2? index 3 -> dropped
+		{2, 3},                // kept (index 4)
+	})
+	pruned, st := g.Prune(PruneOptions{MaxEdgeSize: 4, MinEdgeSize: 2, SampleEvery: 2})
+	// SampleEvery 2 keeps even-indexed edges 0,2,4; edge 0 then fails
+	// MinEdgeSize; edge 2 truncates to 4 members; edge 4 kept whole.
+	if st.EdgesIn != 5 || st.EdgesKept != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.EdgesSampledOut != 2 || st.EdgesTooSmall != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PinsTruncated != 3 {
+		t.Errorf("PinsTruncated = %d, want 3", st.PinsTruncated)
+	}
+	if pruned.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", pruned.NumEdges())
+	}
+	if pruned.EdgeSize(0) != 4 {
+		t.Errorf("truncated edge size = %d, want 4", pruned.EdgeSize(0))
+	}
+	if pruned.NumVertices() != g.NumVertices() {
+		t.Error("Prune changed the vertex space")
+	}
+}
+
+func TestPruneNoOp(t *testing.T) {
+	g := mustGraph(t, 5, [][]Vertex{{0, 1}, {2, 3, 4}})
+	pruned, st := g.Prune(PruneOptions{})
+	if st.EdgesKept != 2 || pruned.NumEdges() != 2 || pruned.NumPins() != g.NumPins() {
+		t.Errorf("no-op prune altered the graph: %+v", st)
+	}
+}

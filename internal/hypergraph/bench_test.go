@@ -1,0 +1,57 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"maxembed/internal/workload"
+)
+
+func benchGraph(b *testing.B) (*Graph, *workload.Trace) {
+	b.Helper()
+	tr, err := workload.Generate(workload.Criteo.Scaled(0.05))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, tr
+}
+
+func BenchmarkFromQueries(b *testing.B) {
+	tr, err := workload.Generate(workload.Criteo.Scaled(0.05))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromQueries(tr.NumItems, tr.Queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTotalConnectivity(b *testing.B) {
+	g, _ := benchGraph(b)
+	assign := make([]int32, g.NumVertices())
+	for v := range assign {
+		assign[v] = int32(v / 15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TotalConnectivity(assign)
+	}
+}
+
+func BenchmarkCoOccurrenceTop(b *testing.B) {
+	g, _ := benchGraph(b)
+	c := NewCoOccurrence(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Top(Vertex(i%g.NumVertices()), 14, nil)
+	}
+}

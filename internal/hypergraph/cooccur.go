@@ -1,0 +1,114 @@
+package hypergraph
+
+import "sort"
+
+// CoOccurrence counts, for a base vertex, how often every other vertex
+// appears in the same hyperedge as the base. It is the primitive behind
+// replica-cluster construction (§5.3 step 4) and FPR cluster refill (§5.2).
+type CoOccurrence struct {
+	g *Graph
+	// counts is reused across calls to avoid reallocating an N-sized map;
+	// touched records which entries must be reset.
+	counts  map[Vertex]int
+	touched []Vertex
+}
+
+// NewCoOccurrence returns a counter bound to g.
+func NewCoOccurrence(g *Graph) *CoOccurrence {
+	return &CoOccurrence{g: g, counts: make(map[Vertex]int)}
+}
+
+// Top returns up to n vertices that co-occur most frequently with base,
+// excluding base itself and any vertex for which exclude returns true
+// (exclude may be nil). Ties break toward the lower vertex id so results
+// are deterministic. The returned slice is freshly allocated.
+func (c *CoOccurrence) Top(base Vertex, n int, exclude func(Vertex) bool) []Vertex {
+	if n <= 0 {
+		return nil
+	}
+	for _, e := range c.g.IncidentEdges(base) {
+		for _, v := range c.g.Edge(e) {
+			if v == base {
+				continue
+			}
+			if _, ok := c.counts[v]; !ok {
+				c.touched = append(c.touched, v)
+			}
+			c.counts[v]++
+		}
+	}
+	cands := make([]Vertex, 0, len(c.touched))
+	for _, v := range c.touched {
+		if exclude == nil || !exclude(v) {
+			cands = append(cands, v)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ci, cj := c.counts[cands[i]], c.counts[cands[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return cands[i] < cands[j]
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]Vertex, len(cands))
+	copy(out, cands)
+	// Reset scratch state for the next call.
+	for _, v := range c.touched {
+		delete(c.counts, v)
+	}
+	c.touched = c.touched[:0]
+	return out
+}
+
+// TopForSet returns up to n vertices co-occurring most frequently with any
+// member of the given set, excluding set members themselves and vertices
+// for which exclude returns true. Used by FPR to refill a finer cluster
+// with the most co-appearing outside vertices.
+func (c *CoOccurrence) TopForSet(set []Vertex, n int, exclude func(Vertex) bool) []Vertex {
+	if n <= 0 {
+		return nil
+	}
+	inSet := make(map[Vertex]struct{}, len(set))
+	for _, v := range set {
+		inSet[v] = struct{}{}
+	}
+	for _, base := range set {
+		for _, e := range c.g.IncidentEdges(base) {
+			for _, v := range c.g.Edge(e) {
+				if _, ok := inSet[v]; ok {
+					continue
+				}
+				if _, ok := c.counts[v]; !ok {
+					c.touched = append(c.touched, v)
+				}
+				c.counts[v]++
+			}
+		}
+	}
+	cands := make([]Vertex, 0, len(c.touched))
+	for _, v := range c.touched {
+		if exclude == nil || !exclude(v) {
+			cands = append(cands, v)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ci, cj := c.counts[cands[i]], c.counts[cands[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return cands[i] < cands[j]
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]Vertex, len(cands))
+	copy(out, cands)
+	for _, v := range c.touched {
+		delete(c.counts, v)
+	}
+	c.touched = c.touched[:0]
+	return out
+}

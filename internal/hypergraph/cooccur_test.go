@@ -1,0 +1,159 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCoOccurrenceTop(t *testing.T) {
+	// Vertex 0 co-occurs: with 1 three times, with 2 twice, with 3 once.
+	g := mustGraph(t, 5, [][]Vertex{
+		{0, 1, 2},
+		{0, 1, 2},
+		{0, 1, 3},
+		{4}, // unrelated
+	})
+	c := NewCoOccurrence(g)
+	got := c.Top(0, 3, nil)
+	want := []Vertex{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Top(0,3) = %v, want %v", got, want)
+	}
+	// n smaller than candidates truncates.
+	if got := c.Top(0, 1, nil); !reflect.DeepEqual(got, []Vertex{1}) {
+		t.Errorf("Top(0,1) = %v, want [1]", got)
+	}
+	// exclude filters.
+	got = c.Top(0, 3, func(v Vertex) bool { return v == 1 })
+	want = []Vertex{2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Top with exclude = %v, want %v", got, want)
+	}
+	// Base never appears in its own result.
+	for _, v := range c.Top(0, 10, nil) {
+		if v == 0 {
+			t.Error("Top returned the base vertex")
+		}
+	}
+}
+
+func TestCoOccurrenceTopTieBreak(t *testing.T) {
+	// 2 and 1 both co-occur with 0 once; lower id wins ties.
+	g := mustGraph(t, 3, [][]Vertex{{0, 2}, {0, 1}})
+	c := NewCoOccurrence(g)
+	got := c.Top(0, 2, nil)
+	want := []Vertex{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Top = %v, want %v", got, want)
+	}
+}
+
+func TestCoOccurrenceScratchReset(t *testing.T) {
+	g := mustGraph(t, 4, [][]Vertex{{0, 1}, {2, 3}})
+	c := NewCoOccurrence(g)
+	first := c.Top(0, 5, nil)
+	if !reflect.DeepEqual(first, []Vertex{1}) {
+		t.Fatalf("Top(0) = %v, want [1]", first)
+	}
+	// If scratch state leaked, 1 would pollute this result.
+	second := c.Top(2, 5, nil)
+	if !reflect.DeepEqual(second, []Vertex{3}) {
+		t.Errorf("Top(2) = %v, want [3]", second)
+	}
+}
+
+func TestTopForSet(t *testing.T) {
+	g := mustGraph(t, 6, [][]Vertex{
+		{0, 1, 4},
+		{0, 4},
+		{1, 5},
+		{2, 3},
+	})
+	c := NewCoOccurrence(g)
+	// Set {0,1}: 4 co-occurs 3 times (twice with 0, once via edge 0 counted
+	// once per base => edge {0,1,4} counts 4 for base 0 and base 1).
+	got := c.TopForSet([]Vertex{0, 1}, 2, nil)
+	want := []Vertex{4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopForSet = %v, want %v", got, want)
+	}
+	// Set members are never returned.
+	for _, v := range c.TopForSet([]Vertex{0, 1}, 10, nil) {
+		if v == 0 || v == 1 {
+			t.Error("TopForSet returned a set member")
+		}
+	}
+}
+
+func TestTopZeroN(t *testing.T) {
+	g := mustGraph(t, 2, [][]Vertex{{0, 1}})
+	c := NewCoOccurrence(g)
+	if got := c.Top(0, 0, nil); got != nil {
+		t.Errorf("Top(n=0) = %v, want nil", got)
+	}
+	if got := c.TopForSet([]Vertex{0}, 0, nil); got != nil {
+		t.Errorf("TopForSet(n=0) = %v, want nil", got)
+	}
+}
+
+// Property: Top counts match a naive recount, results are unique and never
+// include the base, and repeated calls give identical results.
+func TestCoOccurrenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(30)
+		queries := make([][]Vertex, 1+rng.Intn(40))
+		for i := range queries {
+			l := 1 + rng.Intn(6)
+			q := make([]Vertex, l)
+			for j := range q {
+				q[j] = Vertex(rng.Intn(n))
+			}
+			queries[i] = q
+		}
+		g := mustGraph(t, n, queries)
+		c := NewCoOccurrence(g)
+		base := Vertex(rng.Intn(n))
+		got := c.Top(base, n, nil)
+		again := c.Top(base, n, nil)
+		if !reflect.DeepEqual(got, again) {
+			t.Fatalf("Top not deterministic: %v vs %v", got, again)
+		}
+		// Naive recount.
+		counts := map[Vertex]int{}
+		for e := 0; e < g.NumEdges(); e++ {
+			members := g.Edge(EdgeID(e))
+			has := false
+			for _, v := range members {
+				if v == base {
+					has = true
+					break
+				}
+			}
+			if !has {
+				continue
+			}
+			for _, v := range members {
+				if v != base {
+					counts[v]++
+				}
+			}
+		}
+		if len(got) != len(counts) {
+			t.Fatalf("Top len = %d, want %d", len(got), len(counts))
+		}
+		seen := map[Vertex]bool{}
+		prev := -1
+		for _, v := range got {
+			if v == base || seen[v] {
+				t.Fatalf("invalid Top result %v (base %d)", got, base)
+			}
+			seen[v] = true
+			if prev >= 0 && counts[v] > prev {
+				t.Fatalf("Top not sorted by count: %v", got)
+			}
+			prev = counts[v]
+		}
+	}
+}

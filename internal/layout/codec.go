@@ -1,0 +1,155 @@
+package layout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const layoutMagic = "MXLY1\n"
+
+// ErrBadLayout reports a malformed serialized layout.
+var ErrBadLayout = errors.New("layout: malformed layout stream")
+
+// Encode writes the layout in a compact binary format: header, the key
+// list of every page (varint-coded), and each key's home page. Replica
+// lists are not stored — they are reconstructed on decode from the page
+// lists (every appearance of a key on a page other than its home is a
+// replica), which keeps the two representations consistent by
+// construction.
+func (l *Layout) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(layoutMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(l.NumKeys)); err != nil {
+		return err
+	}
+	if err := put(uint64(l.Capacity)); err != nil {
+		return err
+	}
+	if err := put(uint64(len(l.Pages))); err != nil {
+		return err
+	}
+	for _, keys := range l.Pages {
+		if err := put(uint64(len(keys))); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := put(uint64(k)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range l.Home {
+		if err := put(uint64(h)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeFrom reads a layout written by Encode and validates it.
+func DecodeFrom(r io.Reader) (*Layout, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(layoutMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	if string(magic) != layoutMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadLayout, magic)
+	}
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s: %v", ErrBadLayout, what, err)
+		}
+		return v, nil
+	}
+	const maxReasonable = 1 << 34
+	numKeys, err := get("num keys")
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := get("capacity")
+	if err != nil {
+		return nil, err
+	}
+	numPages, err := get("num pages")
+	if err != nil {
+		return nil, err
+	}
+	if numKeys > maxReasonable || numPages > maxReasonable || capacity == 0 || capacity > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible header %d/%d/%d", ErrBadLayout, numKeys, capacity, numPages)
+	}
+	// Allocations grow with the data actually present, never with header
+	// claims alone (see the decoder fuzz targets).
+	const maxPrealloc = 1 << 16
+	prealloc := func(n uint64) uint64 {
+		if n > maxPrealloc {
+			return maxPrealloc
+		}
+		return n
+	}
+	l := &Layout{
+		NumKeys:  int(numKeys),
+		Capacity: int(capacity),
+		Pages:    make([][]Key, 0, prealloc(numPages)),
+	}
+	for p := uint64(0); p < numPages; p++ {
+		n, err := get("page size")
+		if err != nil {
+			return nil, err
+		}
+		if n > capacity {
+			return nil, fmt.Errorf("%w: page %d size %d exceeds capacity %d", ErrBadLayout, p, n, capacity)
+		}
+		keys := make([]Key, 0, prealloc(n))
+		for i := uint64(0); i < n; i++ {
+			k, err := get("page key")
+			if err != nil {
+				return nil, err
+			}
+			if k >= numKeys {
+				return nil, fmt.Errorf("%w: key %d out of range", ErrBadLayout, k)
+			}
+			keys = append(keys, Key(k))
+		}
+		l.Pages = append(l.Pages, keys)
+	}
+	l.Home = make([]PageID, 0, prealloc(numKeys))
+	for k := uint64(0); k < numKeys; k++ {
+		h, err := get("home page")
+		if err != nil {
+			return nil, err
+		}
+		if h >= numPages {
+			return nil, fmt.Errorf("%w: home page %d out of range", ErrBadLayout, h)
+		}
+		l.Home = append(l.Home, PageID(h))
+	}
+	// Reconstruct replicas: ascending page order.
+	for p, keys := range l.Pages {
+		for _, k := range keys {
+			if l.Home[k] == PageID(p) {
+				continue
+			}
+			if l.Replicas == nil {
+				l.Replicas = make([][]PageID, numKeys)
+			}
+			l.Replicas[k] = append(l.Replicas[k], PageID(p))
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLayout, err)
+	}
+	return l, nil
+}

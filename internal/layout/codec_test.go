@@ -1,0 +1,70 @@
+package layout
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestLayoutCodecRoundTrip(t *testing.T) {
+	l := Vanilla(50, 8)
+	if _, err := l.AddReplicaPage([]Key{0, 9, 17, 33}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddReplicaPage([]Key{1, 9}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeFrom(&buf)
+	if err != nil {
+		t.Fatalf("DecodeFrom: %v", err)
+	}
+	if !reflect.DeepEqual(l, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", l, got)
+	}
+}
+
+func TestLayoutCodecNoReplicas(t *testing.T) {
+	l := Vanilla(10, 4)
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas != nil {
+		t.Error("decode invented replicas")
+	}
+	if !reflect.DeepEqual(l.Pages, got.Pages) || !reflect.DeepEqual(l.Home, got.Home) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestLayoutDecodeErrors(t *testing.T) {
+	if _, err := DecodeFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	l := Vanilla(10, 4)
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(layoutMagic); cut < len(full); cut++ {
+		if _, err := DecodeFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt a key to be out of range: re-encode manually with a bad
+	// home page by tampering the final byte (home of the last key).
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] = 0xEE // varint continuation with nothing after
+	if _, err := DecodeFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrom asserts the layout decoder never panics and only returns
+// layouts that pass Validate.
+func FuzzDecodeFrom(f *testing.F) {
+	l := Vanilla(10, 4)
+	if _, err := l.AddReplicaPage([]Key{0, 5}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MXLY1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid layout: %v", err)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package lpa
+
+import (
+	"reflect"
+	"testing"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/workload"
+)
+
+func buildGraph(t *testing.T, n int, queries [][]hypergraph.Vertex) *hypergraph.Graph {
+	t.Helper()
+	g, err := hypergraph.FromQueries(n, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkBalanced(t *testing.T, res *Result, n int) {
+	t.Helper()
+	if len(res.Assign) != n {
+		t.Fatalf("Assign len = %d, want %d", len(res.Assign), n)
+	}
+	sizes := map[int32]int{}
+	for v, b := range res.Assign {
+		if b < 0 || int(b) >= res.NumBuckets {
+			t.Fatalf("vertex %d in invalid bucket %d", v, b)
+		}
+		sizes[b]++
+	}
+	for b, s := range sizes {
+		if s > res.Capacity {
+			t.Fatalf("bucket %d holds %d > capacity %d", b, s, res.Capacity)
+		}
+	}
+}
+
+func TestLPARecoverscommunities(t *testing.T) {
+	queries := [][]hypergraph.Vertex{
+		{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 2}, {1, 3},
+		{4, 5, 6, 7}, {4, 5, 6, 7}, {4, 6}, {5, 7},
+	}
+	g := buildGraph(t, 8, queries)
+	res, err := Partition(g, Options{Capacity: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, res, 8)
+	if res.FinalConnectivity != int64(len(queries)) {
+		t.Errorf("FinalConnectivity = %d, want %d (perfect recovery)",
+			res.FinalConnectivity, len(queries))
+	}
+}
+
+func TestLPABeatsRandomOnClusteredWorkload(t *testing.T) {
+	p := workload.Profile{
+		Name: "t", Items: 2000, Queries: 4000, MeanQueryLen: 10,
+		Communities: 150, CommunityAffinity: 0.85, CommunitySpread: 0.4,
+		ZipfS: 1.2, PopularityOffset: 0.05, Seed: 11,
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(g, Options{Capacity: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, res, tr.NumItems)
+	// Reference: vanilla sequential assignment.
+	vanilla := make([]int32, tr.NumItems)
+	for v := range vanilla {
+		vanilla[v] = int32(v / 15)
+	}
+	base := g.TotalConnectivity(vanilla)
+	if res.FinalConnectivity >= base {
+		t.Errorf("LPA (%d) did not beat vanilla (%d)", res.FinalConnectivity, base)
+	}
+	if res.Communities <= 1 || res.Communities >= tr.NumItems {
+		t.Errorf("implausible community count %d", res.Communities)
+	}
+}
+
+func TestLPADeterministic(t *testing.T) {
+	p := workload.Profile{
+		Name: "t", Items: 500, Queries: 800, MeanQueryLen: 6,
+		Communities: 50, CommunityAffinity: 0.8, CommunitySpread: 0.4,
+		ZipfS: 1.2, PopularityOffset: 0.05, Seed: 12,
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Partition(g, Options{Capacity: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Options{Capacity: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Error("same seed produced different partitions")
+	}
+}
+
+func TestLPAEdgeCases(t *testing.T) {
+	if _, err := Partition(buildGraph(t, 4, nil), Options{}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	// Empty graph.
+	res, err := Partition(buildGraph(t, 0, nil), Options{Capacity: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 0 || res.NumBuckets != 0 {
+		t.Errorf("empty graph: %+v", res)
+	}
+	// Edgeless graph: labels never merge; packing is sequential.
+	res, err = Partition(buildGraph(t, 10, nil), Options{Capacity: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, res, 10)
+	if res.Communities != 10 {
+		t.Errorf("Communities = %d, want 10", res.Communities)
+	}
+	// Oversized community spills across buckets without loss.
+	big := make([]hypergraph.Vertex, 12)
+	for i := range big {
+		big[i] = hypergraph.Vertex(i)
+	}
+	res, err = Partition(buildGraph(t, 12, [][]hypergraph.Vertex{big, big}), Options{Capacity: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, res, 12)
+}

@@ -1,0 +1,203 @@
+// Package metrics provides the measurement primitives the evaluation
+// harness reports: latency percentiles, integer histograms (for Fig 9's
+// valid-embeddings-per-read CDF), and effective-bandwidth arithmetic.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects latency samples (virtual nanoseconds) and summarizes
+// them. It is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []int64
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(ns int64) {
+	r.mu.Lock()
+	r.samples = append(r.samples, ns)
+	r.mu.Unlock()
+}
+
+// LatencySummary reports distribution statistics over recorded samples.
+type LatencySummary struct {
+	Count  int
+	MeanNS float64
+	P50NS  int64
+	P90NS  int64
+	P99NS  int64
+	MaxNS  int64
+}
+
+// String renders the summary compactly in microseconds.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p90=%.1fµs p99=%.1fµs max=%.1fµs",
+		s.Count, s.MeanNS/1e3, float64(s.P50NS)/1e3, float64(s.P90NS)/1e3,
+		float64(s.P99NS)/1e3, float64(s.MaxNS)/1e3)
+}
+
+// Snapshot summarizes all samples recorded so far.
+func (r *Recorder) Snapshot() LatencySummary {
+	r.mu.Lock()
+	samples := make([]int64, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+	var s LatencySummary
+	s.Count = len(samples)
+	if s.Count == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum int64
+	for _, v := range samples {
+		sum += v
+	}
+	s.MeanNS = float64(sum) / float64(s.Count)
+	s.P50NS = percentile(samples, 0.50)
+	s.P90NS = percentile(samples, 0.90)
+	s.P99NS = percentile(samples, 0.99)
+	s.MaxNS = samples[len(samples)-1]
+	return s
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// IntHist is a histogram over small non-negative integers, e.g. the number
+// of valid embeddings obtained per page read (bounded by page capacity).
+// It is safe for concurrent use.
+type IntHist struct {
+	mu       sync.Mutex
+	counts   []int64
+	overflow int64 // values > len(counts)-1
+	total    int64
+	sum      int64
+}
+
+// NewIntHist returns a histogram for values in [0, max]; larger values are
+// clamped into an overflow bucket but still contribute to Mean.
+func NewIntHist(max int) *IntHist {
+	if max < 0 {
+		max = 0
+	}
+	return &IntHist{counts: make([]int64, max+1)}
+}
+
+// Add records one value.
+func (h *IntHist) Add(v int) {
+	h.mu.Lock()
+	if v >= 0 && v < len(h.counts) {
+		h.counts[v]++
+	} else {
+		h.overflow++
+	}
+	h.total++
+	h.sum += int64(v)
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded values.
+func (h *IntHist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the mean recorded value, or 0 if empty.
+func (h *IntHist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket returns the count of value v (0 for out-of-range v).
+func (h *IntHist) Bucket(v int) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// CDF returns, for each value v in [0, max], the fraction of recorded
+// values ≤ v. Overflow values only register at the final bucket implicitly
+// (the CDF then tops out below 1).
+func (h *IntHist) CDF() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum int64
+	for v, c := range h.counts {
+		cum += c
+		out[v] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// Reset clears the histogram.
+func (h *IntHist) Reset() {
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.overflow, h.total, h.sum = 0, 0, 0
+	h.mu.Unlock()
+}
+
+// BytesPerSecond converts (bytes, elapsed virtual ns) to a rate. Returns 0
+// for non-positive elapsed time.
+func BytesPerSecond(bytes int64, elapsedNS int64) float64 {
+	if elapsedNS <= 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(elapsedNS) / float64(time.Second))
+}
+
+// PerSecond converts (count, elapsed virtual ns) to a rate, e.g. queries
+// per second. Returns 0 for non-positive elapsed time.
+func PerSecond(count int64, elapsedNS int64) float64 {
+	if elapsedNS <= 0 {
+		return 0
+	}
+	return float64(count) / (float64(elapsedNS) / float64(time.Second))
+}
+
+// Utilization returns achieved/capacity clamped to [0, 1] for sane inputs;
+// capacity ≤ 0 yields 0.
+func Utilization(achieved, capacity float64) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	return achieved / capacity
+}

@@ -1,0 +1,223 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/layout"
+	"maxembed/internal/workload"
+)
+
+// clusteredGraph builds a graph from a small community-structured workload.
+func clusteredGraph(t *testing.T) (*hypergraph.Graph, *workload.Trace) {
+	t.Helper()
+	p := workload.Profile{
+		Name: "t", Items: 1200, Queries: 2500, MeanQueryLen: 10,
+		Communities: 60, CommunityAffinity: 0.85, ZipfS: 1.2, Seed: 4,
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tr
+}
+
+func TestAllStrategiesProduceValidLayouts(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	for _, s := range Strategies() {
+		for _, r := range []float64{0, 0.1, 0.4} {
+			lay, err := Build(s, g, Options{Capacity: 15, ReplicationRatio: r, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s r=%v: %v", s, r, err)
+			}
+			if err := lay.Validate(); err != nil {
+				t.Fatalf("%s r=%v: invalid layout: %v", s, r, err)
+			}
+			if lay.NumKeys != g.NumVertices() {
+				t.Fatalf("%s: NumKeys = %d, want %d", s, lay.NumKeys, g.NumVertices())
+			}
+		}
+	}
+}
+
+func TestReplicationRatioBounded(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	for _, s := range []Strategy{StrategyRPP, StrategyFPR, StrategyMaxEmbed} {
+		for _, r := range []float64{0.1, 0.2, 0.4, 0.8} {
+			lay, err := Build(s, g, Options{Capacity: 15, ReplicationRatio: r, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := lay.ReplicationRatio(); got > r+1e-9 {
+				t.Errorf("%s: ReplicationRatio = %v exceeds budget %v", s, got, r)
+			}
+			// The budget should be substantially used (strategies differ
+			// in waste, but all should reach at least half).
+			if got := lay.ReplicationRatio(); got < r/2 {
+				t.Errorf("%s: ReplicationRatio = %v, using under half of budget %v", s, got, r)
+			}
+		}
+	}
+}
+
+func TestZeroRatioDegeneratesToSHP(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	base, err := SHP(g, Options{Capacity: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{StrategyRPP, StrategyFPR, StrategyMaxEmbed} {
+		lay, err := Build(s, g, Options{Capacity: 15, ReplicationRatio: 0, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lay.Home, base.Home) {
+			t.Errorf("%s with r=0 differs from SHP placement", s)
+		}
+		if lay.ReplicationRatio() != 0 {
+			t.Errorf("%s with r=0 has replicas", s)
+		}
+	}
+}
+
+func TestVanillaStrategy(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	lay, err := Build(StrategyVanilla, g, Options{Capacity: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layout.Vanilla(g.NumVertices(), 15)
+	if !reflect.DeepEqual(lay.Home, want.Home) {
+		t.Error("vanilla strategy does not match layout.Vanilla")
+	}
+}
+
+func TestSHPReducesConnectivityVsVanilla(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	lay, err := SHP(g, Options{Capacity: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int32, lay.NumKeys)
+	for k, p := range lay.Home {
+		assign[k] = int32(p)
+	}
+	vanilla := make([]int32, lay.NumKeys)
+	for v := range vanilla {
+		vanilla[v] = int32(v / 15)
+	}
+	if got, base := g.TotalConnectivity(assign), g.TotalConnectivity(vanilla); got >= base {
+		t.Errorf("SHP connectivity %d not below vanilla %d", got, base)
+	}
+}
+
+func TestMaxEmbedReplicaPagesAreCoherent(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	opts := Options{Capacity: 15, ReplicationRatio: 0.2, Seed: 1}
+	base, err := SHP(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := MaxEmbed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home placement preserved exactly (replication after partition must
+	// not damage the original combinations, §5.3).
+	if !reflect.DeepEqual(lay.Home, base.Home) {
+		t.Error("MaxEmbed changed the SHP home placement")
+	}
+	// Replica pages appear after the SHP pages and contain keys from more
+	// than one home page (otherwise they capture no new combination).
+	if lay.NumPages() <= base.NumPages() {
+		t.Fatal("MaxEmbed added no replica pages")
+	}
+	for p := base.NumPages(); p < lay.NumPages(); p++ {
+		keys := lay.Pages[p]
+		if len(keys) < 2 {
+			t.Errorf("replica page %d holds %d keys; pointless replica", p, len(keys))
+		}
+		homes := map[layout.PageID]bool{}
+		for _, k := range keys {
+			homes[lay.Home[k]] = true
+		}
+		if len(homes) < 2 {
+			t.Errorf("replica page %d only recombines keys of one home page", p)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	for _, s := range Strategies() {
+		if _, err := Build(s, g, Options{Capacity: 0}); err == nil {
+			t.Errorf("%s accepted zero capacity", s)
+		}
+		if _, err := Build(s, g, Options{Capacity: 8, ReplicationRatio: -1}); err == nil {
+			t.Errorf("%s accepted negative ratio", s)
+		}
+	}
+	if _, err := Build(Strategy("bogus"), g, Options{Capacity: 8}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := hypergraph.FromQueries(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies() {
+		lay, err := Build(s, g, Options{Capacity: 8, ReplicationRatio: 0.5, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s on empty graph: %v", s, err)
+		}
+		if err := lay.Validate(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if lay.NumKeys != 0 {
+			t.Errorf("%s: NumKeys = %d", s, lay.NumKeys)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	for _, s := range Strategies() {
+		a, err := Build(s, g, Options{Capacity: 15, ReplicationRatio: 0.2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(s, g, Options{Capacity: 15, ReplicationRatio: 0.2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s not deterministic", s)
+		}
+	}
+}
+
+func TestPartitionerLPA(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	for _, s := range []Strategy{StrategySHP, StrategyMaxEmbed} {
+		lay, err := Build(s, g, Options{
+			Capacity: 15, ReplicationRatio: 0.2, Seed: 1,
+			Partitioner: PartitionerLPA,
+		})
+		if err != nil {
+			t.Fatalf("%s with LPA: %v", s, err)
+		}
+		if err := lay.Validate(); err != nil {
+			t.Fatalf("%s with LPA: invalid layout: %v", s, err)
+		}
+	}
+	if _, err := SHP(g, Options{Capacity: 15, Partitioner: Partitioner("bogus")}); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package selection
+
+import (
+	"testing"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/placement"
+	"maxembed/internal/workload"
+)
+
+func benchFixture(b *testing.B, ratio float64) (*Index, *workload.Trace) {
+	b.Helper()
+	p := workload.Criteo.Scaled(0.05)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: 15, ReplicationRatio: ratio, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewIndex(lay, 10), tr
+}
+
+func BenchmarkOnePass(b *testing.B) {
+	idx, tr := benchFixture(b, 0.4)
+	sel := NewSelector(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.OnePass(tr.Queries[i%len(tr.Queries)], nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnePassUnsorted(b *testing.B) {
+	idx, tr := benchFixture(b, 0.4)
+	sel := NewSelector(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.OnePassUnsorted(tr.Queries[i%len(tr.Queries)], nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	idx, tr := benchFixture(b, 0.4)
+	sel := NewSelector(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Greedy(tr.Queries[i%len(tr.Queries)], nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnePassNoReplicas(b *testing.B) {
+	idx, tr := benchFixture(b, 0)
+	sel := NewSelector(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.OnePass(tr.Queries[i%len(tr.Queries)], nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewIndex(b *testing.B) {
+	p := workload.Criteo.Scaled(0.05)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: 15, ReplicationRatio: 0.4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewIndex(lay, 10)
+	}
+}

@@ -1,0 +1,199 @@
+// Package server exposes a MaxEmbed serving engine over HTTP: the shape a
+// production embedding-parameter service takes in a DLRM inference stack
+// (Figure 1 of the paper — the embedding layer feeding the dense model).
+//
+// Endpoints:
+//
+//	POST /v1/lookup   {"keys":[1,2,3]}  → embeddings + per-query stats
+//	GET  /v1/stats                      → engine/device/cache counters
+//	GET  /healthz                       → liveness
+//
+// Sessions (each owning an SSD queue pair and virtual clock) are pooled
+// across requests, mirroring the per-thread serving contexts of §8.4.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+)
+
+// Handler serves the HTTP API for one engine.
+type Handler struct {
+	eng     *serving.Engine
+	device  *ssd.Device
+	mux     *http.ServeMux
+	workers sync.Pool
+}
+
+// New returns a handler over the given engine and its device.
+func New(eng *serving.Engine, device *ssd.Device) *Handler {
+	h := &Handler{eng: eng, device: device, mux: http.NewServeMux()}
+	h.workers.New = func() any { return eng.NewWorker() }
+	h.mux.HandleFunc("POST /v1/lookup", h.lookup)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /healthz", h.health)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// LookupRequest is the /v1/lookup request body.
+type LookupRequest struct {
+	// Keys to fetch. Duplicates are served once.
+	Keys []uint32 `json:"keys"`
+}
+
+// LookupResponse is the /v1/lookup response body.
+type LookupResponse struct {
+	// Embeddings maps each distinct requested key to its vector. Empty
+	// vectors are returned by timing-only engines.
+	Embeddings map[uint32][]float32 `json:"embeddings"`
+	// Stats reports the work behind this lookup.
+	Stats LookupStats `json:"stats"`
+}
+
+// LookupStats is the JSON projection of serving.QueryStats.
+type LookupStats struct {
+	DistinctKeys int   `json:"distinct_keys"`
+	CacheHits    int   `json:"cache_hits"`
+	PagesRead    int   `json:"pages_read"`
+	LatencyNS    int64 `json:"virtual_latency_ns"`
+}
+
+const maxLookupKeys = 1 << 16
+
+func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
+	var req LookupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(req.Keys) == 0 {
+		httpError(w, http.StatusBadRequest, "keys must be non-empty")
+		return
+	}
+	if len(req.Keys) > maxLookupKeys {
+		httpError(w, http.StatusBadRequest, "too many keys: %d > %d", len(req.Keys), maxLookupKeys)
+		return
+	}
+	worker := h.workers.Get().(*serving.Worker)
+	defer h.workers.Put(worker)
+	res, err := worker.Lookup(req.Keys)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", err)
+		return
+	}
+	resp := LookupResponse{
+		Embeddings: make(map[uint32][]float32, len(res.Keys)),
+		Stats: LookupStats{
+			DistinctKeys: res.Stats.DistinctKeys,
+			CacheHits:    res.Stats.CacheHits,
+			PagesRead:    res.Stats.PagesRead,
+			LatencyNS:    res.Stats.LatencyNS(),
+		},
+	}
+	for i, k := range res.Keys {
+		// Copy out: the result vectors alias worker scratch that is
+		// reused once the worker returns to the pool.
+		v := make([]float32, len(res.Vectors[i]))
+		copy(v, res.Vectors[i])
+		resp.Embeddings[k] = v
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse is the /v1/stats response body.
+type StatsResponse struct {
+	Device struct {
+		Reads     int64 `json:"reads"`
+		BytesRead int64 `json:"bytes_read"`
+		Errors    int64 `json:"errors"`
+	} `json:"device"`
+	Cache *struct {
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Evictions int64   `json:"evictions"`
+		HitRate   float64 `json:"hit_rate"`
+		Entries   int     `json:"entries"`
+	} `json:"cache,omitempty"`
+	Latency struct {
+		Count  int     `json:"count"`
+		MeanNS float64 `json:"mean_ns"`
+		P50NS  int64   `json:"p50_ns"`
+		P99NS  int64   `json:"p99_ns"`
+	} `json:"virtual_latency"`
+	MeanValidPerRead float64 `json:"mean_valid_per_read"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	var resp StatsResponse
+	ds := h.device.Stats()
+	resp.Device.Reads = ds.Reads
+	resp.Device.BytesRead = ds.BytesRead
+	resp.Device.Errors = ds.Errors
+	if c := h.eng.Cache(); c != nil {
+		cs := c.Stats()
+		resp.Cache = &struct {
+			Hits      int64   `json:"hits"`
+			Misses    int64   `json:"misses"`
+			Evictions int64   `json:"evictions"`
+			HitRate   float64 `json:"hit_rate"`
+			Entries   int     `json:"entries"`
+		}{cs.Hits, cs.Misses, cs.Evictions, cs.HitRate(), c.Len()}
+	}
+	ls := h.eng.Latency.Snapshot()
+	resp.Latency.Count = ls.Count
+	resp.Latency.MeanNS = ls.MeanNS
+	resp.Latency.P50NS = ls.P50NS
+	resp.Latency.P99NS = ls.P99NS
+	resp.MeanValidPerRead = h.eng.ValidPerRead.Mean()
+	writeJSON(w, resp)
+}
+
+// metrics renders the same counters in Prometheus text exposition format
+// for scrape-based monitoring.
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	ds := h.device.Stats()
+	fmt.Fprintf(w, "# TYPE maxembed_device_reads_total counter\nmaxembed_device_reads_total %d\n", ds.Reads)
+	fmt.Fprintf(w, "# TYPE maxembed_device_bytes_read_total counter\nmaxembed_device_bytes_read_total %d\n", ds.BytesRead)
+	fmt.Fprintf(w, "# TYPE maxembed_device_errors_total counter\nmaxembed_device_errors_total %d\n", ds.Errors)
+	if c := h.eng.Cache(); c != nil {
+		cs := c.Stats()
+		fmt.Fprintf(w, "# TYPE maxembed_cache_hits_total counter\nmaxembed_cache_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_misses_total counter\nmaxembed_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_entries gauge\nmaxembed_cache_entries %d\n", c.Len())
+	}
+	ls := h.eng.Latency.Snapshot()
+	fmt.Fprintf(w, "# TYPE maxembed_lookups_total counter\nmaxembed_lookups_total %d\n", ls.Count)
+	fmt.Fprintf(w, "# TYPE maxembed_lookup_latency_p99_ns gauge\nmaxembed_lookup_latency_p99_ns %d\n", ls.P99NS)
+	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read gauge\nmaxembed_valid_per_read %g\n", h.eng.ValidPerRead.Mean())
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing recoverable.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

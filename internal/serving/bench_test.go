@@ -1,0 +1,87 @@
+package serving
+
+import (
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/placement"
+	"maxembed/internal/ssd"
+	"maxembed/internal/store"
+	"maxembed/internal/workload"
+)
+
+func benchEngine(b *testing.B, withStore bool) (*Engine, *workload.Trace) {
+	b.Helper()
+	p := workload.Criteo.Scaled(0.05)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist, _ := tr.Split(0.5)
+	g, err := hypergraph.FromQueries(tr.NumItems, hist.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: embedding.PageCapacity(4096, 64), ReplicationRatio: 0.2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := ssd.NewDevice(ssd.P5800X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Layout:       lay,
+		Device:       dev,
+		CacheEntries: tr.NumItems / 10,
+		IndexLimit:   10,
+		Pipeline:     true,
+		VectorBytes:  256,
+	}
+	if withStore {
+		syn, err := embedding.NewSynthesizer(64, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := store.Build(lay, syn, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, tr
+}
+
+// BenchmarkWorkerLookupTiming measures the timing-only serving path — the
+// configuration the experiment sweeps use.
+func BenchmarkWorkerLookupTiming(b *testing.B) {
+	eng, tr := benchEngine(b, false)
+	w := eng.NewWorker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Lookup(tr.Queries[i%len(tr.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkerLookupFull includes page-image vector extraction.
+func BenchmarkWorkerLookupFull(b *testing.B) {
+	eng, tr := benchEngine(b, true)
+	w := eng.NewWorker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Lookup(tr.Queries[i%len(tr.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

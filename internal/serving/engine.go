@@ -1,0 +1,449 @@
+// Package serving implements MaxEmbed's online phase end to end: query →
+// dedupe → DRAM cache probe → page selection → (pipelined) asynchronous
+// SSD reads → vector extraction → cache fill. Timing is virtual: device
+// time comes from the ssd package's discrete-event model and software time
+// from a CostModel, so runs are deterministic and reproducible while
+// preserving the paper's software/IO overlap structure (§6).
+package serving
+
+import (
+	"errors"
+	"fmt"
+
+	"maxembed/internal/cache"
+	"maxembed/internal/layout"
+	"maxembed/internal/metrics"
+	"maxembed/internal/selection"
+	"maxembed/internal/ssd"
+)
+
+// Key is an embedding key.
+type Key = layout.Key
+
+// PageSource supplies embedding payloads from materialized page images.
+// store.Store (in-memory) and store.FileStore (on-disk, page-aligned
+// reads) both implement it.
+type PageSource interface {
+	// Dim returns the embedding dimension.
+	Dim() int
+	// Extract appends key k's vector from page p to dst, scanning the
+	// page's first nSlots slots.
+	Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error)
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Layout is the embedding placement (required).
+	Layout *layout.Layout
+	// Device is the simulated SSD (required).
+	Device *ssd.Device
+	// Store supplies page payloads. Optional: nil runs timing-only (no
+	// vector extraction or verification). Use a typed nil-free value:
+	// pass nil directly, not a nil *store.Store in a PageSource variable.
+	Store PageSource
+	// CacheEntries sets the DRAM cache capacity in embeddings; 0 disables
+	// caching (§8.3's cacheless configuration).
+	CacheEntries int
+	// SegmentedCache switches the DRAM cache from plain LRU (the paper's
+	// configuration) to CacheLib's scan-resistant segmented LRU.
+	SegmentedCache bool
+	// IndexLimit is k, the index-shrinking bound (§6.1); 0 keeps all
+	// replica entries.
+	IndexLimit int
+	// Pipeline overlaps page selection with SSD reads (§6.2). When false
+	// every read is issued only after the whole selection finishes — the
+	// "Raw" configuration of Fig 15.
+	Pipeline bool
+	// Greedy selects pages with classic greedy set cover instead of the
+	// one-pass algorithm (ablation baseline, §6).
+	Greedy bool
+	// UnsortedSelection disables the ascending replica-count key ordering
+	// of §6.1 step ❶ (ablation; ignored when Greedy is set).
+	UnsortedSelection bool
+	// Costs is the software cost model; nil uses NewDefaultCosts().
+	Costs CostModel
+	// MaxRetries re-issues failed page reads (fault injection) this many
+	// times before giving up. Default 2.
+	MaxRetries int
+	// VectorBytes overrides the per-embedding payload size used for
+	// effective-bandwidth accounting when Store is nil (timing-only
+	// engines). Ignored when a Store is present.
+	VectorBytes int
+	// Recorder, when set, receives every served query's distinct keys so
+	// the offline phase can later be refreshed from live traffic.
+	Recorder *HistoryRecorder
+}
+
+// Engine is the shared, immutable part of a serving deployment. Workers
+// created by NewWorker do the per-goroutine work.
+type Engine struct {
+	cfg     Config
+	idx     *selection.Index
+	cache   *cache.Cache[Key, []float32]
+	costs   CostModel
+	dim     int
+	vecSize int
+
+	// Latency is recorded per query across all workers.
+	Latency metrics.Recorder
+	// ValidPerRead is the Fig 9 histogram: embeddings served per page read.
+	ValidPerRead *metrics.IntHist
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Layout == nil {
+		return nil, errors.New("serving: Config.Layout is required")
+	}
+	if cfg.Device == nil {
+		return nil, errors.New("serving: Config.Device is required")
+	}
+	if err := cfg.Layout.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if cfg.Costs == nil {
+		cfg.Costs = NewDefaultCosts()
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	e := &Engine{
+		cfg:          cfg,
+		idx:          selection.NewIndex(cfg.Layout, cfg.IndexLimit),
+		costs:        cfg.Costs,
+		ValidPerRead: metrics.NewIntHist(cfg.Layout.Capacity),
+	}
+	switch {
+	case cfg.Store != nil:
+		e.dim = cfg.Store.Dim()
+		e.vecSize = e.dim * 4
+	case cfg.VectorBytes > 0:
+		e.vecSize = cfg.VectorBytes
+	default:
+		// Timing-only mode still accounts useful bytes by layout capacity
+		// arithmetic: approximate the slot payload from the page size.
+		e.vecSize = cfg.Device.Profile().PageSize / cfg.Layout.Capacity
+	}
+	if cfg.CacheEntries > 0 {
+		if cfg.SegmentedCache {
+			e.cache = cache.NewSegmentedLRU[Key, []float32](cfg.CacheEntries, cache.Uint32Hasher)
+		} else {
+			e.cache = cache.New[Key, []float32](cfg.CacheEntries, cache.Uint32Hasher)
+		}
+	}
+	return e, nil
+}
+
+// Index exposes the engine's selection index (read-only).
+func (e *Engine) Index() *selection.Index { return e.idx }
+
+// Cache returns the DRAM cache, or nil when disabled.
+func (e *Engine) Cache() *cache.Cache[Key, []float32] { return e.cache }
+
+// QueryStats describes one processed query.
+type QueryStats struct {
+	// Keys is the raw query length; DistinctKeys after dedup.
+	Keys, DistinctKeys int
+	// CacheHits of the distinct keys were served from DRAM.
+	CacheHits int
+	// PagesRead is the number of SSD page reads issued (excluding retries).
+	PagesRead int
+	// Retries is the number of re-issued reads after injected failures.
+	Retries int
+	// UsefulFromSSD is the number of distinct keys served from SSD pages.
+	UsefulFromSSD int
+	// StartNS/EndNS bound the query on the worker's virtual clock.
+	StartNS, EndNS int64
+	// SortNS, SelectNS, and OtherSoftNS break down charged software time;
+	// SSDWaitNS is the residual the worker spent blocked on the device.
+	SortNS, SelectNS, OtherSoftNS, SSDWaitNS int64
+}
+
+// LatencyNS returns the end-to-end virtual latency.
+func (s QueryStats) LatencyNS() int64 { return s.EndNS - s.StartNS }
+
+// Result is the outcome of one lookup. Vectors are only populated when the
+// engine has a Store; the backing array is reused by the worker, so the
+// caller must consume the result before the next Lookup.
+type Result struct {
+	Stats QueryStats
+	// Keys and Vectors are parallel: Vectors[i] is the embedding of
+	// Keys[i], covering every distinct key of the query.
+	Keys    []Key
+	Vectors [][]float32
+}
+
+// planEntry records one selected page and the range of covered keys in
+// Worker.coveredFlat.
+type planEntry struct {
+	page       layout.PageID
+	from, to   int
+	issueAtNS  int64
+	selectCost int64
+}
+
+// Worker is a single-threaded serving session: it owns a selector, an SSD
+// queue pair, and a monotonically increasing virtual clock. Create one per
+// concurrent serving thread being modelled. Not safe for concurrent use.
+type Worker struct {
+	eng *Engine
+	sel *selection.Selector
+	q   *ssd.Queue
+
+	// now is the worker's virtual clock in nanoseconds.
+	now int64
+
+	// Per-query scratch.
+	plan        []planEntry
+	coveredFlat []Key
+	distinct    []Key
+	batchBuf    []Key
+	hitKeys     []Key
+	hitVecs     [][]float32
+	vecArena    []float32
+	seen        map[Key]struct{}
+}
+
+// NewWorker returns a worker bound to the engine. The worker's virtual
+// clock starts at the device's current frontier so a session created after
+// prior activity does not appear to queue behind long-finished work.
+func (e *Engine) NewWorker() *Worker {
+	return &Worker{
+		eng:  e,
+		sel:  selection.NewSelector(e.idx),
+		q:    ssd.NewQueue(e.cfg.Device),
+		now:  e.cfg.Device.Frontier(),
+		seen: make(map[Key]struct{}, 64),
+	}
+}
+
+// Now returns the worker's virtual clock.
+func (w *Worker) Now() int64 { return w.now }
+
+// SetNow advances the worker's virtual clock (e.g. to align fan-out
+// workers to a common dispatch instant). The clock never moves backwards;
+// earlier values are ignored.
+func (w *Worker) SetNow(ns int64) {
+	if ns > w.now {
+		w.now = ns
+	}
+}
+
+// Lookup serves one embedding query and advances the worker's clock to its
+// completion time.
+func (w *Worker) Lookup(query []Key) (Result, error) {
+	e := w.eng
+	var st QueryStats
+	st.Keys = len(query)
+	st.StartNS = w.now
+	t := w.now
+
+	// Cache probe over distinct keys (first-appearance order, so LRU
+	// promotion order is deterministic); hits are served from DRAM.
+	w.hitKeys = w.hitKeys[:0]
+	w.hitVecs = w.hitVecs[:0]
+	w.distinct = w.distinct[:0]
+	clear(w.seen)
+	for _, k := range query {
+		if _, dup := w.seen[k]; dup {
+			continue
+		}
+		w.seen[k] = struct{}{}
+		w.distinct = append(w.distinct, k)
+	}
+	st.DistinctKeys = len(w.distinct)
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(w.distinct)
+	}
+	if e.cache != nil {
+		for _, k := range w.distinct {
+			if v, ok := e.cache.Get(k); ok {
+				w.hitKeys = append(w.hitKeys, k)
+				w.hitVecs = append(w.hitVecs, v)
+			}
+		}
+		probe := e.costs.CacheProbe(st.DistinctKeys)
+		t += probe
+		st.OtherSoftNS += probe
+		st.CacheHits = len(w.hitKeys)
+	}
+	skip := func(k Key) bool {
+		if e.cache == nil {
+			return false
+		}
+		return e.cache.Contains(k)
+	}
+
+	// Sort cost is charged up front (§6.1 ❶ happens inside the selector;
+	// the model charges for the keys that reach it).
+	missKeys := st.DistinctKeys - st.CacheHits
+	sortCost := e.costs.Sort(missKeys)
+	t += sortCost
+	st.SortNS = sortCost
+
+	// Page selection, optionally pipelined with submission.
+	w.plan = w.plan[:0]
+	w.coveredFlat = w.coveredFlat[:0]
+	var prev selection.Stats
+	emit := func(p layout.PageID, covered []Key, sofar selection.Stats) {
+		from := len(w.coveredFlat)
+		w.coveredFlat = append(w.coveredFlat, covered...)
+		cost := e.costs.Select(sofar.CandidatePages-prev.CandidatePages,
+			sofar.InvertScans-prev.InvertScans) + e.costs.Submit()
+		prev = sofar
+		w.plan = append(w.plan, planEntry{
+			page:       p,
+			from:       from,
+			to:         len(w.coveredFlat),
+			selectCost: cost,
+		})
+	}
+	var selErr error
+	switch {
+	case e.cfg.Greedy:
+		_, selErr = w.sel.Greedy(query, skip, emit)
+	case e.cfg.UnsortedSelection:
+		_, selErr = w.sel.OnePassUnsorted(query, skip, emit)
+	default:
+		_, selErr = w.sel.OnePass(query, skip, emit)
+	}
+	if selErr != nil {
+		return Result{}, selErr
+	}
+
+	// Submit per the pipeline mode, charging selection cost as it accrues.
+	if e.cfg.Pipeline {
+		for i := range w.plan {
+			t += w.plan[i].selectCost
+			st.SelectNS += w.plan[i].selectCost
+			w.plan[i].issueAtNS = w.q.Submit(w.plan[i].page, t)
+		}
+	} else {
+		for i := range w.plan {
+			t += w.plan[i].selectCost
+			st.SelectNS += w.plan[i].selectCost
+		}
+		for i := range w.plan {
+			w.plan[i].issueAtNS = w.q.Submit(w.plan[i].page, t)
+		}
+	}
+
+	// Reap completions; retry injected failures.
+	done, comps := w.q.Drain(t)
+	for _, c := range comps {
+		if c.Err == nil {
+			continue
+		}
+		page := c.Page
+		ok := false
+		for r := 0; r < e.cfg.MaxRetries; r++ {
+			st.Retries++
+			w.q.Submit(page, done)
+			var rc []ssd.Completion
+			done, rc = w.q.Drain(done)
+			if len(rc) == 1 && rc[0].Err == nil {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Result{}, fmt.Errorf("serving: page %d unreadable after %d retries: %w",
+				page, e.cfg.MaxRetries, c.Err)
+		}
+	}
+	ssdWait := done - t
+	if ssdWait < 0 {
+		ssdWait = 0
+	}
+	st.SSDWaitNS = ssdWait
+	t = done
+	st.PagesRead = len(w.plan)
+	st.UsefulFromSSD = len(w.coveredFlat)
+	for _, pe := range w.plan {
+		e.ValidPerRead.Add(pe.to - pe.from)
+	}
+
+	// Extract vectors and fill the cache.
+	res := Result{}
+	extract := e.costs.Extract(len(w.coveredFlat))
+	t += extract
+	st.OtherSoftNS += extract
+	if e.cfg.Store != nil {
+		if err := w.extract(&res); err != nil {
+			return Result{}, err
+		}
+	} else if e.cache != nil {
+		for _, k := range w.coveredFlat {
+			e.cache.Put(k, nil)
+		}
+	}
+	res.Keys = append(res.Keys, w.hitKeys...)
+	res.Vectors = append(res.Vectors, w.hitVecs...)
+
+	st.EndNS = t
+	w.now = t
+	e.Latency.Record(st.LatencyNS())
+	res.Stats = st
+	return res, nil
+}
+
+// LookupBatch serves several queries as one combined lookup, deduplicating
+// keys across them. Batching widens the key set page selection works with,
+// so co-located and replicated embeddings are shared across the batch —
+// the configuration the paper's throughput evaluation uses (§8.2 notes
+// that batching causes cross-query duplication). The result covers the
+// union of the queries' keys.
+func (w *Worker) LookupBatch(queries [][]Key) (Result, error) {
+	total := 0
+	for _, q := range queries {
+		total += len(q)
+	}
+	if cap(w.batchBuf) < total {
+		w.batchBuf = make([]Key, 0, total)
+	}
+	w.batchBuf = w.batchBuf[:0]
+	for _, q := range queries {
+		w.batchBuf = append(w.batchBuf, q...)
+	}
+	return w.Lookup(w.batchBuf)
+}
+
+// extract decodes every covered key's vector from its selected page,
+// verifies the slot key header, and inserts SSD-served vectors into the
+// cache.
+func (w *Worker) extract(res *Result) error {
+	e := w.eng
+	w.vecArena = w.vecArena[:0]
+	// Arena-first pass: decode all vectors, then slice the arena (the
+	// arena may reallocate while growing, so slicing must come after).
+	for _, pe := range w.plan {
+		nSlots := len(e.cfg.Layout.Pages[pe.page])
+		for _, k := range w.coveredFlat[pe.from:pe.to] {
+			var ok bool
+			var err error
+			w.vecArena, ok, err = e.cfg.Store.Extract(pe.page, k, nSlots, w.vecArena)
+			if err != nil {
+				return fmt.Errorf("serving: extract key %d from page %d: %w", k, pe.page, err)
+			}
+			if !ok {
+				return fmt.Errorf("serving: page %d does not hold key %d (index corrupt?)", pe.page, k)
+			}
+		}
+	}
+	off := 0
+	for _, pe := range w.plan {
+		for _, k := range w.coveredFlat[pe.from:pe.to] {
+			vec := w.vecArena[off : off+e.dim]
+			off += e.dim
+			res.Keys = append(res.Keys, k)
+			res.Vectors = append(res.Vectors, vec)
+			if e.cache != nil {
+				// The cache owns its copy: arena memory is reused.
+				cp := make([]float32, len(vec))
+				copy(cp, vec)
+				e.cache.Put(k, cp)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"testing"
+
+	"maxembed/internal/placement"
+)
+
+func TestOpenLoopLowLoad(t *testing.T) {
+	f := newFixture(t, placement.StrategySHP, 0)
+	e := f.engine(t, nil)
+	// Find an unloaded per-query latency first.
+	probe := f.engine(t, nil)
+	w := probe.NewWorker()
+	var totalNS int64
+	const n = 100
+	for i := 0; i < n; i++ {
+		r, err := w.Lookup(f.trace.Queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalNS += r.Stats.LatencyNS()
+	}
+	unloaded := float64(totalNS) / n
+
+	// Offer 10% of one worker's capacity across 4 workers: latency should
+	// stay near the unloaded service time (little queueing).
+	offered := 0.1 * 1e9 / unloaded
+	res, err := RunOpenLoop(e, f.trace.Queries[:500], 4, offered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Error("saturated at 10% load")
+	}
+	if res.Latency.MeanNS > 2*unloaded {
+		t.Errorf("mean latency %.0f ns at low load, unloaded %.0f ns", res.Latency.MeanNS, unloaded)
+	}
+	if got := res.AchievedQPS; got < offered*0.9 {
+		t.Errorf("achieved %.0f QPS of %.0f offered at low load", got, offered)
+	}
+}
+
+func TestOpenLoopOverload(t *testing.T) {
+	f := newFixture(t, placement.StrategySHP, 0)
+	e := f.engine(t, nil)
+	// Offer far beyond capacity: queueing delay must dominate and the
+	// saturation heuristic must fire.
+	res, err := RunOpenLoop(e, f.trace.Queries[:800], 2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Error("not flagged saturated under 1G QPS offered load")
+	}
+	if res.AchievedQPS >= 1e9 {
+		t.Error("achieved the impossible offered load")
+	}
+	// A linearly growing queue makes latency proportional to arrival
+	// rank, so p99/p50 approaches 99/50 ≈ 1.98.
+	if float64(res.Latency.P99NS) < 1.8*float64(res.Latency.P50NS) {
+		t.Errorf("p99 %d not ≫ p50 %d under overload", res.Latency.P99NS, res.Latency.P50NS)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	f := newFixture(t, placement.StrategySHP, 0)
+	e := f.engine(t, nil)
+	if _, err := RunOpenLoop(e, f.trace.Queries[:10], 2, 0); err == nil {
+		t.Error("zero offered QPS accepted")
+	}
+	if _, err := RunOpenLoop(e, f.trace.Queries[:10], 2, -5); err == nil {
+		t.Error("negative offered QPS accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package serving
+
+import "sync"
+
+// HistoryRecorder collects the (deduplicated) key sets of served queries in
+// a bounded ring so the offline phase can later be re-run against what the
+// system actually served — the input DB.Refresh consumes. Safe for
+// concurrent use by many workers.
+type HistoryRecorder struct {
+	mu      sync.Mutex
+	queries [][]Key
+	next    int
+	full    bool
+	total   int64
+}
+
+// NewHistoryRecorder returns a recorder keeping the most recent max
+// queries.
+func NewHistoryRecorder(max int) *HistoryRecorder {
+	if max < 1 {
+		max = 1
+	}
+	return &HistoryRecorder{queries: make([][]Key, 0, max)}
+}
+
+// Record stores a copy of the query's keys.
+func (r *HistoryRecorder) Record(q []Key) {
+	cp := make([]Key, len(q))
+	copy(cp, q)
+	r.mu.Lock()
+	if !r.full && len(r.queries) < cap(r.queries) {
+		r.queries = append(r.queries, cp)
+		if len(r.queries) == cap(r.queries) {
+			r.full = true
+		}
+	} else {
+		r.queries[r.next] = cp
+		r.next = (r.next + 1) % len(r.queries)
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many queries have been recorded since creation
+// (including ones that have since rotated out of the ring).
+func (r *HistoryRecorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns a deep copy of the retained queries, oldest first.
+func (r *HistoryRecorder) Snapshot() [][]Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ordered := make([][]Key, 0, len(r.queries))
+	if r.full && r.next > 0 {
+		ordered = append(ordered, r.queries[r.next:]...)
+		ordered = append(ordered, r.queries[:r.next]...)
+	} else {
+		ordered = append(ordered, r.queries...)
+	}
+	out := make([][]Key, len(ordered))
+	for i, q := range ordered {
+		cp := make([]Key, len(q))
+		copy(cp, q)
+		out[i] = cp
+	}
+	return out
+}

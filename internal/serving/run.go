@@ -1,0 +1,132 @@
+package serving
+
+import (
+	"fmt"
+
+	"maxembed/internal/metrics"
+)
+
+// RunResult aggregates one closed-loop serving run.
+type RunResult struct {
+	// Queries processed and total raw keys requested.
+	Queries int64
+	Keys    int64
+	// ElapsedNS is the virtual makespan: the largest worker clock at the
+	// end of the run.
+	ElapsedNS int64
+	// QPS is Queries per virtual second.
+	QPS float64
+	// EffectiveBandwidth is the paper's headline metric (§8.2): the
+	// fraction of every page read that is useful embedding bytes, scaled
+	// by the device's rated bandwidth — i.e. the read bandwidth the
+	// workload would extract from a saturated drive. It is a property of
+	// the placement and selection quality alone, independent of software
+	// costs and of how far the run actually pushed the device.
+	EffectiveBandwidth float64
+	// RawBandwidth is total page bytes read per virtual second of the run.
+	RawBandwidth float64
+	// Utilization is EffectiveBandwidth over the device's rated bandwidth
+	// (= useful bytes / bytes read).
+	Utilization float64
+	// PagesRead counts SSD reads; UsefulKeys the embeddings they served.
+	PagesRead  int64
+	UsefulKeys int64
+	// MeanValidPerRead is the Fig 9 average: embeddings per page read.
+	MeanValidPerRead float64
+	// CacheHits counts keys served from DRAM.
+	CacheHits int64
+	// Latency summarizes per-query end-to-end latency.
+	Latency metrics.LatencySummary
+	// Software time breakdown totals (Fig 15).
+	SortNS, SelectNS, OtherSoftNS, SSDWaitNS int64
+}
+
+// Run processes the queries on the engine with the given number of
+// closed-loop workers. Queries are interleaved round-robin across workers,
+// which keeps the run single-threaded and deterministic while the virtual
+// clocks of the workers overlap on the shared device, modelling concurrent
+// serving threads (the paper's multi-thread configuration, §8.4).
+func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	e.cfg.Device.Reset()
+	e.Latency.Reset()
+	e.ValidPerRead.Reset()
+	if e.cache != nil {
+		e.cache.ResetStats()
+	}
+
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		ws[i] = e.NewWorker()
+	}
+	var res RunResult
+	for i, q := range queries {
+		w := ws[i%workers]
+		r, err := w.Lookup(q)
+		if err != nil {
+			return res, fmt.Errorf("serving: query %d: %w", i, err)
+		}
+		st := r.Stats
+		res.Queries++
+		res.Keys += int64(st.Keys)
+		res.PagesRead += int64(st.PagesRead)
+		res.UsefulKeys += int64(st.UsefulFromSSD)
+		res.CacheHits += int64(st.CacheHits)
+		res.SortNS += st.SortNS
+		res.SelectNS += st.SelectNS
+		res.OtherSoftNS += st.OtherSoftNS
+		res.SSDWaitNS += st.SSDWaitNS
+	}
+	for _, w := range ws {
+		if w.Now() > res.ElapsedNS {
+			res.ElapsedNS = w.Now()
+		}
+	}
+	res.QPS = metrics.PerSecond(res.Queries, res.ElapsedNS)
+	prof := e.cfg.Device.Profile()
+	res.RawBandwidth = metrics.BytesPerSecond(res.PagesRead*int64(prof.PageSize), res.ElapsedNS)
+	res.Utilization = metrics.Utilization(
+		float64(res.UsefulKeys*int64(e.vecSize)),
+		float64(res.PagesRead*int64(prof.PageSize)))
+	res.EffectiveBandwidth = res.Utilization * prof.Bandwidth
+	res.MeanValidPerRead = e.ValidPerRead.Mean()
+	res.Latency = e.Latency.Snapshot()
+	return res, nil
+}
+
+// WarmCache pre-populates the engine's cache by running the queries
+// through the cache admission path only (no timing, no device activity).
+// Used to reach steady-state hit rates before a measured run. When the
+// engine has a Store the cached vectors are real (extracted from the key's
+// home page) so later hits return correct data.
+func (e *Engine) WarmCache(queries [][]Key) error {
+	if e.cache == nil {
+		return nil
+	}
+	lay := e.cfg.Layout
+	for _, q := range queries {
+		for _, k := range q {
+			if _, ok := e.cache.Get(k); ok {
+				continue
+			}
+			var vec []float32
+			if e.cfg.Store != nil {
+				home := lay.Home[k]
+				var ok bool
+				var err error
+				vec, ok, err = e.cfg.Store.Extract(home, k, len(lay.Pages[home]), nil)
+				if err != nil {
+					return fmt.Errorf("serving: warm cache key %d: %w", k, err)
+				}
+				if !ok {
+					return fmt.Errorf("serving: warm cache: home page %d missing key %d", home, k)
+				}
+			}
+			e.cache.Put(k, vec)
+		}
+	}
+	e.cache.ResetStats()
+	return nil
+}

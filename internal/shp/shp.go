@@ -1,0 +1,360 @@
+// Package shp implements a Social Hash Partitioner (SHP) in the style of
+// Kabiljo et al. (VLDB'17), the hypergraph partitioning algorithm Bandana
+// uses to co-locate co-appearing embeddings on SSD pages and the base of
+// MaxEmbed's offline phase (§2.2, §5).
+//
+// Following the original, partitioning is recursive bisection: each
+// subproblem splits its vertices into two balanced sides, refined by
+// bulk-synchronous iterations in which every vertex computes the gain of
+// switching sides (how many more hyperedge co-members it would join) and
+// the two sides exchange their highest-gain movers pairwise, so balance is
+// preserved by construction. Per-edge side counts are maintained
+// incrementally, making one refinement iteration O(pins). The original runs
+// on Hadoop (§7.2); this is a faithful single-process re-implementation.
+package shp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"maxembed/internal/hypergraph"
+)
+
+// Options configures a partitioning run. The zero value is not valid;
+// Capacity (or NumBuckets) must be set.
+type Options struct {
+	// Capacity is the maximum vertices per bucket (d: embeddings per SSD
+	// page). If zero it is derived as ceil(N/NumBuckets).
+	Capacity int
+	// NumBuckets is the number of buckets. If zero it is derived as
+	// ceil(N/Capacity).
+	NumBuckets int
+	// MaxIters bounds refinement iterations per bisection level.
+	// Default 12.
+	MaxIters int
+	// Seed drives the initial random assignment. The run is deterministic
+	// for a fixed (graph, options) pair.
+	Seed int64
+	// Parallelism is the number of goroutines used for the gain-
+	// computation phase of each refinement iteration (the original SHP is
+	// a map-reduce program, §7.2 of the paper). Zero uses GOMAXPROCS; 1
+	// runs serially. Results are identical at any parallelism level.
+	Parallelism int
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
+	if o.Capacity <= 0 && o.NumBuckets <= 0 {
+		return o, fmt.Errorf("shp: Capacity or NumBuckets must be positive")
+	}
+	if o.NumBuckets <= 0 {
+		o.NumBuckets = (n + o.Capacity - 1) / o.Capacity
+	}
+	if o.NumBuckets <= 0 { // n == 0
+		o.NumBuckets = 1
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = (n + o.NumBuckets - 1) / o.NumBuckets
+	}
+	if o.NumBuckets*o.Capacity < n {
+		return o, fmt.Errorf("shp: %d buckets × capacity %d cannot hold %d vertices",
+			o.NumBuckets, o.Capacity, n)
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 12
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// Result reports the outcome of a partitioning run.
+type Result struct {
+	// Assign maps each vertex to its bucket in [0, NumBuckets).
+	Assign []int32
+	// NumBuckets is the bucket count used.
+	NumBuckets int
+	// Capacity is the per-bucket capacity used.
+	Capacity int
+	// Iterations is the total number of refinement iterations executed
+	// across all bisection subproblems.
+	Iterations int
+	// Moves is the total number of vertex side-switches applied.
+	Moves int
+	// InitialConnectivity and FinalConnectivity are Σλ(e) before and
+	// after partitioning — the total page reads the trace would cost
+	// under the initial random and the final placement respectively.
+	InitialConnectivity int64
+	FinalConnectivity   int64
+}
+
+// Partition partitions g per opts.
+func Partition(g *hypergraph.Graph, opts Options) (*Result, error) {
+	n := g.NumVertices()
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	res := &Result{
+		NumBuckets: opts.NumBuckets,
+		Capacity:   opts.Capacity,
+	}
+
+	// Random starting order; the pre-refinement assignment (sequential
+	// fill of the shuffled order) is the "random balanced" reference for
+	// InitialConnectivity.
+	verts := make([]hypergraph.Vertex, n)
+	for i, v := range rng.Perm(n) {
+		verts[i] = hypergraph.Vertex(v)
+	}
+	assign := make([]int32, n)
+	if n > 0 {
+		perBucket := (n + opts.NumBuckets - 1) / opts.NumBuckets
+		if perBucket > opts.Capacity {
+			perBucket = opts.Capacity
+		}
+		for i, v := range verts {
+			assign[v] = int32(i / perBucket)
+		}
+		res.InitialConnectivity = g.TotalConnectivity(assign)
+	}
+
+	b := &bisector{
+		g:        g,
+		capacity: opts.Capacity,
+		maxIters: opts.MaxIters,
+		parallel: opts.Parallelism,
+		assign:   assign,
+		res:      res,
+		cnt:      [2][]int32{make([]int32, g.NumEdges()), make([]int32, g.NumEdges())},
+		stamp:    make([]int32, g.NumEdges()),
+		side:     make([]int8, n),
+	}
+	b.split(verts, 0, int32(opts.NumBuckets))
+
+	res.Assign = assign
+	res.FinalConnectivity = g.TotalConnectivity(assign)
+	return res, nil
+}
+
+// bisector carries the shared scratch state of the recursive bisection.
+type bisector struct {
+	g        *hypergraph.Graph
+	capacity int
+	maxIters int
+	parallel int
+	assign   []int32
+	res      *Result
+
+	cnt   [2][]int32 // per-edge member count on each side, current subproblem
+	stamp []int32    // epoch an edge's counts were last reset
+	epoch int32
+	side  []int8 // per-vertex side within the current subproblem
+
+	edges  []hypergraph.EdgeID // edges touching the current subproblem
+	movers [2][]mover          // per-side positive-gain vertices
+}
+
+type mover struct {
+	v    hypergraph.Vertex
+	gain int32
+}
+
+// split assigns buckets [bLo, bHi) to verts. Invariant: len(verts) ≤
+// (bHi−bLo) × capacity.
+func (b *bisector) split(verts []hypergraph.Vertex, bLo, bHi int32) {
+	nBuckets := bHi - bLo
+	if nBuckets <= 1 || len(verts) == 0 {
+		for _, v := range verts {
+			b.assign[v] = bLo
+		}
+		return
+	}
+	bl := (nBuckets + 1) / 2
+	br := nBuckets - bl
+
+	// Target a proportional split, clamped so each side fits its buckets.
+	nl := int(int64(len(verts)) * int64(bl) / int64(nBuckets))
+	if max := int(bl) * b.capacity; nl > max {
+		nl = max
+	}
+	if min := len(verts) - int(br)*b.capacity; nl < min {
+		nl = min
+	}
+
+	b.refine(verts, nl, int(bl)*b.capacity, int(br)*b.capacity)
+
+	// Partition the slice by side, preserving relative order for
+	// determinism.
+	left := make([]hypergraph.Vertex, 0, nl)
+	right := make([]hypergraph.Vertex, 0, len(verts)-nl)
+	for _, v := range verts {
+		if b.side[v] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	b.split(left, bLo, bLo+bl)
+	b.split(right, bLo+bl, bHi)
+}
+
+// refine splits verts into two sides (initially the first nl on side 0)
+// and iteratively swaps the highest-gain movers between sides.
+func (b *bisector) refine(verts []hypergraph.Vertex, nl, capL, capR int) {
+	g := b.g
+	// New epoch: lazily reset the edge counters we will touch.
+	b.epoch++
+	b.edges = b.edges[:0]
+	sizes := [2]int{}
+	for i, v := range verts {
+		s := int8(0)
+		if i >= nl {
+			s = 1
+		}
+		b.side[v] = s
+		sizes[s]++
+	}
+	for _, v := range verts {
+		s := b.side[v]
+		for _, e := range g.IncidentEdges(v) {
+			if b.stamp[e] != b.epoch {
+				b.stamp[e] = b.epoch
+				b.cnt[0][e] = 0
+				b.cnt[1][e] = 0
+				b.edges = append(b.edges, e)
+			}
+			b.cnt[s][e]++
+		}
+	}
+	if len(b.edges) == 0 {
+		return
+	}
+
+	for iter := 0; iter < b.maxIters; iter++ {
+		b.res.Iterations++
+		b.movers[0] = b.movers[0][:0]
+		b.movers[1] = b.movers[1][:0]
+		b.collectMovers(verts)
+		for s := 0; s < 2; s++ {
+			m := b.movers[s]
+			sort.Slice(m, func(i, j int) bool {
+				if m[i].gain != m[j].gain {
+					return m[i].gain > m[j].gain
+				}
+				return m[i].v < m[j].v
+			})
+		}
+		// Swap matched pairs; then drain leftovers while capacity allows.
+		k := len(b.movers[0])
+		if len(b.movers[1]) < k {
+			k = len(b.movers[1])
+		}
+		moves := 0
+		for i := 0; i < k; i++ {
+			b.flip(b.movers[0][i].v)
+			b.flip(b.movers[1][i].v)
+			moves += 2
+		}
+		for _, m := range b.movers[0][k:] {
+			if sizes[1]+1 > capR {
+				break
+			}
+			b.flip(m.v)
+			sizes[0]--
+			sizes[1]++
+			moves++
+		}
+		for _, m := range b.movers[1][k:] {
+			if sizes[0]+1 > capL {
+				break
+			}
+			b.flip(m.v)
+			sizes[1]--
+			sizes[0]++
+			moves++
+		}
+		b.res.Moves += moves
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// collectMovers fills b.movers with every vertex whose gain from switching
+// sides is positive. The gain pass only reads shared state, so it fans out
+// across goroutines (the "map" side of SHP's map-reduce formulation);
+// results are merged in chunk order and later sorted by (gain, vertex), so
+// the outcome is independent of scheduling.
+func (b *bisector) collectMovers(verts []hypergraph.Vertex) {
+	g := b.g
+	gainOf := func(v hypergraph.Vertex) int32 {
+		s := b.side[v]
+		var gain int32
+		for _, e := range g.IncidentEdges(v) {
+			// Switching sides joins cnt[other] co-members and leaves
+			// cnt[same]−1 behind.
+			gain += b.cnt[1-s][e] - b.cnt[s][e] + 1
+		}
+		return gain
+	}
+
+	const minParallelWork = 1 << 14
+	workers := b.parallel
+	if workers > len(verts)/minParallelWork {
+		workers = len(verts) / minParallelWork
+	}
+	if workers <= 1 {
+		for _, v := range verts {
+			if gain := gainOf(v); gain > 0 {
+				b.movers[b.side[v]] = append(b.movers[b.side[v]], mover{v, gain})
+			}
+		}
+		return
+	}
+
+	chunk := (len(verts) + workers - 1) / workers
+	type part struct{ movers [2][]mover }
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, v := range verts[lo:hi] {
+				if gain := gainOf(v); gain > 0 {
+					s := b.side[v]
+					parts[w].movers[s] = append(parts[w].movers[s], mover{v, gain})
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range parts {
+		b.movers[0] = append(b.movers[0], parts[w].movers[0]...)
+		b.movers[1] = append(b.movers[1], parts[w].movers[1]...)
+	}
+}
+
+// flip moves v to the other side, updating the edge counters.
+func (b *bisector) flip(v hypergraph.Vertex) {
+	s := b.side[v]
+	for _, e := range b.g.IncidentEdges(v) {
+		b.cnt[s][e]--
+		b.cnt[1-s][e]++
+	}
+	b.side[v] = 1 - s
+}

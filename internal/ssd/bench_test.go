@@ -1,0 +1,34 @@
+package ssd
+
+import "testing"
+
+func BenchmarkDeviceRead(b *testing.B) {
+	d, err := NewDevice(P5800X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		done, _ := d.Read(PageID(i%4096), now)
+		now = done
+	}
+}
+
+func BenchmarkQueueSubmitDrain(b *testing.B) {
+	d, err := NewDevice(P5800X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := NewQueue(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			q.Submit(PageID((i*8+j)%4096), now)
+		}
+		now, _ = q.Drain(now)
+	}
+}

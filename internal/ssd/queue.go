@@ -1,0 +1,89 @@
+package ssd
+
+import "sort"
+
+// Completion records the outcome of one asynchronous page read.
+type Completion struct {
+	// Page is the page that was read.
+	Page PageID
+	// SubmitNS is the virtual time the command was issued to the device.
+	SubmitNS int64
+	// CompleteNS is the virtual time the read finished.
+	CompleteNS int64
+	// Err is non-nil if the read failed (fault injection).
+	Err error
+}
+
+// Queue is an asynchronous submission/completion queue pair bound to a
+// device, mirroring SPDK's qpair model: commands are submitted without
+// blocking and completions are reaped later, which is what enables the
+// online phase to pipeline page selection with SSD access (§6.2).
+//
+// A Queue is not safe for concurrent use; each worker owns one, as SPDK
+// prescribes. The underlying Device is shared and thread-safe.
+type Queue struct {
+	dev     *Device
+	depth   int
+	pending []Completion // all completions since the last Drain
+}
+
+// NewQueue returns a queue bound to dev with the profile's queue depth.
+func NewQueue(dev *Device) *Queue {
+	return &Queue{dev: dev, depth: dev.Profile().QueueDepth}
+}
+
+// Outstanding returns the number of commands still in flight at nowNS.
+func (q *Queue) Outstanding(nowNS int64) int {
+	n := 0
+	for _, c := range q.pending {
+		if c.CompleteNS > nowNS {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit issues an asynchronous read of page at virtual time nowNS and
+// returns the issue time, which exceeds nowNS only when the queue was full
+// and the caller had to (virtually) wait for the earliest outstanding
+// completion to free a slot.
+func (q *Queue) Submit(page PageID, nowNS int64) int64 {
+	issue := nowNS
+	for q.Outstanding(issue) >= q.depth {
+		earliest := int64(-1)
+		for _, c := range q.pending {
+			if c.CompleteNS > issue && (earliest < 0 || c.CompleteNS < earliest) {
+				earliest = c.CompleteNS
+			}
+		}
+		if earliest < 0 {
+			break
+		}
+		issue = earliest
+	}
+	done, err := q.dev.Read(page, issue)
+	q.pending = append(q.pending, Completion{
+		Page:       page,
+		SubmitNS:   issue,
+		CompleteNS: done,
+		Err:        err,
+	})
+	return issue
+}
+
+// Drain waits (virtually) for every command submitted since the last Drain
+// to complete and returns the resulting virtual time — at least nowNS —
+// along with all completions ordered by completion time. The queue is empty
+// afterwards.
+func (q *Queue) Drain(nowNS int64) (doneNS int64, comps []Completion) {
+	doneNS = nowNS
+	for _, c := range q.pending {
+		if c.CompleteNS > doneNS {
+			doneNS = c.CompleteNS
+		}
+	}
+	comps = q.pending
+	q.pending = nil
+	sort.Slice(comps, func(i, j int) bool { return comps[i].CompleteNS < comps[j].CompleteNS })
+	return doneNS, comps
+}

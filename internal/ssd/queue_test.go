@@ -1,0 +1,104 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueSubmitDrain(t *testing.T) {
+	d := mustDevice(t, testProfile())
+	q := NewQueue(d)
+	for i := 0; i < 4; i++ {
+		if issue := q.Submit(PageID(i), 100); issue != 100 {
+			t.Errorf("Submit %d: issue = %d, want 100 (queue not full)", i, issue)
+		}
+	}
+	if got := q.Outstanding(100); got != 4 {
+		t.Errorf("Outstanding = %d, want 4", got)
+	}
+	done, comps := q.Drain(100)
+	if len(comps) != 4 {
+		t.Fatalf("Drain returned %d completions, want 4", len(comps))
+	}
+	for i := 1; i < len(comps); i++ {
+		if comps[i].CompleteNS < comps[i-1].CompleteNS {
+			t.Error("completions not ordered by completion time")
+		}
+	}
+	if done != comps[len(comps)-1].CompleteNS {
+		t.Errorf("Drain time %d != last completion %d", done, comps[len(comps)-1].CompleteNS)
+	}
+	if q.Outstanding(done) != 0 {
+		t.Error("queue not empty after Drain")
+	}
+	// Drain of an empty queue returns now.
+	if dn, cs := q.Drain(done + 5); dn != done+5 || len(cs) != 0 {
+		t.Errorf("empty Drain = (%d, %d comps)", dn, len(cs))
+	}
+}
+
+func TestQueueDepthBackpressure(t *testing.T) {
+	p := testProfile()
+	p.QueueDepth = 2
+	d := mustDevice(t, p)
+	q := NewQueue(d)
+	i1 := q.Submit(0, 0)
+	i2 := q.Submit(1, 0)
+	if i1 != 0 || i2 != 0 {
+		t.Fatalf("first two submits delayed: %d, %d", i1, i2)
+	}
+	// Third submit must wait for a slot.
+	i3 := q.Submit(2, 0)
+	if i3 <= 0 {
+		t.Errorf("third submit not delayed by full queue: issue = %d", i3)
+	}
+	_, comps := q.Drain(0)
+	if len(comps) != 3 {
+		t.Errorf("Drain returned %d completions, want 3", len(comps))
+	}
+}
+
+func TestQueueCollectsErrors(t *testing.T) {
+	d := mustDevice(t, testProfile())
+	d.SetFaultInjector(FailEveryN(2))
+	q := NewQueue(d)
+	for i := 0; i < 4; i++ {
+		q.Submit(PageID(i), 0)
+	}
+	_, comps := q.Drain(0)
+	var fails int
+	for _, c := range comps {
+		if c.Err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("failed completions = %d, want 2", fails)
+	}
+}
+
+func TestQueuePipelineOverlap(t *testing.T) {
+	// Submitting k reads spread over time and draining must finish sooner
+	// than issuing them strictly one-after-another (the §6.2 rationale).
+	p := testProfile()
+	d1 := mustDevice(t, p)
+	q := NewQueue(d1)
+	now := int64(0)
+	const selectionCost = int64(2 * time.Microsecond)
+	for i := 0; i < 8; i++ {
+		now += selectionCost // software selection between submissions
+		q.Submit(PageID(i), now)
+	}
+	pipelined, _ := q.Drain(now)
+
+	d2 := mustDevice(t, p)
+	serial := int64(0)
+	for i := 0; i < 8; i++ {
+		serial += selectionCost
+		done, _ := d2.Read(PageID(i), serial)
+		serial = done // wait for each read before selecting the next
+	}
+	if pipelined >= serial {
+		t.Errorf("pipelined %d ns not faster than serial %d ns", pipelined, serial)
+	}
+}

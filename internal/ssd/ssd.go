@@ -1,0 +1,314 @@
+// Package ssd provides a discrete-event simulated NVMe solid-state drive.
+//
+// The paper evaluates on real Intel Optane P5800X / P4510 drives accessed
+// through the SPDK user-space driver. Neither the hardware nor SPDK is
+// available to this reproduction, so the device is modelled instead: every
+// page read is charged a device-internal access latency on one of several
+// parallel channels plus a serialized transfer slot bounded by the drive's
+// read bandwidth. All of the paper's results are functions of page-read
+// counts, device latency/bandwidth, and software overhead, which this model
+// reproduces; see DESIGN.md §2.
+//
+// Time is virtual: callers carry their own clocks in nanoseconds and the
+// device answers "when would this read complete?". The asynchronous Queue
+// type mirrors SPDK's queue-pair submit/poll interface so the online
+// phase's pipelining (§6.2) exercises the same code structure it would
+// against real hardware.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PageID identifies a 4 KiB page on the device.
+type PageID = uint32
+
+// Profile describes a device's performance characteristics.
+type Profile struct {
+	// Name labels the device in reports.
+	Name string
+	// PageSize is the read granularity in bytes (typically 4096).
+	PageSize int
+	// ReadLatency is the device-internal access latency per page read.
+	ReadLatency time.Duration
+	// Bandwidth is the maximum sustained read bandwidth in bytes/second.
+	Bandwidth float64
+	// Channels is the device's internal parallelism: reads on different
+	// channels overlap, reads on the same channel serialize.
+	Channels int
+	// QueueDepth is the maximum outstanding commands per Queue.
+	QueueDepth int
+	// WriteLatency is the device-internal program latency per page write;
+	// zero derives 2× ReadLatency (program is slower than read on every
+	// flash/PMem generation).
+	WriteLatency time.Duration
+	// WriteBandwidth is the maximum sustained write bandwidth in
+	// bytes/second; zero derives half of the read Bandwidth.
+	WriteBandwidth float64
+}
+
+// writeLatency returns the effective write latency.
+func (p Profile) writeLatency() time.Duration {
+	if p.WriteLatency > 0 {
+		return p.WriteLatency
+	}
+	return 2 * p.ReadLatency
+}
+
+// writeBandwidth returns the effective write bandwidth.
+func (p Profile) writeBandwidth() float64 {
+	if p.WriteBandwidth > 0 {
+		return p.WriteBandwidth
+	}
+	return p.Bandwidth / 2
+}
+
+// WriteTransferTime returns the bus-serialization time of one page write.
+func (p Profile) WriteTransferTime() time.Duration {
+	return time.Duration(float64(p.PageSize) / p.writeBandwidth() * float64(time.Second))
+}
+
+// Validate reports an error for out-of-range profile parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.PageSize <= 0:
+		return fmt.Errorf("ssd: profile %q: PageSize must be positive", p.Name)
+	case p.ReadLatency <= 0:
+		return fmt.Errorf("ssd: profile %q: ReadLatency must be positive", p.Name)
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("ssd: profile %q: Bandwidth must be positive", p.Name)
+	case p.Channels <= 0:
+		return fmt.Errorf("ssd: profile %q: Channels must be positive", p.Name)
+	case p.QueueDepth <= 0:
+		return fmt.Errorf("ssd: profile %q: QueueDepth must be positive", p.Name)
+	}
+	return nil
+}
+
+// TransferTime returns the bus-serialization time of one page.
+func (p Profile) TransferTime() time.Duration {
+	return time.Duration(float64(p.PageSize) / p.Bandwidth * float64(time.Second))
+}
+
+// Built-in device profiles. Latency and bandwidth follow the public
+// specifications of the drives the paper uses; channel counts are chosen so
+// that latency × achievable IOPS matches the drives' rated concurrency.
+var (
+	// P5800X models the Intel Optane SSD P5800X (§8.1 default device):
+	// ~5 µs read latency, ~6.5 GB/s sustained random read.
+	P5800X = Profile{
+		Name:        "P5800X",
+		PageSize:    4096,
+		ReadLatency: 5 * time.Microsecond,
+		Bandwidth:   6.5e9,
+		Channels:    16,
+		QueueDepth:  128,
+	}
+
+	// P4510 models the Intel SSD P4510 (NAND TLC, Fig 17b): ~80 µs read
+	// latency, ~2.6 GB/s 4K random read, deep internal parallelism.
+	P4510 = Profile{
+		Name:        "P4510",
+		PageSize:    4096,
+		ReadLatency: 80 * time.Microsecond,
+		Bandwidth:   2.6e9,
+		Channels:    64,
+		QueueDepth:  256,
+	}
+)
+
+// RAID0 returns a profile modelling n drives striped at page granularity:
+// aggregate bandwidth and channel count scale with n while per-read latency
+// is unchanged. Fig 17b uses RAID0(P5800X, 2).
+func RAID0(base Profile, n int) Profile {
+	if n < 1 {
+		n = 1
+	}
+	base.Name = fmt.Sprintf("RAID0-%dx%s", n, base.Name)
+	base.Bandwidth *= float64(n)
+	base.Channels *= n
+	base.QueueDepth *= n
+	return base
+}
+
+// Stats aggregates device activity since construction or the last Reset.
+type Stats struct {
+	// Reads is the number of page reads completed.
+	Reads int64
+	// BytesRead is Reads × PageSize.
+	BytesRead int64
+	// BusyNS is the total channel-occupancy in virtual nanoseconds,
+	// summed over channels.
+	BusyNS int64
+	// Errors is the number of reads that failed via fault injection.
+	Errors int64
+	// Writes is the number of page writes completed; BytesWritten is
+	// Writes × PageSize.
+	Writes       int64
+	BytesWritten int64
+}
+
+// FaultInjector decides whether a given read fails. Implementations must be
+// safe for concurrent use. A nil injector never fails.
+type FaultInjector interface {
+	// Fail reports whether the n-th read (1-based, device-global order of
+	// submission) of the given page should return an error.
+	Fail(n int64, page PageID) bool
+}
+
+// FailEveryN fails every n-th read. Useful for exercising engine retry
+// paths deterministically.
+type FailEveryN int64
+
+// Fail implements FaultInjector.
+func (f FailEveryN) Fail(n int64, _ PageID) bool { return f > 0 && n%int64(f) == 0 }
+
+// ErrReadFailed is returned (wrapped) for injected read failures.
+var ErrReadFailed = errors.New("ssd: read failed")
+
+// Device is a simulated SSD. It is safe for concurrent use by multiple
+// queues; state is protected by a mutex, mirroring the hardware arbitration
+// point real queues contend on.
+type Device struct {
+	prof Profile
+
+	mu          sync.Mutex
+	channelFree []int64 // virtual ns at which each channel is next idle
+	busFree     int64   // virtual ns at which the transfer bus is next idle
+	stats       Stats
+	readSeq     int64
+	faults      FaultInjector
+}
+
+// NewDevice returns a device with the given profile.
+func NewDevice(prof Profile) (*Device, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		prof:        prof,
+		channelFree: make([]int64, prof.Channels),
+	}, nil
+}
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// SetFaultInjector installs (or clears, with nil) a fault injector.
+func (d *Device) SetFaultInjector(f FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = f
+}
+
+// Read simulates a page read submitted at virtual time submitNS and returns
+// the virtual completion time. The page's channel is page mod Channels; the
+// read occupies the channel for ReadLatency and then a serialized bus slot
+// of TransferTime, which is what bounds aggregate bandwidth. err is non-nil
+// only under fault injection; the timing cost is charged either way, as a
+// failed NVMe command still occupies the device.
+func (d *Device) Read(page PageID, submitNS int64) (completeNS int64, err error) {
+	lat := int64(d.prof.ReadLatency)
+	xfer := int64(d.prof.TransferTime())
+
+	d.mu.Lock()
+	ch := int(page) % len(d.channelFree)
+	start := submitNS
+	if d.channelFree[ch] > start {
+		start = d.channelFree[ch]
+	}
+	readEnd := start + lat
+	d.channelFree[ch] = readEnd
+	xferStart := readEnd
+	if d.busFree > xferStart {
+		xferStart = d.busFree
+	}
+	completeNS = xferStart + xfer
+	d.busFree = completeNS
+	d.readSeq++
+	n := d.readSeq
+	d.stats.Reads++
+	d.stats.BytesRead += int64(d.prof.PageSize)
+	d.stats.BusyNS += readEnd - start
+	failed := d.faults != nil && d.faults.Fail(n, page)
+	if failed {
+		d.stats.Errors++
+	}
+	d.mu.Unlock()
+
+	if failed {
+		return completeNS, fmt.Errorf("%w: page %d (read #%d)", ErrReadFailed, page, n)
+	}
+	return completeNS, nil
+}
+
+// Frontier returns the latest virtual time at which any device resource
+// becomes idle. A virtual clock that starts at the frontier observes an
+// idle device; one that starts earlier would be (correctly) queued behind
+// in-flight work from other clocks.
+func (d *Device) Frontier() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.busFree
+	for _, t := range d.channelFree {
+		if t > f {
+			f = t
+		}
+	}
+	return f
+}
+
+// Write simulates a page write (program) submitted at virtual time
+// submitNS and returns the virtual completion time. Writes share the
+// channel and bus resources with reads, at the profile's (slower) write
+// latency and bandwidth. The serving path never writes; the offline
+// deployment of a layout does, which is how replication's extra space
+// also costs write time.
+func (d *Device) Write(page PageID, submitNS int64) int64 {
+	lat := int64(d.prof.writeLatency())
+	xfer := int64(d.prof.WriteTransferTime())
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch := int(page) % len(d.channelFree)
+	start := submitNS
+	if d.channelFree[ch] > start {
+		start = d.channelFree[ch]
+	}
+	// Transfer precedes the program on writes (host pushes data first).
+	xferStart := start
+	if d.busFree > xferStart {
+		xferStart = d.busFree
+	}
+	xferEnd := xferStart + xfer
+	d.busFree = xferEnd
+	complete := xferEnd + lat
+	d.channelFree[ch] = complete
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(d.prof.PageSize)
+	d.stats.BusyNS += complete - start
+	return complete
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Reset clears statistics and returns the device to an idle state at
+// virtual time zero.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.channelFree {
+		d.channelFree[i] = 0
+	}
+	d.busFree = 0
+	d.stats = Stats{}
+	d.readSeq = 0
+}

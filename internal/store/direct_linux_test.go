@@ -1,0 +1,79 @@
+//go:build linux
+
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"maxembed/internal/layout"
+)
+
+// openDirectOrSkip opens the store with O_DIRECT, skipping on filesystems
+// that do not support it (tmpfs, some CI overlays).
+func openDirectOrSkip(t *testing.T, path string) *FileStore {
+	t.Helper()
+	fs, err := OpenFileDirect(path)
+	if err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.EOPNOTSUPP) {
+			t.Skipf("O_DIRECT unsupported here: %v", err)
+		}
+		t.Fatalf("OpenFileDirect: %v", err)
+	}
+	return fs
+}
+
+func TestDirectIOMatchesBuffered(t *testing.T) {
+	path, mem, lay := writeTestStore(t)
+	fs := openDirectOrSkip(t, path)
+	defer fs.Close()
+	if !fs.direct {
+		t.Fatal("direct flag not set")
+	}
+	var a, b []float32
+	for k := layout.Key(0); int(k) < lay.NumKeys; k++ {
+		p := lay.Home[k]
+		var okA, okB bool
+		var err error
+		a, okA, err = mem.Extract(p, k, len(lay.Pages[p]), a[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, okB, err = fs.Extract(p, k, len(lay.Pages[p]), b[:0])
+		if err != nil {
+			t.Fatalf("direct extract key %d: %v", k, err)
+		}
+		if okA != okB {
+			t.Fatalf("presence mismatch for key %d", k)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("vector mismatch for key %d", k)
+			}
+		}
+	}
+	// ReadPage path too.
+	img := make([]byte, fs.PageSize())
+	if err := fs.ReadPage(0, img); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	memImg, _ := mem.Page(0)
+	for i := range memImg {
+		if img[i] != memImg[i] {
+			t.Fatal("direct ReadPage bytes differ from in-memory store")
+		}
+	}
+}
+
+func TestAlignedBuf(t *testing.T) {
+	for _, size := range []int{1, 4096, 12288} {
+		b := alignedBuf(size)
+		if len(b) != size {
+			t.Errorf("alignedBuf(%d) len = %d", size, len(b))
+		}
+		if addr := bufAddr(b); addr%directIOAlign != 0 {
+			t.Errorf("alignedBuf(%d) address %x not aligned", size, addr)
+		}
+	}
+}

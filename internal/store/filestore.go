@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+// FileStore serves page images from a file written by Store.WriteTo,
+// reading pages on demand with page-aligned ReadAt calls instead of
+// holding the table in memory — the deployment shape the paper assumes,
+// where the embedding table lives on the SSD and only the indexes are
+// DRAM-resident. FileStore is safe for concurrent use.
+//
+// Page fetch timing in the serving engine comes from the simulated device;
+// FileStore provides the payload path. OpenFile uses buffered reads; on
+// Linux, OpenFileDirect bypasses the OS page cache with O_DIRECT and the
+// aligned-buffer handling that requires.
+type FileStore struct {
+	f        *os.File
+	pageSize int
+	dim      int
+	numPages int
+	dataOff  int64
+	direct   bool // O_DIRECT descriptor; reads must be aligned
+	bufs     sync.Pool
+}
+
+// OpenFile opens a serialized store for on-demand page reads.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, len(storeMagic)+12)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: header: %v", ErrBadStore, err)
+	}
+	if string(hdr[:len(storeMagic)]) != storeMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic", ErrBadStore)
+	}
+	s := &FileStore{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[len(storeMagic):])),
+		dim:      int(binary.LittleEndian.Uint32(hdr[len(storeMagic)+4:])),
+		numPages: int(binary.LittleEndian.Uint32(hdr[len(storeMagic)+8:])),
+		dataOff:  int64(len(hdr)),
+	}
+	if s.pageSize <= 0 || s.dim <= 0 || s.numPages < 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: implausible header %d/%d/%d", ErrBadStore, s.pageSize, s.dim, s.numPages)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := s.dataOff + int64(s.pageSize)*int64(s.numPages); st.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("%w: file holds %d bytes, need %d", ErrBadStore, st.Size(), want)
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, s.pageSize)
+		return &b
+	}
+	return s, nil
+}
+
+// Close releases the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// PageSize returns the page size in bytes.
+func (s *FileStore) PageSize() int { return s.pageSize }
+
+// Dim returns the embedding dimension.
+func (s *FileStore) Dim() int { return s.dim }
+
+// NumPages returns the number of pages.
+func (s *FileStore) NumPages() int { return s.numPages }
+
+// ReadPage reads page p into dst (which must be at least PageSize bytes).
+func (s *FileStore) ReadPage(p layout.PageID, dst []byte) error {
+	if int(p) >= s.numPages {
+		return fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	if len(dst) < s.pageSize {
+		return fmt.Errorf("store: buffer of %d bytes, need %d", len(dst), s.pageSize)
+	}
+	if s.direct {
+		bufp := s.bufs.Get().(*[]byte)
+		defer s.bufs.Put(bufp)
+		img, err := s.readPageDirect(p, *bufp)
+		if err != nil {
+			return err
+		}
+		copy(dst[:s.pageSize], img)
+		return nil
+	}
+	_, err := s.f.ReadAt(dst[:s.pageSize], s.dataOff+int64(p)*int64(s.pageSize))
+	return err
+}
+
+// Extract reads page p and scans its first nSlots slots for key k,
+// appending the decoded vector to dst (see Store.Extract).
+func (s *FileStore) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
+	if int(p) >= s.numPages {
+		return dst, false, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	defer s.bufs.Put(bufp)
+	var img []byte
+	if s.direct {
+		var err error
+		img, err = s.readPageDirect(p, *bufp)
+		if err != nil {
+			return dst, false, err
+		}
+	} else {
+		img = (*bufp)[:s.pageSize]
+		if _, err := s.f.ReadAt(img, s.dataOff+int64(p)*int64(s.pageSize)); err != nil {
+			return dst, false, err
+		}
+	}
+	slot := embedding.SlotSize(s.dim)
+	max := s.pageSize / slot
+	if nSlots < 0 || nSlots > max {
+		nSlots = max
+	}
+	for i := 0; i < nSlots; i++ {
+		off := i * slot
+		if binary.LittleEndian.Uint32(img[off:]) != k {
+			continue
+		}
+		var err error
+		dst, err = embedding.DecodeVector(img[off+4:off+slot], s.dim, dst)
+		return dst, err == nil, err
+	}
+	return dst, false, nil
+}

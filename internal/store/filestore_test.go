@@ -1,0 +1,139 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"maxembed/internal/layout"
+)
+
+func writeTestStore(t *testing.T) (string, *Store, *layout.Layout) {
+	t.Helper()
+	s, lay, _ := buildTestStore(t)
+	path := filepath.Join(t.TempDir(), "store.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, s, lay
+}
+
+func TestFileStoreMatchesMemoryStore(t *testing.T) {
+	path, mem, lay := writeTestStore(t)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer fs.Close()
+	if fs.Dim() != mem.Dim() || fs.PageSize() != mem.PageSize() || fs.NumPages() != mem.NumPages() {
+		t.Fatalf("header mismatch: %d/%d/%d", fs.Dim(), fs.PageSize(), fs.NumPages())
+	}
+	var a, b []float32
+	var pages []layout.PageID
+	for k := layout.Key(0); int(k) < lay.NumKeys; k++ {
+		pages = lay.PagesOf(k, pages[:0])
+		for _, p := range pages {
+			var okA, okB bool
+			var err error
+			a, okA, err = mem.Extract(p, k, len(lay.Pages[p]), a[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, okB, err = fs.Extract(p, k, len(lay.Pages[p]), b[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if okA != okB {
+				t.Fatalf("presence mismatch for key %d page %d", k, p)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("vector mismatch for key %d page %d", k, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFileStoreMissingKey(t *testing.T) {
+	path, _, lay := writeTestStore(t)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	p := lay.Home[99]
+	_, ok, err := fs.Extract(p, 0, len(lay.Pages[p]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("found key not on page")
+	}
+	if _, _, err := fs.Extract(layout.PageID(fs.NumPages()), 0, -1, nil); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+}
+
+func TestFileStoreConcurrent(t *testing.T) {
+	path, _, lay := writeTestStore(t)
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []float32
+			for k := layout.Key(w); int(k) < lay.NumKeys; k += 8 {
+				p := lay.Home[k]
+				var ok bool
+				var err error
+				buf, ok, err = fs.Extract(p, k, len(lay.Pages[p]), buf[:0])
+				if err != nil || !ok {
+					t.Errorf("key %d: ok=%v err=%v", k, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Error("garbage file accepted")
+	}
+	// Truncated payload.
+	path, s, _ := writeTestStore(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.bin")
+	if err := os.WriteFile(short, data[:len(data)-s.PageSize()], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(short); err == nil {
+		t.Error("truncated file accepted")
+	}
+}

@@ -1,0 +1,182 @@
+// Package store materializes an embedding layout into SSD page images.
+//
+// Each page packs up to d slots of [4-byte key | dim×float32 vector]; the
+// remainder of the page is zero. Pages are interpreted through the layout's
+// page→keys mapping (the DRAM-resident invert index), as in the paper's
+// system; the per-slot key header additionally makes every slot
+// self-verifying, which the serving engine uses to detect corruption.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+// Store holds the page images for one layout.
+type Store struct {
+	pageSize int
+	dim      int
+	numPages int
+	data     []byte // numPages × pageSize
+}
+
+// Build packs vectors from the synthesizer into page images per the layout.
+func Build(lay *layout.Layout, syn *embedding.Synthesizer, pageSize int) (*Store, error) {
+	dim := syn.Dim()
+	slot := embedding.SlotSize(dim)
+	if fit := embedding.PageCapacity(pageSize, dim); lay.Capacity > fit {
+		return nil, fmt.Errorf("store: layout capacity %d exceeds page fit %d (page %d B, dim %d)",
+			lay.Capacity, fit, pageSize, dim)
+	}
+	s := &Store{
+		pageSize: pageSize,
+		dim:      dim,
+		numPages: lay.NumPages(),
+		data:     make([]byte, lay.NumPages()*pageSize),
+	}
+	var vec []float32
+	for p, keys := range lay.Pages {
+		base := p * pageSize
+		for i, k := range keys {
+			off := base + i*slot
+			binary.LittleEndian.PutUint32(s.data[off:], k)
+			vec = syn.Vector(k, vec[:0])
+			embedding.EncodeVector(vec, s.data[off+4:off+4])
+		}
+	}
+	return s, nil
+}
+
+// PageSize returns the page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Dim returns the embedding dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// NumPages returns the number of pages.
+func (s *Store) NumPages() int { return s.numPages }
+
+// Page returns the raw image of page p. The slice aliases internal storage
+// and must not be modified.
+func (s *Store) Page(p layout.PageID) ([]byte, error) {
+	if int(p) >= s.numPages {
+		return nil, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	return s.data[int(p)*s.pageSize : (int(p)+1)*s.pageSize], nil
+}
+
+// Extract scans page p for key k and appends its vector to dst. The
+// second result reports whether the key was found in the page's first
+// nSlots slots (pass the layout's page population, or -1 to scan the whole
+// page).
+func (s *Store) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
+	img, err := s.Page(p)
+	if err != nil {
+		return dst, false, err
+	}
+	slot := embedding.SlotSize(s.dim)
+	max := s.pageSize / slot
+	if nSlots < 0 || nSlots > max {
+		nSlots = max
+	}
+	for i := 0; i < nSlots; i++ {
+		off := i * slot
+		if binary.LittleEndian.Uint32(img[off:]) != k {
+			continue
+		}
+		dst, err = embedding.DecodeVector(img[off+4:off+slot], s.dim, dst)
+		return dst, err == nil, err
+	}
+	return dst, false, nil
+}
+
+// SlotKey returns the key header of slot i on page p.
+func (s *Store) SlotKey(p layout.PageID, i int) (layout.Key, error) {
+	img, err := s.Page(p)
+	if err != nil {
+		return 0, err
+	}
+	slot := embedding.SlotSize(s.dim)
+	if i < 0 || (i+1)*slot > s.pageSize {
+		return 0, fmt.Errorf("store: slot %d out of range", i)
+	}
+	return binary.LittleEndian.Uint32(img[i*slot:]), nil
+}
+
+const storeMagic = "MXST1\n"
+
+// ErrBadStore reports a malformed serialized store.
+var ErrBadStore = errors.New("store: malformed store stream")
+
+// WriteTo serializes the store (header + raw page images).
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	m, err := bw.WriteString(storeMagic)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.pageSize))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.dim))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.numPages))
+	m, err = bw.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	m, err = bw.Write(s.data)
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a store written by WriteTo.
+func ReadFrom(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStore, magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadStore, err)
+	}
+	s := &Store{
+		pageSize: int(binary.LittleEndian.Uint32(hdr[0:])),
+		dim:      int(binary.LittleEndian.Uint32(hdr[4:])),
+		numPages: int(binary.LittleEndian.Uint32(hdr[8:])),
+	}
+	if s.pageSize <= 0 || s.dim <= 0 || s.numPages < 0 {
+		return nil, fmt.Errorf("%w: implausible header %d/%d/%d", ErrBadStore, s.pageSize, s.dim, s.numPages)
+	}
+	const maxBytes = 1 << 36
+	total := int64(s.pageSize) * int64(s.numPages)
+	if total > maxBytes {
+		return nil, fmt.Errorf("%w: implausible size %d", ErrBadStore, total)
+	}
+	// Grow with the data actually present rather than trusting the header
+	// (a hostile header must not force a giant allocation): read page by
+	// page, appending.
+	s.data = make([]byte, 0, min(total, 1<<20))
+	page := make([]byte, s.pageSize)
+	for p := 0; p < s.numPages; p++ {
+		if _, err := io.ReadFull(br, page); err != nil {
+			return nil, fmt.Errorf("%w: page %d data: %v", ErrBadStore, p, err)
+		}
+		s.data = append(s.data, page...)
+	}
+	return s, nil
+}

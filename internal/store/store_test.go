@@ -1,0 +1,148 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+func buildTestStore(t *testing.T) (*Store, *layout.Layout, *embedding.Synthesizer) {
+	t.Helper()
+	syn, err := embedding.NewSynthesizer(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.Vanilla(100, embedding.PageCapacity(4096, 16))
+	if _, err := lay.AddReplicaPage([]layout.Key{0, 50, 99}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(lay, syn, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, lay, syn
+}
+
+func TestBuildAndExtract(t *testing.T) {
+	s, lay, syn := buildTestStore(t)
+	if s.NumPages() != lay.NumPages() {
+		t.Fatalf("NumPages = %d, want %d", s.NumPages(), lay.NumPages())
+	}
+	// Every key must be extractable from every page that lists it, and the
+	// vector must match the synthesizer exactly.
+	var want, got []float32
+	var buf []layout.PageID
+	for k := layout.Key(0); int(k) < lay.NumKeys; k++ {
+		want = syn.Vector(k, want[:0])
+		buf = lay.PagesOf(k, buf[:0])
+		for _, p := range buf {
+			var ok bool
+			var err error
+			got, ok, err = s.Extract(p, k, len(lay.Pages[p]), got[:0])
+			if err != nil || !ok {
+				t.Fatalf("Extract(page %d, key %d) = ok=%v err=%v", p, k, ok, err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("key %d page %d element %d: got %v want %v", k, p, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestExtractMissingKey(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	// Key 99's home page is the last vanilla page; key 0 is not on it.
+	p := lay.Home[99]
+	_, ok, err := s.Extract(p, 0, len(lay.Pages[p]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Extract found a key not on the page")
+	}
+}
+
+func TestExtractFullScan(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	// nSlots = -1 scans the whole page including zeroed slots.
+	p := lay.Home[0]
+	_, ok, err := s.Extract(p, 0, -1, nil)
+	if err != nil || !ok {
+		t.Fatalf("full scan Extract = ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSlotKey(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	for i, k := range lay.Pages[0] {
+		got, err := s.SlotKey(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Errorf("SlotKey(0,%d) = %d, want %d", i, got, k)
+		}
+	}
+	if _, err := s.SlotKey(0, 10_000); err == nil {
+		t.Error("SlotKey accepted out-of-range slot")
+	}
+}
+
+func TestPageOutOfRange(t *testing.T) {
+	s, _, _ := buildTestStore(t)
+	if _, err := s.Page(layout.PageID(s.NumPages())); err == nil {
+		t.Error("Page accepted out-of-range id")
+	}
+}
+
+func TestBuildRejectsOversizedCapacity(t *testing.T) {
+	syn, _ := embedding.NewSynthesizer(64, 1)
+	lay := layout.Vanilla(100, 100) // 100 × 260 B cannot fit a 4 KiB page
+	if _, err := Build(lay, syn, 4096); err == nil {
+		t.Error("Build accepted layout capacity exceeding page fit")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.PageSize() != s.PageSize() || got.Dim() != s.Dim() || got.NumPages() != s.NumPages() {
+		t.Fatalf("header mismatch: %d/%d/%d", got.PageSize(), got.Dim(), got.NumPages())
+	}
+	for p := 0; p < s.NumPages(); p++ {
+		a, _ := s.Page(layout.PageID(p))
+		b, _ := got.Page(layout.PageID(p))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d differs after round trip", p)
+		}
+	}
+	_ = lay
+}
+
+func TestReadFromErrors(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("ReadFrom accepted bad magic")
+	}
+	s, _, _ := buildTestStore(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 10, len(full) - 1} {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("ReadFrom accepted truncation at %d", cut)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package tco reproduces the paper's total-cost-of-ownership estimate
+// (§7.3, Table 2): the monthly cost of a serving instance plus SSD capacity
+// for the embedding table, with and without MaxEmbed's replication space,
+// against the throughput each configuration delivers.
+package tco
+
+import "fmt"
+
+// DrivePricing describes one SSD model's cost structure.
+type DrivePricing struct {
+	// Name labels the drive.
+	Name string
+	// DollarsPerGB is the amortized capacity cost.
+	DollarsPerGB float64
+}
+
+// The paper's reference prices (§7.3): an 800 GB Intel P5800X at ~$1,000
+// and a 1.6 TB Samsung PM1735 at ~$500.
+var (
+	P5800X = DrivePricing{Name: "P5800X", DollarsPerGB: 1.25}
+	PM1735 = DrivePricing{Name: "PM1735", DollarsPerGB: 0.3125}
+)
+
+// InstanceMonthlyUSD is the paper's c6g.16xlarge monthly price.
+const InstanceMonthlyUSD = 1588.0
+
+// CriteoTBTableGB is the paper's CriteoTB embedding table size estimate.
+const CriteoTBTableGB = 225.0
+
+// Config describes one deployment being costed.
+type Config struct {
+	// TableGB is the base embedding table size in GB.
+	TableGB float64
+	// ReplicationRatio r inflates SSD capacity to (1+r)·TableGB.
+	ReplicationRatio float64
+	// RelativePerformance is throughput normalized to the baseline
+	// (1.0 = SHP baseline; the paper uses 1.16 for r=80%).
+	RelativePerformance float64
+	// Drive prices the SSD capacity.
+	Drive DrivePricing
+	// InstanceMonthlyUSD is the compute cost; zero uses the paper's value.
+	InstanceMonthlyUSD float64
+}
+
+// Estimate is the costed outcome.
+type Estimate struct {
+	// StorageGB is SSD capacity including replicas.
+	StorageGB float64
+	// StorageUSD and TotalUSD are the drive and drive+instance costs.
+	StorageUSD, TotalUSD float64
+	// Performance is the relative throughput (baseline = 1.0).
+	Performance float64
+	// PerfPerDollar is Performance normalized by TotalUSD relative to a
+	// zero-replication baseline of the same drive — Table 2's bottom rows.
+	PerfPerDollar float64
+}
+
+// Estimate costs the configuration.
+func (c Config) Estimate() (Estimate, error) {
+	if c.TableGB <= 0 {
+		return Estimate{}, fmt.Errorf("tco: TableGB must be positive, got %v", c.TableGB)
+	}
+	if c.ReplicationRatio < 0 {
+		return Estimate{}, fmt.Errorf("tco: ReplicationRatio must be non-negative, got %v", c.ReplicationRatio)
+	}
+	if c.RelativePerformance <= 0 {
+		return Estimate{}, fmt.Errorf("tco: RelativePerformance must be positive, got %v", c.RelativePerformance)
+	}
+	if c.Drive.DollarsPerGB <= 0 {
+		return Estimate{}, fmt.Errorf("tco: drive %q has no price", c.Drive.Name)
+	}
+	instance := c.InstanceMonthlyUSD
+	if instance == 0 {
+		instance = InstanceMonthlyUSD
+	}
+	var e Estimate
+	e.StorageGB = c.TableGB * (1 + c.ReplicationRatio)
+	e.StorageUSD = e.StorageGB * c.Drive.DollarsPerGB
+	e.TotalUSD = e.StorageUSD + instance
+	e.Performance = c.RelativePerformance
+
+	baseTotal := c.TableGB*c.Drive.DollarsPerGB + instance
+	// perf/$ relative to the baseline's perf/$ (baseline perf = 1).
+	e.PerfPerDollar = (e.Performance / e.TotalUSD) / (1.0 / baseTotal)
+	return e, nil
+}

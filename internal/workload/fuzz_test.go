@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode asserts the binary trace decoder never panics and never
+// returns an invalid trace for arbitrary input.
+func FuzzDecode(f *testing.F) {
+	tr := &Trace{NumItems: 5, Queries: [][]Key{{1, 2}, {4}}}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MXTR1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, q := range got.Queries {
+			for _, k := range q {
+				if int(k) >= got.NumItems {
+					t.Fatalf("decoded out-of-range key %d (items %d)", k, got.NumItems)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeText asserts the text decoder never panics and respects the
+// enforced key range.
+func FuzzDecodeText(f *testing.F) {
+	f.Add("1 2 3\n7 8\n", 0)
+	f.Add("# c\n\n5", 10)
+	f.Add("999999999999999999999", 0)
+	f.Fuzz(func(t *testing.T, data string, numItems int) {
+		if numItems < 0 || numItems > 1<<20 {
+			numItems = 0
+		}
+		got, err := DecodeText(strings.NewReader(data), numItems)
+		if err != nil {
+			return
+		}
+		for _, q := range got.Queries {
+			for _, k := range q {
+				if int(k) >= got.NumItems {
+					t.Fatalf("key %d >= items %d", k, got.NumItems)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package workload
+
+import "fmt"
+
+// Profile describes one dataset from the paper's Table 3, together with the
+// generator parameters used to synthesize a structurally similar trace at a
+// reduced scale. PaperItems/PaperQueries/PaperQueryLen record the original
+// numbers for reporting; Items/Queries/MeanQueryLen are the scaled defaults
+// actually generated.
+type Profile struct {
+	// Name is the dataset name as the paper reports it.
+	Name string
+
+	// Paper-reported numbers (Table 3).
+	PaperItems    int64
+	PaperQueries  int64
+	PaperQueryLen float64
+
+	// Scaled generation parameters.
+	Items        int     // key-space size
+	Queries      int     // number of queries to generate
+	MeanQueryLen float64 // mean keys per query
+
+	// Community structure. Items are spread over Communities latent
+	// groups; each query draws CommunityAffinity of its keys from a band
+	// of groups around one sampled primary group and the rest from the
+	// global popularity distribution. Shopping datasets have high
+	// affinity (strong co-appearance), advertising datasets low.
+	Communities       int
+	CommunityAffinity float64
+	// CommunitySpread is the geometric continue-probability of drawing a
+	// key from a group adjacent to the primary one (0 keeps every
+	// community pull inside the primary group). Spread makes an item's
+	// natural co-appearing set span several SSD pages — the property the
+	// paper identifies as the reason single-copy placement saturates (§3:
+	// hot embeddings co-appear with more than one page can hold).
+	CommunitySpread float64
+
+	// ZipfS is the popularity skew exponent (>1 for math/rand Zipf).
+	ZipfS float64
+	// TemplateLen is the mean size of a recurring key set (see
+	// generate's doc comment). Zero derives it from MeanQueryLen; set it
+	// explicitly for datasets whose recurring co-sets are much larger
+	// than a single query, such as Amazon M2's co-purchase sessions
+	// sampled a few items at a time.
+	TemplateLen float64
+	// PopularityOffset is the Zipf v-offset of the community draw as a
+	// fraction of Communities. Larger values flatten popularity — the
+	// CriteoTB regime, whose 882M items average only ~5 accesses each and
+	// whose throughput the paper shows is nearly cache-insensitive
+	// (Fig 12) — while smaller values concentrate it, as in shopping
+	// catalogs with hot categories.
+	PopularityOffset float64
+
+	// Seed is the default deterministic generator seed for this profile.
+	Seed int64
+}
+
+// Validate reports an error for out-of-range profile parameters.
+func (p Profile) Validate() error {
+	switch {
+	case p.Items <= 0:
+		return fmt.Errorf("workload: profile %q: Items must be positive, got %d", p.Name, p.Items)
+	case p.Queries < 0:
+		return fmt.Errorf("workload: profile %q: Queries must be non-negative, got %d", p.Name, p.Queries)
+	case p.MeanQueryLen < 1:
+		return fmt.Errorf("workload: profile %q: MeanQueryLen must be >= 1, got %v", p.Name, p.MeanQueryLen)
+	case p.Communities <= 0:
+		return fmt.Errorf("workload: profile %q: Communities must be positive, got %d", p.Name, p.Communities)
+	case p.CommunityAffinity < 0 || p.CommunityAffinity > 1:
+		return fmt.Errorf("workload: profile %q: CommunityAffinity must be in [0,1], got %v", p.Name, p.CommunityAffinity)
+	case p.CommunitySpread < 0 || p.CommunitySpread >= 1:
+		return fmt.Errorf("workload: profile %q: CommunitySpread must be in [0,1), got %v", p.Name, p.CommunitySpread)
+	case p.ZipfS <= 1:
+		return fmt.Errorf("workload: profile %q: ZipfS must be > 1, got %v", p.Name, p.ZipfS)
+	case p.TemplateLen < 0:
+		return fmt.Errorf("workload: profile %q: TemplateLen must be non-negative, got %v", p.Name, p.TemplateLen)
+	case p.PopularityOffset < 0:
+		return fmt.Errorf("workload: profile %q: PopularityOffset must be non-negative, got %v", p.Name, p.PopularityOffset)
+	}
+	return nil
+}
+
+// Scaled returns a copy of the profile with Items, Queries and Communities
+// multiplied by factor (minimum 1 each). Used by unit tests and
+// `go test -bench` to shrink experiments.
+func (p Profile) Scaled(factor float64) Profile {
+	scale := func(n int) int {
+		s := int(float64(n) * factor)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	p.Items = scale(p.Items)
+	p.Queries = scale(p.Queries)
+	p.Communities = scale(p.Communities)
+	return p
+}
+
+// The five dataset profiles from Table 3. Scaled item/query counts keep the
+// relative ordering of the real datasets while remaining tractable for a
+// single-machine simulation; the scale factor per profile is recorded in
+// DESIGN.md §2. Shopping datasets (Amazon M2, Alibaba-iFashion) get strong
+// community affinity; advertising datasets (Avazu, Criteo, CriteoTB) weak.
+var (
+	AmazonM2 = Profile{
+		Name:              "Amazon M2",
+		PaperItems:        1_390_000,
+		PaperQueries:      3_600_000,
+		PaperQueryLen:     5.24,
+		Items:             70_000,
+		Queries:           120_000,
+		MeanQueryLen:      5.24,
+		TemplateLen:       22,
+		Communities:       7_000,
+		CommunityAffinity: 0.88,
+		ZipfS:             1.45,
+		CommunitySpread:   0.50,
+		PopularityOffset:  0.02,
+		Seed:              101,
+	}
+
+	AlibabaIFashion = Profile{
+		Name:              "Alibaba iFashion",
+		PaperItems:        4_460_000,
+		PaperQueries:      999_000,
+		PaperQueryLen:     53.63,
+		Items:             110_000,
+		Queries:           40_000,
+		MeanQueryLen:      53.63,
+		Communities:       7_300,
+		CommunityAffinity: 0.85,
+		ZipfS:             1.40,
+		CommunitySpread:   0.50,
+		PopularityOffset:  0.02,
+		Seed:              102,
+	}
+
+	Avazu = Profile{
+		Name:              "Avazu",
+		PaperItems:        9_450_000,
+		PaperQueries:      40_400_000,
+		PaperQueryLen:     21,
+		Items:             120_000,
+		Queries:           150_000,
+		MeanQueryLen:      21,
+		Communities:       10_000,
+		CommunityAffinity: 0.70,
+		ZipfS:             1.40,
+		CommunitySpread:   0.50,
+		PopularityOffset:  0.06,
+		Seed:              103,
+	}
+
+	Criteo = Profile{
+		Name:              "Criteo",
+		PaperItems:        35_000_000,
+		PaperQueries:      45_800_000,
+		PaperQueryLen:     26,
+		Items:             160_000,
+		Queries:           160_000,
+		MeanQueryLen:      26,
+		Communities:       11_500,
+		CommunityAffinity: 0.68,
+		ZipfS:             1.35,
+		CommunitySpread:   0.50,
+		PopularityOffset:  0.06,
+		Seed:              104,
+	}
+
+	CriteoTB = Profile{
+		Name:              "CriteoTB",
+		PaperItems:        882_000_000,
+		PaperQueries:      4_370_000_000,
+		PaperQueryLen:     26,
+		Items:             220_000,
+		Queries:           200_000,
+		MeanQueryLen:      26,
+		Communities:       18_000,
+		CommunityAffinity: 0.85,
+		ZipfS:             1.30,
+		CommunitySpread:   0.50,
+		PopularityOffset:  0.30,
+		Seed:              105,
+	}
+)
+
+// Profiles lists the five paper datasets in the order the paper's figures
+// present them.
+func Profiles() []Profile {
+	return []Profile{AlibabaIFashion, AmazonM2, Avazu, Criteo, CriteoTB}
+}
+
+// ProfileByName returns the profile with the given name (case-sensitive)
+// or false if none matches.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

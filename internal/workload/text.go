@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// EncodeText writes the trace as plain text: one query per line,
+// space-separated decimal keys. The format interoperates with the
+// preprocessed query logs used by embedding-placement research artifacts
+// (one lookup request per line).
+func (t *Trace) EncodeText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range t.Queries {
+		for i, k := range q {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(k), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeText parses a text trace (one query per line, space-separated
+// keys; empty lines and lines starting with '#' are skipped). numItems of
+// zero infers the key space as maxKey+1; a positive value enforces it.
+func DecodeText(r io.Reader, numItems int) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	t := &Trace{NumItems: numItems}
+	maxKey := int64(-1)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		var q []Key
+		start := -1
+		flush := func(end int) error {
+			if start < 0 {
+				return nil
+			}
+			v, err := strconv.ParseUint(string(text[start:end]), 10, 32)
+			if err != nil {
+				return fmt.Errorf("workload: line %d: %v", line, err)
+			}
+			if numItems > 0 && v >= uint64(numItems) {
+				return fmt.Errorf("workload: line %d: key %d >= num items %d", line, v, numItems)
+			}
+			if int64(v) > maxKey {
+				maxKey = int64(v)
+			}
+			q = append(q, Key(v))
+			start = -1
+			return nil
+		}
+		for i, c := range text {
+			switch {
+			case c == ' ' || c == '\t':
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+			case c >= '0' && c <= '9':
+				if start < 0 {
+					start = i
+				}
+			default:
+				return nil, fmt.Errorf("workload: line %d: unexpected byte %q", line, c)
+			}
+		}
+		if err := flush(len(text)); err != nil {
+			return nil, err
+		}
+		if len(q) > 0 {
+			t.Queries = append(t.Queries, q)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading text trace: %w", err)
+	}
+	if numItems == 0 {
+		t.NumItems = int(maxKey + 1)
+	}
+	return t, nil
+}

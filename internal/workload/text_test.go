@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	tr, err := Generate(testProfile().Scaled(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(&buf, tr.NumItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Queries, got.Queries) {
+		t.Error("text round trip changed queries")
+	}
+	if got.NumItems != tr.NumItems {
+		t.Errorf("NumItems = %d, want %d", got.NumItems, tr.NumItems)
+	}
+}
+
+func TestDecodeTextFeatures(t *testing.T) {
+	in := "# a comment\n1 2 3\n\n7\t8\n# trailing comment\n"
+	tr, err := DecodeText(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]Key{{1, 2, 3}, {7, 8}}
+	if !reflect.DeepEqual(tr.Queries, want) {
+		t.Errorf("Queries = %v, want %v", tr.Queries, want)
+	}
+	// NumItems inferred as maxKey+1.
+	if tr.NumItems != 9 {
+		t.Errorf("NumItems = %d, want 9", tr.NumItems)
+	}
+}
+
+func TestDecodeTextErrors(t *testing.T) {
+	cases := []struct {
+		in       string
+		numItems int
+	}{
+		{"1 2 x", 0},          // non-numeric
+		{"1, 2", 0},           // punctuation
+		{"5", 3},              // key out of enforced range
+		{"99999999999999", 0}, // overflow uint32
+	}
+	for i, c := range cases {
+		if _, err := DecodeText(strings.NewReader(c.in), c.numItems); err == nil {
+			t.Errorf("case %d (%q): error expected", i, c.in)
+		}
+	}
+}
+
+func TestDecodeTextEmpty(t *testing.T) {
+	tr, err := DecodeText(strings.NewReader(""), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumQueries() != 0 || tr.NumItems != 0 {
+		t.Errorf("empty input: %d queries, %d items", tr.NumQueries(), tr.NumItems)
+	}
+}

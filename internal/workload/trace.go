@@ -1,0 +1,167 @@
+// Package workload generates and encodes embedding-lookup query traces.
+//
+// The real datasets used by the paper (Amazon M2, Alibaba-iFashion, Avazu,
+// Criteo, CriteoTB — Table 3) cannot be redistributed or downloaded here, so
+// this package synthesizes traces with the structural properties the paper's
+// analysis relies on: Zipf-skewed item popularity, per-dataset query-length
+// distributions, and latent community structure that makes items co-appear
+// with far more neighbours than one SSD page can hold. Shopping-style
+// profiles get strong communities; advertising-style profiles get weak ones,
+// reproducing the paper's observation that gains are larger on shopping
+// datasets.
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Key identifies an embedding item. Keys are dense: 0..NumItems-1.
+type Key = uint32
+
+// Trace is a sequence of embedding lookup queries over a dense key space.
+type Trace struct {
+	// NumItems is the size of the key space; every query key is < NumItems.
+	NumItems int
+	// Queries holds one key slice per query. Keys may repeat within a
+	// query (real logs contain duplicates); consumers dedupe as needed.
+	Queries [][]Key
+}
+
+// NumQueries returns the number of queries in the trace.
+func (t *Trace) NumQueries() int { return len(t.Queries) }
+
+// MeanQueryLen returns the average query length (with duplicates), or 0
+// for an empty trace.
+func (t *Trace) MeanQueryLen() float64 {
+	if len(t.Queries) == 0 {
+		return 0
+	}
+	total := 0
+	for _, q := range t.Queries {
+		total += len(q)
+	}
+	return float64(total) / float64(len(t.Queries))
+}
+
+// Split divides the trace into a history portion (the first frac of
+// queries, used to build the hypergraph) and an evaluation portion (the
+// remainder, used for online serving). frac is clamped to [0, 1]. Both
+// returned traces share backing storage with t.
+func (t *Trace) Split(frac float64) (history, eval *Trace) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(t.Queries)) * frac)
+	history = &Trace{NumItems: t.NumItems, Queries: t.Queries[:n]}
+	eval = &Trace{NumItems: t.NumItems, Queries: t.Queries[n:]}
+	return history, eval
+}
+
+// Frequencies returns per-key access counts over all queries.
+func (t *Trace) Frequencies() []int {
+	freq := make([]int, t.NumItems)
+	for _, q := range t.Queries {
+		for _, k := range q {
+			freq[k]++
+		}
+	}
+	return freq
+}
+
+const traceMagic = "MXTR1\n"
+
+// Encode writes the trace in a compact binary format (magic header, then
+// varint-encoded counts and delta-coded keys per query).
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(t.NumItems)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Queries))); err != nil {
+		return err
+	}
+	for _, q := range t.Queries {
+		if err := writeUvarint(uint64(len(q))); err != nil {
+			return err
+		}
+		for _, k := range q {
+			if err := writeUvarint(uint64(k)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	numItems, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: num items: %v", ErrBadTrace, err)
+	}
+	numQueries, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: num queries: %v", ErrBadTrace, err)
+	}
+	const maxReasonable = 1 << 32
+	if numItems > maxReasonable || numQueries > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible sizes %d/%d", ErrBadTrace, numItems, numQueries)
+	}
+	// Allocations grow with the data actually present, never with header
+	// claims alone: a hostile header cannot force a large up-front
+	// allocation (found by FuzzDecode).
+	const maxPrealloc = 1 << 16
+	t := &Trace{
+		NumItems: int(numItems),
+		Queries:  make([][]Key, 0, min(numQueries, maxPrealloc)),
+	}
+	for i := uint64(0); i < numQueries; i++ {
+		qlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: query %d length: %v", ErrBadTrace, i, err)
+		}
+		if qlen > maxReasonable {
+			return nil, fmt.Errorf("%w: implausible query length %d", ErrBadTrace, qlen)
+		}
+		q := make([]Key, 0, min(qlen, maxPrealloc))
+		for j := uint64(0); j < qlen; j++ {
+			k, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: query %d key %d: %v", ErrBadTrace, i, j, err)
+			}
+			if k >= numItems {
+				return nil, fmt.Errorf("%w: key %d >= num items %d", ErrBadTrace, k, numItems)
+			}
+			q = append(q, Key(k))
+		}
+		t.Queries = append(t.Queries, q)
+	}
+	return t, nil
+}

@@ -1,0 +1,384 @@
+package maxembed
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/layout"
+	"maxembed/internal/placement"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+	"maxembed/internal/store"
+	"maxembed/internal/workload"
+)
+
+// Key identifies an embedding; the key space is dense [0, NumItems).
+type Key = uint32
+
+// Strategy selects the offline placement algorithm.
+type Strategy = placement.Strategy
+
+// Placement strategies. StrategyMaxEmbed is the paper's solution;
+// StrategySHP is the Bandana baseline; StrategyRPP/StrategyFPR are the
+// §5 strawmen; StrategyVanilla is sequential placement.
+const (
+	StrategyVanilla  = placement.StrategyVanilla
+	StrategySHP      = placement.StrategySHP
+	StrategyRPP      = placement.StrategyRPP
+	StrategyFPR      = placement.StrategyFPR
+	StrategyMaxEmbed = placement.StrategyMaxEmbed
+)
+
+// DeviceProfile describes the simulated SSD model.
+type DeviceProfile = ssd.Profile
+
+// Built-in device profiles (§8.1, Fig 17b).
+var (
+	DeviceP5800X = ssd.P5800X
+	DeviceP4510  = ssd.P4510
+)
+
+// DeviceRAID0 stripes n drives of the base profile.
+func DeviceRAID0(base DeviceProfile, n int) DeviceProfile { return ssd.RAID0(base, n) }
+
+// config is assembled by Options.
+type config struct {
+	strategy     Strategy
+	dim          int
+	pageSize     int
+	ratio        float64
+	indexLimit   int
+	cacheEntries int
+	cacheRatio   float64
+	pipeline     bool
+	greedy       bool
+	segmented    bool
+	recordLast   int
+	seed         int64
+	device       DeviceProfile
+	timingOnly   bool
+}
+
+// Option customizes Open.
+type Option func(*config)
+
+// WithStrategy selects the placement strategy (default StrategyMaxEmbed).
+func WithStrategy(s Strategy) Option { return func(c *config) { c.strategy = s } }
+
+// WithEmbeddingDim sets the embedding dimension (default 64, the paper's
+// default 256-byte vectors).
+func WithEmbeddingDim(dim int) Option { return func(c *config) { c.dim = dim } }
+
+// WithReplicationRatio sets r, the replica budget as a fraction of the key
+// count (default 0.1).
+func WithReplicationRatio(r float64) Option { return func(c *config) { c.ratio = r } }
+
+// WithIndexLimit sets k for index shrinking (§6.1); 0 keeps all entries.
+// Default 10, the paper's sweet spot (Fig 16).
+func WithIndexLimit(k int) Option { return func(c *config) { c.indexLimit = k } }
+
+// WithCacheEntries sets the DRAM cache capacity in embeddings (overrides
+// WithCacheRatio). 0 disables the cache.
+func WithCacheEntries(n int) Option {
+	return func(c *config) { c.cacheEntries = n; c.cacheRatio = -1 }
+}
+
+// WithCacheRatio sizes the DRAM cache as a fraction of the key count
+// (default 0.1, the paper's default §8.1).
+func WithCacheRatio(f float64) Option { return func(c *config) { c.cacheRatio = f } }
+
+// WithSegmentedCache switches the DRAM cache from plain LRU (the paper's
+// configuration) to a scan-resistant segmented LRU.
+func WithSegmentedCache() Option { return func(c *config) { c.segmented = true } }
+
+// WithHistoryRecording keeps the distinct key sets of the last n served
+// queries; retrieve them with RecordedHistory and feed them to Refresh to
+// adapt replication to live traffic.
+func WithHistoryRecording(n int) Option { return func(c *config) { c.recordLast = n } }
+
+// WithoutPipeline disables selection/IO pipelining (the Fig 15 "Raw"
+// configuration). Pipelining is on by default.
+func WithoutPipeline() Option { return func(c *config) { c.pipeline = false } }
+
+// WithGreedySelection uses classic greedy set cover instead of the
+// one-pass algorithm (ablation).
+func WithGreedySelection() Option { return func(c *config) { c.greedy = true } }
+
+// WithSeed fixes all randomized choices (default 1).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithDevice selects the simulated SSD profile (default DeviceP5800X).
+func WithDevice(p DeviceProfile) Option { return func(c *config) { c.device = p } }
+
+// TimingOnly skips materializing page payloads: lookups return no vectors
+// but all timing and page-read accounting is exact. Useful for large
+// parameter sweeps.
+func TimingOnly() Option { return func(c *config) { c.timingOnly = true } }
+
+// DB is an opened embedding store: the offline phase's output plus the
+// shared state of the online phase. DB is safe for concurrent use through
+// per-goroutine Sessions.
+type DB struct {
+	cfg      config
+	lay      *layout.Layout
+	eng      *serving.Engine
+	device   *ssd.Device
+	syn      *embedding.Synthesizer
+	recorder *serving.HistoryRecorder
+
+	mu          sync.Mutex
+	defaultSess *Session
+}
+
+// Open runs the offline phase over the historical queries and returns a
+// serving-ready DB. numItems bounds the key space; every key in history
+// and in later lookups must be below it.
+func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
+	cfg := config{
+		strategy:   StrategyMaxEmbed,
+		dim:        64,
+		pageSize:   4096,
+		ratio:      0.1,
+		indexLimit: 10,
+		cacheRatio: 0.1,
+		pipeline:   true,
+		seed:       1,
+		device:     DeviceP5800X,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if numItems < 0 {
+		return nil, errors.New("maxembed: numItems must be non-negative")
+	}
+
+	g, err := hypergraph.FromQueries(numItems, history)
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: building hypergraph: %w", err)
+	}
+	capacity := embedding.PageCapacity(cfg.pageSize, cfg.dim)
+	lay, err := placement.Build(cfg.strategy, g, placement.Options{
+		Capacity:         capacity,
+		ReplicationRatio: cfg.ratio,
+		Seed:             cfg.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: placement: %w", err)
+	}
+
+	device, err := ssd.NewDevice(cfg.device)
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: device: %w", err)
+	}
+
+	db := &DB{cfg: cfg, lay: lay, device: device}
+	var st *store.Store
+	if !cfg.timingOnly {
+		db.syn, err = embedding.NewSynthesizer(cfg.dim, cfg.seed)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: %w", err)
+		}
+		st, err = store.Build(lay, db.syn, cfg.pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: store: %w", err)
+		}
+	}
+
+	cacheEntries := cfg.cacheEntries
+	if cfg.cacheRatio >= 0 {
+		cacheEntries = int(cfg.cacheRatio * float64(numItems))
+	}
+	engCfg := serving.Config{
+		Layout:         lay,
+		Device:         device,
+		CacheEntries:   cacheEntries,
+		SegmentedCache: cfg.segmented,
+		IndexLimit:     cfg.indexLimit,
+		Pipeline:       cfg.pipeline,
+		Greedy:         cfg.greedy,
+	}
+	if cfg.recordLast > 0 {
+		db.recorder = serving.NewHistoryRecorder(cfg.recordLast)
+		engCfg.Recorder = db.recorder
+	}
+	if st != nil {
+		// Assign only when non-nil: a typed-nil *store.Store in the
+		// PageSource interface would read as "store present".
+		engCfg.Store = st
+	}
+	db.eng, err = serving.New(engCfg)
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: engine: %w", err)
+	}
+	return db, nil
+}
+
+// Session is a single-threaded serving handle with its own virtual clock
+// and SSD queue pair. Create one per goroutine; a Session itself is not
+// safe for concurrent use.
+type Session struct {
+	w *serving.Worker
+}
+
+// NewSession returns an independent serving session bound to the DB's
+// current layout (a later Refresh does not affect existing sessions).
+func (db *DB) NewSession() *Session {
+	db.mu.Lock()
+	eng := db.eng
+	db.mu.Unlock()
+	return &Session{w: eng.NewWorker()}
+}
+
+// Result is one lookup's outcome.
+type Result = serving.Result
+
+// QueryStats describes one query's work and virtual timing.
+type QueryStats = serving.QueryStats
+
+// Lookup fetches the embeddings of the queried keys. Returned slices are
+// reused by the session; consume them before the next Lookup.
+func (s *Session) Lookup(query []Key) (Result, error) {
+	return s.w.Lookup(query)
+}
+
+// LookupBatch serves several queries as one combined lookup, sharing page
+// reads across them (keys occurring in multiple queries are fetched once).
+func (s *Session) LookupBatch(queries [][]Key) (Result, error) {
+	return s.w.LookupBatch(queries)
+}
+
+// Now returns the session's virtual clock in nanoseconds.
+func (s *Session) Now() int64 { return s.w.Now() }
+
+// Lookup is a convenience single-session lookup, serialized on an internal
+// session. For concurrent or performance-sensitive use, create explicit
+// Sessions.
+func (db *DB) Lookup(query []Key) (Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.defaultSess == nil {
+		db.defaultSess = &Session{w: db.eng.NewWorker()}
+	}
+	return db.defaultSess.Lookup(query)
+}
+
+// Refresh recomputes the replica pages from a newer query history while
+// keeping every key's home page fixed — the base table on SSD is not
+// rewritten, only the (much smaller) replica region and the DRAM indexes.
+// Only meaningful for StrategyMaxEmbed-style layouts. Sessions created
+// before Refresh continue serving the old layout; create new ones after.
+func (db *DB) Refresh(history [][]Key) error {
+	if db.cfg.strategy != StrategyMaxEmbed {
+		return fmt.Errorf("maxembed: Refresh requires StrategyMaxEmbed, have %q", db.cfg.strategy)
+	}
+	g, err := hypergraph.FromQueries(db.lay.NumKeys, history)
+	if err != nil {
+		return fmt.Errorf("maxembed: refresh hypergraph: %w", err)
+	}
+	assign := make([]int32, db.lay.NumKeys)
+	for k, p := range db.lay.Home {
+		assign[k] = int32(p)
+	}
+	lay, err := placement.Replicate(g, assign, placement.Options{
+		Capacity:         db.lay.Capacity,
+		ReplicationRatio: db.cfg.ratio,
+		Seed:             db.cfg.seed,
+	})
+	if err != nil {
+		return fmt.Errorf("maxembed: refresh replication: %w", err)
+	}
+	var st *store.Store
+	if db.syn != nil {
+		st, err = store.Build(lay, db.syn, db.cfg.pageSize)
+		if err != nil {
+			return fmt.Errorf("maxembed: refresh store: %w", err)
+		}
+	}
+	cacheEntries := db.cfg.cacheEntries
+	if db.cfg.cacheRatio >= 0 {
+		cacheEntries = int(db.cfg.cacheRatio * float64(lay.NumKeys))
+	}
+	engCfg := serving.Config{
+		Layout:         lay,
+		Device:         db.device,
+		CacheEntries:   cacheEntries,
+		SegmentedCache: db.cfg.segmented,
+		IndexLimit:     db.cfg.indexLimit,
+		Pipeline:       db.cfg.pipeline,
+		Greedy:         db.cfg.greedy,
+		Recorder:       db.recorder,
+	}
+	if st != nil {
+		engCfg.Store = st
+	}
+	eng, err := serving.New(engCfg)
+	if err != nil {
+		return fmt.Errorf("maxembed: refresh engine: %w", err)
+	}
+	db.mu.Lock()
+	db.lay = lay
+	db.eng = eng
+	db.defaultSess = nil
+	db.mu.Unlock()
+	return nil
+}
+
+// RecordedHistory returns the key sets of recently served queries when
+// history recording is enabled (WithHistoryRecording), oldest first. The
+// natural refresh loop is db.Refresh(db.RecordedHistory()).
+func (db *DB) RecordedHistory() [][]Key {
+	if db.recorder == nil {
+		return nil
+	}
+	return db.recorder.Snapshot()
+}
+
+// LayoutStats summarizes the placement the offline phase produced.
+func (db *DB) LayoutStats() layout.Stats {
+	db.mu.Lock()
+	lay := db.lay
+	db.mu.Unlock()
+	return lay.ComputeStats()
+}
+
+// DeviceStats returns accumulated simulated-device statistics.
+func (db *DB) DeviceStats() ssd.Stats { return db.device.Stats() }
+
+// Device exposes the simulated SSD for harnesses (e.g. the HTTP server's
+// stats endpoint or fault-injection tests).
+func (db *DB) Device() *ssd.Device { return db.device }
+
+// Engine exposes the underlying serving engine for benchmarking harnesses.
+func (db *DB) Engine() *serving.Engine {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng
+}
+
+// TraceProfile identifies a built-in synthetic dataset profile modelled on
+// the paper's Table 3.
+type TraceProfile = workload.Profile
+
+// Built-in dataset profiles (scaled; see DESIGN.md §2).
+var (
+	ProfileAmazonM2        = workload.AmazonM2
+	ProfileAlibabaIFashion = workload.AlibabaIFashion
+	ProfileAvazu           = workload.Avazu
+	ProfileCriteo          = workload.Criteo
+	ProfileCriteoTB        = workload.CriteoTB
+)
+
+// Trace is a query log over a dense key space.
+type Trace = workload.Trace
+
+// GenerateTrace synthesizes a trace for the profile, scaled by the given
+// factor (1.0 = the profile's default size).
+func GenerateTrace(p TraceProfile, scale float64) (*Trace, error) {
+	if scale != 1.0 {
+		p = p.Scaled(scale)
+	}
+	return workload.Generate(p)
+}
