@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The full pre-merge gate: static checks, build, and the test suite under
+# the race detector (the serving engine and HTTP layer are concurrent).
+verify: vet build race
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -31,6 +31,10 @@ func main() {
 	cacheRatio := flag.Float64("cache", 0.1, "DRAM cache fraction")
 	indexLimit := flag.Int("k", 10, "index-shrinking limit")
 	seed := flag.Int64("seed", 1, "placement seed")
+	faultError := flag.Float64("fault-error", 0, "injected per-read error probability (chaos testing)")
+	faultTimeout := flag.Float64("fault-timeout", 0, "injected per-read stuck-command probability")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "injected per-read payload-corruption probability")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
 	var history *maxembed.Trace
@@ -58,13 +62,24 @@ func main() {
 
 	log.Printf("building placement: %d items, %d history queries, strategy=%s r=%.0f%%",
 		history.NumItems, history.NumQueries(), *strategy, *ratio*100)
-	db, err := maxembed.Open(history.NumItems, history.Queries,
+	opts := []maxembed.Option{
 		maxembed.WithStrategy(maxembed.Strategy(*strategy)),
 		maxembed.WithReplicationRatio(*ratio),
 		maxembed.WithCacheRatio(*cacheRatio),
 		maxembed.WithIndexLimit(*indexLimit),
 		maxembed.WithSeed(*seed),
-	)
+	}
+	if *faultError > 0 || *faultTimeout > 0 || *faultCorrupt > 0 {
+		log.Printf("fault injection armed: error=%.3f timeout=%.3f corrupt=%.3f seed=%d",
+			*faultError, *faultTimeout, *faultCorrupt, *faultSeed)
+		opts = append(opts, maxembed.WithFaultInjection(maxembed.FaultConfig{
+			Seed:          *faultSeed,
+			ReadErrorProb: *faultError,
+			TimeoutProb:   *faultTimeout,
+			CorruptProb:   *faultCorrupt,
+		}))
+	}
+	db, err := maxembed.Open(history.NumItems, history.Queries, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -219,6 +219,9 @@ func (c *Cluster) Stats() ssd.Stats {
 		total.BytesRead += s.BytesRead
 		total.BusyNS += s.BusyNS
 		total.Errors += s.Errors
+		total.Timeouts += s.Timeouts
+		total.Corruptions += s.Corruptions
+		total.InjectedLatencyNS += s.InjectedLatencyNS
 		total.Writes += s.Writes
 		total.BytesWritten += s.BytesWritten
 	}
@@ -233,6 +236,12 @@ type Result struct {
 	// PagesRead and CacheHits sum over shards; ShardsTouched counts the
 	// shards that held at least one queried key.
 	PagesRead, CacheHits, ShardsTouched int
+	// Retries sums recovery reads across shards.
+	Retries int
+	// Degraded is set when any shard returned a partial result; FailedKeys
+	// then lists the unserved keys, translated back to global key space.
+	Degraded   bool
+	FailedKeys []Key
 }
 
 // Session is a single-threaded fan-out handle holding one worker per
@@ -301,6 +310,13 @@ func (s *Session) Lookup(query []Key) (Result, error) {
 		}
 		res.PagesRead += r.Stats.PagesRead
 		res.CacheHits += r.Stats.CacheHits
+		res.Retries += r.Stats.Retries
+		// A degraded shard degrades the whole fan-out: surface its failed
+		// keys in the caller's (global) key space.
+		for _, lk := range r.FailedKeys {
+			res.Degraded = true
+			res.FailedKeys = append(res.FailedKeys, s.c.globalID[sh][lk])
+		}
 		if lat := r.Stats.LatencyNS(); lat > slowest {
 			slowest = lat
 		}

@@ -19,12 +19,14 @@ type Key = uint32
 func BytesPerVector(dim int) int { return dim * 4 }
 
 // SlotSize returns the per-embedding page-slot footprint: a vector plus its
-// 4-byte key header, which the store writes so pages are self-describing.
-func SlotSize(dim int) int { return 4 + BytesPerVector(dim) }
+// 4-byte key header and 4-byte checksum, which the store writes so pages
+// are self-describing and every slot is self-verifying (corruption shows up
+// as a checksum mismatch, not as silently wrong embedding values).
+func SlotSize(dim int) int { return 8 + BytesPerVector(dim) }
 
 // PageCapacity returns d: how many embeddings of the given dimension fit in
 // one SSD page. The paper's default (dim=64, 4 KiB pages) yields 15 with
-// key headers, within the "8 to 32 per page" range the paper cites (§3).
+// slot headers, within the "8 to 32 per page" range the paper cites (§3).
 func PageCapacity(pageSize, dim int) int {
 	d := pageSize / SlotSize(dim)
 	if d < 1 {

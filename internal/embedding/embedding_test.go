@@ -10,10 +10,10 @@ func TestPageCapacity(t *testing.T) {
 	cases := []struct {
 		pageSize, dim, want int
 	}{
-		{4096, 64, 15},  // paper default: 256 B vector + 4 B key = 260 B
-		{4096, 32, 31},  // 132 B slot
-		{4096, 128, 7},  // 516 B slot
-		{4096, 16, 60},  // 68 B slot
+		{4096, 64, 15},  // paper default: 256 B vector + 8 B header = 264 B
+		{4096, 32, 30},  // 136 B slot
+		{4096, 128, 7},  // 520 B slot
+		{4096, 16, 56},  // 72 B slot
 		{4096, 2048, 1}, // oversized vector still gets one slot
 	}
 	for _, c := range cases {
@@ -27,8 +27,8 @@ func TestBytesPerVector(t *testing.T) {
 	if got := BytesPerVector(64); got != 256 {
 		t.Errorf("BytesPerVector(64) = %d, want 256", got)
 	}
-	if got := SlotSize(64); got != 260 {
-		t.Errorf("SlotSize(64) = %d, want 260", got)
+	if got := SlotSize(64); got != 264 {
+		t.Errorf("SlotSize(64) = %d, want 264", got)
 	}
 }
 

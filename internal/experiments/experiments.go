@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"deploycost", "Supplementary: one-time write cost of deploying a layout", DeployCost},
 		{"partitioners", "Supplementary: SHP vs label-propagation partitioning", Partitioners},
 		{"scaleout", "Supplementary: sharded multi-device serving", ScaleOut},
+		{"faultsweep", "Supplementary: fault injection, recovery, and graceful degradation", FaultSweep},
 	}
 }
 

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+	"maxembed/internal/store"
+)
+
+// FaultSweep stresses the serving path under injected device faults and
+// reports how far recovery carries it: read errors, stuck commands, and
+// silent payload corruption are injected at increasing rates, and the
+// table shows recovery reads, replica rescues, checksum detections, and —
+// the headline — how many queries degraded to partial results. With a
+// replicated layout every fault should be absorbed (failed keys = 0,
+// rescues > 0); the no-replication row shows the same fault rate forcing
+// partial results, which is the availability argument for replication
+// beyond its bandwidth benefits (§5).
+func FaultSweep(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, overallProfiles()[0])
+	if err != nil {
+		return err
+	}
+	syn, err := embedding.NewSynthesizer(cfg.Dim, cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	t := newTable(cfg.Out, "Fault sweep: injected device faults vs recovery")
+	t.row("fault rate", "replicas", "dev faults", "retries", "rescued", "corrupt det",
+		"degraded", "failed keys", "p99 µs")
+	type point struct {
+		rate  float64
+		ratio float64
+	}
+	points := []point{
+		{0, 0.40},
+		{0.005, 0.40},
+		{0.01, 0.40},
+		{0.02, 0.40},
+		{0.05, 0.40},
+		{0.01, 0}, // no replicas: same faults, nowhere to rescue from
+	}
+	for _, pt := range points {
+		lay, err := buildLayout(cfg, pr, "maxembed", pt.ratio)
+		if err != nil {
+			return err
+		}
+		st, err := store.Build(lay, syn, cfg.PageSize)
+		if err != nil {
+			return err
+		}
+		dev, err := ssd.NewDevice(ssd.P5800X)
+		if err != nil {
+			return err
+		}
+		// Split the rate across the three fault classes so every recovery
+		// path (retry, replica read, checksum detection) gets exercised.
+		dev.SetFaultModel(ssd.NewInjector(ssd.InjectorConfig{
+			Seed:          cfg.Seed,
+			ReadErrorProb: pt.rate / 2,
+			TimeoutProb:   pt.rate / 4,
+			CorruptProb:   pt.rate / 4,
+		}))
+		eng, err := serving.New(serving.Config{
+			Layout:   lay,
+			Device:   dev,
+			Store:    st,
+			Pipeline: true,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := serving.Run(eng, pr.eval.Queries, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		ds := dev.Stats()
+		replicas := "yes"
+		if pt.ratio == 0 {
+			replicas = "no"
+		}
+		t.row(pct(pt.rate), replicas,
+			fmt.Sprint(ds.Faults()),
+			fmt.Sprint(res.Retries),
+			fmt.Sprint(res.ReplicaRescues),
+			fmt.Sprint(res.Corruptions),
+			fmt.Sprint(res.DegradedQueries),
+			fmt.Sprint(res.FailedKeys),
+			fmt.Sprintf("%.1f", float64(res.Latency.P99NS)/1e3))
+	}
+	t.flush()
+	return nil
+}

@@ -7,8 +7,83 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// RateWindow tracks a failure rate over a rolling window of the last n
+// observation batches — e.g. (failed reads, total reads) per served query —
+// so a burst of old errors ages out instead of poisoning a long-lived
+// process's health forever. It is safe for concurrent use.
+type RateWindow struct {
+	mu      sync.Mutex
+	fail    []int64
+	total   []int64
+	idx     int
+	filled  int
+	sumFail int64
+	sumTot  int64
+}
+
+// NewRateWindow returns a window over the last n observations (n clamped
+// to at least 1).
+func NewRateWindow(n int) *RateWindow {
+	if n < 1 {
+		n = 1
+	}
+	return &RateWindow{fail: make([]int64, n), total: make([]int64, n)}
+}
+
+// Observe records one batch of total events, fail of which failed.
+func (w *RateWindow) Observe(fail, total int64) {
+	w.mu.Lock()
+	w.sumFail += fail - w.fail[w.idx]
+	w.sumTot += total - w.total[w.idx]
+	w.fail[w.idx] = fail
+	w.total[w.idx] = total
+	w.idx = (w.idx + 1) % len(w.fail)
+	if w.filled < len(w.fail) {
+		w.filled++
+	}
+	w.mu.Unlock()
+}
+
+// Rate returns the failure fraction over the window and the number of
+// events it covers. An empty window reports (0, 0).
+func (w *RateWindow) Rate() (rate float64, events int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sumTot <= 0 {
+		return 0, 0
+	}
+	return float64(w.sumFail) / float64(w.sumTot), w.sumTot
+}
+
+// Reset clears the window.
+func (w *RateWindow) Reset() {
+	w.mu.Lock()
+	for i := range w.fail {
+		w.fail[i], w.total[i] = 0, 0
+	}
+	w.idx, w.filled, w.sumFail, w.sumTot = 0, 0, 0, 0
+	w.mu.Unlock()
+}
 
 // Recorder collects latency samples (virtual nanoseconds) and summarizes
 // them. It is safe for concurrent use.

@@ -6,10 +6,17 @@
 //
 //	POST /v1/lookup   {"keys":[1,2,3]}  → embeddings + per-query stats
 //	GET  /v1/stats                      → engine/device/cache counters
-//	GET  /healthz                       → liveness
+//	GET  /healthz                       → readiness (error-rate driven)
 //
 // Sessions (each owning an SSD queue pair and virtual clock) are pooled
 // across requests, mirroring the per-thread serving contexts of §8.4.
+//
+// The API degrades rather than fails under device faults: a lookup the
+// engine could only partially recover returns 206 Partial Content with the
+// unserved keys in "failed_keys"; when the rolling read-error rate crosses
+// the unhealthy threshold the server sheds load with 503 + Retry-After
+// (letting a fraction of probe requests through so recovery is noticed)
+// and /healthz reports not-ready for load-balancer eviction.
 package server
 
 import (
@@ -17,10 +24,44 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
+	"maxembed/internal/metrics"
 	"maxembed/internal/serving"
 	"maxembed/internal/ssd"
 )
+
+// Defaults for the health probe; override with the With* options.
+const (
+	defaultHealthWindow       = 128
+	defaultUnhealthyThreshold = 0.5
+	defaultMinHealthEvents    = 20
+	defaultRetryAfterSec      = 1
+	defaultProbeEvery         = 8
+)
+
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithHealthWindow sets how many recent lookups the rolling error-rate
+// window spans (default 128).
+func WithHealthWindow(lookups int) Option {
+	return func(h *Handler) { h.window = metrics.NewRateWindow(lookups) }
+}
+
+// WithUnhealthyThreshold sets the read-fault fraction above which the
+// server stops admitting traffic, and the minimum number of page reads the
+// window must cover before the verdict is trusted (defaults 0.5 over 20
+// reads — a cold window is always healthy).
+func WithUnhealthyThreshold(rate float64, minEvents int64) Option {
+	return func(h *Handler) { h.threshold, h.minEvents = rate, minEvents }
+}
+
+// WithRetryAfter sets the Retry-After value (seconds) attached to 503
+// responses while unhealthy (default 1).
+func WithRetryAfter(seconds int) Option {
+	return func(h *Handler) { h.retryAfterSec = seconds }
+}
 
 // Handler serves the HTTP API for one engine.
 type Handler struct {
@@ -28,11 +69,28 @@ type Handler struct {
 	device  *ssd.Device
 	mux     *http.ServeMux
 	workers sync.Pool
+
+	window        *metrics.RateWindow
+	threshold     float64
+	minEvents     int64
+	retryAfterSec int
+	probeSeq      atomic.Int64 // admits every Nth request while unhealthy
 }
 
 // New returns a handler over the given engine and its device.
-func New(eng *serving.Engine, device *ssd.Device) *Handler {
-	h := &Handler{eng: eng, device: device, mux: http.NewServeMux()}
+func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
+	h := &Handler{
+		eng:           eng,
+		device:        device,
+		mux:           http.NewServeMux(),
+		window:        metrics.NewRateWindow(defaultHealthWindow),
+		threshold:     defaultUnhealthyThreshold,
+		minEvents:     defaultMinHealthEvents,
+		retryAfterSec: defaultRetryAfterSec,
+	}
+	for _, o := range opts {
+		o(h)
+	}
 	h.workers.New = func() any { return eng.NewWorker() }
 	h.mux.HandleFunc("POST /v1/lookup", h.lookup)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
@@ -46,6 +104,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// healthy reports the rolling read-fault rate and whether it is below the
+// unhealthy threshold (windows covering fewer than minEvents reads are
+// healthy by definition).
+func (h *Handler) healthy() (rate float64, events int64, ok bool) {
+	rate, events = h.window.Rate()
+	return rate, events, events < h.minEvents || rate <= h.threshold
+}
+
 // LookupRequest is the /v1/lookup request body.
 type LookupRequest struct {
 	// Keys to fetch. Duplicates are served once.
@@ -57,21 +123,39 @@ type LookupResponse struct {
 	// Embeddings maps each distinct requested key to its vector. Empty
 	// vectors are returned by timing-only engines.
 	Embeddings map[uint32][]float32 `json:"embeddings"`
+	// Degraded is set on a partial result (HTTP 206); FailedKeys then
+	// lists the requested keys the engine could not serve within its
+	// retry budget.
+	Degraded   bool     `json:"degraded,omitempty"`
+	FailedKeys []uint32 `json:"failed_keys,omitempty"`
 	// Stats reports the work behind this lookup.
 	Stats LookupStats `json:"stats"`
 }
 
 // LookupStats is the JSON projection of serving.QueryStats.
 type LookupStats struct {
-	DistinctKeys int   `json:"distinct_keys"`
-	CacheHits    int   `json:"cache_hits"`
-	PagesRead    int   `json:"pages_read"`
-	LatencyNS    int64 `json:"virtual_latency_ns"`
+	DistinctKeys   int   `json:"distinct_keys"`
+	CacheHits      int   `json:"cache_hits"`
+	PagesRead      int   `json:"pages_read"`
+	Retries        int   `json:"retries,omitempty"`
+	ReplicaRescues int   `json:"replica_rescues,omitempty"`
+	LatencyNS      int64 `json:"virtual_latency_ns"`
 }
 
 const maxLookupKeys = 1 << 16
 
 func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
+	if rate, _, ok := h.healthy(); !ok {
+		// Shed load, but admit every Nth request as a probe: its
+		// observation refreshes the window, so a recovered device brings
+		// the server back without an operator in the loop.
+		if h.probeSeq.Add(1)%defaultProbeEvery != 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(h.retryAfterSec))
+			httpError(w, http.StatusServiceUnavailable,
+				"device unhealthy: read-fault rate %.2f over recent lookups", rate)
+			return
+		}
+	}
 	var req LookupRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
@@ -92,13 +176,17 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", err)
 		return
 	}
+	h.window.Observe(int64(res.Stats.ReadFaults),
+		int64(res.Stats.PagesRead+res.Stats.Retries))
 	resp := LookupResponse{
 		Embeddings: make(map[uint32][]float32, len(res.Keys)),
 		Stats: LookupStats{
-			DistinctKeys: res.Stats.DistinctKeys,
-			CacheHits:    res.Stats.CacheHits,
-			PagesRead:    res.Stats.PagesRead,
-			LatencyNS:    res.Stats.LatencyNS(),
+			DistinctKeys:   res.Stats.DistinctKeys,
+			CacheHits:      res.Stats.CacheHits,
+			PagesRead:      res.Stats.PagesRead,
+			Retries:        res.Stats.Retries,
+			ReplicaRescues: res.Stats.ReplicaRescues,
+			LatencyNS:      res.Stats.LatencyNS(),
 		},
 	}
 	for i, k := range res.Keys {
@@ -108,16 +196,39 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 		copy(v, res.Vectors[i])
 		resp.Embeddings[k] = v
 	}
-	writeJSON(w, resp)
+	status := http.StatusOK
+	if res.Stats.Degraded {
+		resp.Degraded = true
+		resp.FailedKeys = append(resp.FailedKeys, res.FailedKeys...)
+		status = http.StatusPartialContent
+	}
+	writeJSONStatus(w, status, resp)
 }
 
 // StatsResponse is the /v1/stats response body.
 type StatsResponse struct {
 	Device struct {
-		Reads     int64 `json:"reads"`
-		BytesRead int64 `json:"bytes_read"`
-		Errors    int64 `json:"errors"`
+		Reads       int64 `json:"reads"`
+		BytesRead   int64 `json:"bytes_read"`
+		Errors      int64 `json:"errors"`
+		Timeouts    int64 `json:"timeouts"`
+		Corruptions int64 `json:"corruptions"`
 	} `json:"device"`
+	Recovery struct {
+		ReadErrors      int64 `json:"read_errors"`
+		Timeouts        int64 `json:"timeouts"`
+		Corruptions     int64 `json:"corruptions_detected"`
+		Retries         int64 `json:"retries"`
+		ReplicaRescues  int64 `json:"replica_rescues"`
+		RecoveredKeys   int64 `json:"recovered_keys"`
+		DegradedQueries int64 `json:"degraded_queries"`
+		FailedKeys      int64 `json:"failed_keys"`
+	} `json:"recovery"`
+	Health struct {
+		Ready        bool    `json:"ready"`
+		ErrorRate    float64 `json:"error_rate"`
+		WindowEvents int64   `json:"window_events"`
+	} `json:"health"`
 	Cache *struct {
 		Hits      int64   `json:"hits"`
 		Misses    int64   `json:"misses"`
@@ -140,6 +251,21 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Device.Reads = ds.Reads
 	resp.Device.BytesRead = ds.BytesRead
 	resp.Device.Errors = ds.Errors
+	resp.Device.Timeouts = ds.Timeouts
+	resp.Device.Corruptions = ds.Corruptions
+	rec := h.eng.Recovery
+	resp.Recovery.ReadErrors = rec.ReadErrors.Load()
+	resp.Recovery.Timeouts = rec.Timeouts.Load()
+	resp.Recovery.Corruptions = rec.Corruptions.Load()
+	resp.Recovery.Retries = rec.Retries.Load()
+	resp.Recovery.ReplicaRescues = rec.ReplicaRescues.Load()
+	resp.Recovery.RecoveredKeys = rec.RecoveredKeys.Load()
+	resp.Recovery.DegradedQueries = rec.DegradedQueries.Load()
+	resp.Recovery.FailedKeys = rec.FailedKeys.Load()
+	rate, events, ready := h.healthy()
+	resp.Health.Ready = ready
+	resp.Health.ErrorRate = rate
+	resp.Health.WindowEvents = events
 	if c := h.eng.Cache(); c != nil {
 		cs := c.Stats()
 		resp.Cache = &struct {
@@ -167,6 +293,19 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE maxembed_device_reads_total counter\nmaxembed_device_reads_total %d\n", ds.Reads)
 	fmt.Fprintf(w, "# TYPE maxembed_device_bytes_read_total counter\nmaxembed_device_bytes_read_total %d\n", ds.BytesRead)
 	fmt.Fprintf(w, "# TYPE maxembed_device_errors_total counter\nmaxembed_device_errors_total %d\n", ds.Errors)
+	fmt.Fprintf(w, "# TYPE maxembed_device_timeouts_total counter\nmaxembed_device_timeouts_total %d\n", ds.Timeouts)
+	fmt.Fprintf(w, "# TYPE maxembed_device_corruptions_total counter\nmaxembed_device_corruptions_total %d\n", ds.Corruptions)
+	rec := h.eng.Recovery
+	fmt.Fprintf(w, "# TYPE maxembed_read_errors_total counter\nmaxembed_read_errors_total %d\n", rec.ReadErrors.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_corruptions_detected_total counter\nmaxembed_corruptions_detected_total %d\n", rec.Corruptions.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_read_retries_total counter\nmaxembed_read_retries_total %d\n", rec.Retries.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_replica_rescues_total counter\nmaxembed_replica_rescues_total %d\n", rec.ReplicaRescues.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_recovered_keys_total counter\nmaxembed_recovered_keys_total %d\n", rec.RecoveredKeys.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_degraded_queries_total counter\nmaxembed_degraded_queries_total %d\n", rec.DegradedQueries.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_failed_keys_total counter\nmaxembed_failed_keys_total %d\n", rec.FailedKeys.Load())
+	rate, _, ready := h.healthy()
+	fmt.Fprintf(w, "# TYPE maxembed_read_error_rate gauge\nmaxembed_read_error_rate %g\n", rate)
+	fmt.Fprintf(w, "# TYPE maxembed_ready gauge\nmaxembed_ready %d\n", b2i(ready))
 	if c := h.eng.Cache(); c != nil {
 		cs := c.Stats()
 		fmt.Fprintf(w, "# TYPE maxembed_cache_hits_total counter\nmaxembed_cache_hits_total %d\n", cs.Hits)
@@ -179,13 +318,40 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read gauge\nmaxembed_valid_per_read %g\n", h.eng.ValidPerRead.Mean())
 }
 
+// health is a real readiness probe: it reports 503 while the rolling
+// read-fault rate says the device is unhealthy, so load balancers rotate
+// the instance out until the window clears.
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	rate, events, ready := h.healthy()
+	if !ready {
+		w.Header().Set("Retry-After", fmt.Sprint(h.retryAfterSec))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":        "unhealthy",
+			"error_rate":    rate,
+			"window_events": events,
+		})
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }
 
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are already out; nothing recoverable.
 		return

@@ -22,7 +22,16 @@ import (
 
 const testDim = 16
 
-func newTestServer(t *testing.T) (*httptest.Server, *embedding.Synthesizer, *workload.Trace) {
+// testStack bundles the serving stack behind a test server so fault tests
+// can reach the device and engine directly.
+type testStack struct {
+	eng *serving.Engine
+	dev *ssd.Device
+	syn *embedding.Synthesizer
+	tr  *workload.Trace
+}
+
+func newTestStack(t *testing.T, ratio float64, mutate func(*serving.Config)) *testStack {
 	t.Helper()
 	p := workload.Profile{
 		Name: "t", Items: 800, Queries: 1500, MeanQueryLen: 8,
@@ -37,8 +46,12 @@ func newTestServer(t *testing.T) (*httptest.Server, *embedding.Synthesizer, *wor
 	if err != nil {
 		t.Fatal(err)
 	}
-	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
-		Capacity: embedding.PageCapacity(4096, testDim), ReplicationRatio: 0.2, Seed: 1,
+	strat := placement.StrategyMaxEmbed
+	if ratio == 0 {
+		strat = placement.StrategySHP
+	}
+	lay, err := placement.Build(strat, g, placement.Options{
+		Capacity: embedding.PageCapacity(4096, testDim), ReplicationRatio: ratio, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -55,20 +68,35 @@ func newTestServer(t *testing.T) (*httptest.Server, *embedding.Synthesizer, *wor
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := serving.New(serving.Config{
+	cfg := serving.Config{
 		Layout:       lay,
 		Device:       dev,
 		Store:        st,
 		CacheEntries: 100,
 		IndexLimit:   10,
 		Pipeline:     true,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := serving.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(eng, dev))
+	return &testStack{eng: eng, dev: dev, syn: syn, tr: tr}
+}
+
+func (s *testStack) serve(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(s.eng, s.dev, opts...))
 	t.Cleanup(srv.Close)
-	return srv, syn, tr
+	return srv
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *embedding.Synthesizer, *workload.Trace) {
+	t.Helper()
+	s := newTestStack(t, 0.2, nil)
+	return s.serve(t), s.syn, s.tr
 }
 
 func postLookup(t *testing.T, url string, keys []uint32) (*http.Response, LookupResponse) {
@@ -83,7 +111,7 @@ func postLookup(t *testing.T, url string, keys []uint32) (*http.Response, Lookup
 	}
 	defer resp.Body.Close()
 	var lr LookupResponse
-	if resp.StatusCode == http.StatusOK {
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusPartialContent {
 		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
 			t.Fatal(err)
 		}

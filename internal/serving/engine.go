@@ -4,17 +4,27 @@
 // time comes from the ssd package's discrete-event model and software time
 // from a CostModel, so runs are deterministic and reproducible while
 // preserving the paper's software/IO overlap structure (§6).
+//
+// The read path is fault-tolerant: failed, timed-out, and corrupt page
+// reads are recovered with capped exponential backoff, preferring an
+// alternate replica page from the layout's index when one exists (the
+// replica-rescue path only a replicated layout offers), and a query whose
+// retry budget runs out degrades to a partial result instead of failing.
+// See DESIGN.md § Fault model & recovery.
 package serving
 
 import (
 	"errors"
 	"fmt"
+	"reflect"
+	"time"
 
 	"maxembed/internal/cache"
 	"maxembed/internal/layout"
 	"maxembed/internal/metrics"
 	"maxembed/internal/selection"
 	"maxembed/internal/ssd"
+	"maxembed/internal/store"
 )
 
 // Key is an embedding key.
@@ -22,13 +32,17 @@ type Key = layout.Key
 
 // PageSource supplies embedding payloads from materialized page images.
 // store.Store (in-memory) and store.FileStore (on-disk, page-aligned
-// reads) both implement it.
+// reads) both implement it. Pages use the store package's self-verifying
+// slot format ([key | checksum | vector]); the engine extracts and
+// verifies slots from the image itself.
 type PageSource interface {
 	// Dim returns the embedding dimension.
 	Dim() int
-	// Extract appends key k's vector from page p to dst, scanning the
-	// page's first nSlots slots.
-	Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error)
+	// PageSize returns the page image size in bytes.
+	PageSize() int
+	// ReadPage copies page p's image into dst (at least PageSize bytes).
+	// The engine owns dst and may mutate it after the call.
+	ReadPage(p layout.PageID, dst []byte) error
 }
 
 // Config assembles an engine.
@@ -38,8 +52,9 @@ type Config struct {
 	// Device is the simulated SSD (required).
 	Device *ssd.Device
 	// Store supplies page payloads. Optional: nil runs timing-only (no
-	// vector extraction or verification). Use a typed nil-free value:
-	// pass nil directly, not a nil *store.Store in a PageSource variable.
+	// vector extraction or verification). A non-nil interface wrapping a
+	// nil pointer (e.g. a nil *store.Store assigned to a PageSource
+	// variable) is rejected by New with a clear error.
 	Store PageSource
 	// CacheEntries sets the DRAM cache capacity in embeddings; 0 disables
 	// caching (§8.3's cacheless configuration).
@@ -62,9 +77,19 @@ type Config struct {
 	UnsortedSelection bool
 	// Costs is the software cost model; nil uses NewDefaultCosts().
 	Costs CostModel
-	// MaxRetries re-issues failed page reads (fault injection) this many
-	// times before giving up. Default 2.
+	// MaxRetries caps recovery attempts per failed page read; when a
+	// page's chain of retries (replica reads and re-reads) exhausts it,
+	// its keys are reported in Result.FailedKeys. Default 2; negative
+	// disables recovery entirely (every fault degrades immediately).
 	MaxRetries int
+	// RetryBudget caps the total recovery reads one query may issue
+	// before degrading to a partial result. Default 32.
+	RetryBudget int
+	// RetryBackoff is the virtual-time backoff before the first recovery
+	// read of a failed page; it doubles per attempt. Default 5µs.
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential backoff. Default 200µs.
+	RetryBackoffCap time.Duration
 	// VectorBytes overrides the per-embedding payload size used for
 	// effective-bandwidth accounting when Store is nil (timing-only
 	// engines). Ignored when a Store is present.
@@ -72,6 +97,42 @@ type Config struct {
 	// Recorder, when set, receives every served query's distinct keys so
 	// the offline phase can later be refreshed from live traffic.
 	Recorder *HistoryRecorder
+}
+
+// RecoveryCounters aggregates fault-recovery activity across all of an
+// engine's workers. All fields are safe for concurrent use.
+type RecoveryCounters struct {
+	// ReadErrors counts failed completions observed (initial reads and
+	// recovery reads alike); Timeouts is the stuck-command subset.
+	ReadErrors metrics.Counter
+	Timeouts   metrics.Counter
+	// Corruptions counts corrupt page payloads detected by slot-checksum
+	// verification.
+	Corruptions metrics.Counter
+	// Retries counts recovery reads issued (re-reads and replica reads).
+	Retries metrics.Counter
+	// ReplicaRescues counts keys recovered from an alternate replica page
+	// — the recovery path only a replicated layout offers.
+	ReplicaRescues metrics.Counter
+	// RecoveredKeys counts keys that hit a read fault and were still
+	// served (by replica rescue or successful re-read).
+	RecoveredKeys metrics.Counter
+	// DegradedQueries counts queries that returned a partial result;
+	// FailedKeys the keys those results were missing.
+	DegradedQueries metrics.Counter
+	FailedKeys      metrics.Counter
+}
+
+// Reset zeroes all counters.
+func (r *RecoveryCounters) Reset() {
+	r.ReadErrors.Reset()
+	r.Timeouts.Reset()
+	r.Corruptions.Reset()
+	r.Retries.Reset()
+	r.ReplicaRescues.Reset()
+	r.RecoveredKeys.Reset()
+	r.DegradedQueries.Reset()
+	r.FailedKeys.Reset()
 }
 
 // Engine is the shared, immutable part of a serving deployment. Workers
@@ -88,6 +149,8 @@ type Engine struct {
 	Latency metrics.Recorder
 	// ValidPerRead is the Fig 9 histogram: embeddings served per page read.
 	ValidPerRead *metrics.IntHist
+	// Recovery aggregates fault-recovery counters across workers.
+	Recovery *RecoveryCounters
 }
 
 // New builds an engine.
@@ -98,6 +161,20 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Device == nil {
 		return nil, errors.New("serving: Config.Device is required")
 	}
+	if cfg.Store != nil {
+		// A typed nil ((*store.Store)(nil) in a PageSource variable)
+		// passes the != nil check but panics on first use; reject it
+		// here with an actionable error instead.
+		if v := reflect.ValueOf(cfg.Store); (v.Kind() == reflect.Pointer ||
+			v.Kind() == reflect.Map || v.Kind() == reflect.Slice ||
+			v.Kind() == reflect.Func || v.Kind() == reflect.Chan ||
+			v.Kind() == reflect.Interface) && v.IsNil() {
+			return nil, fmt.Errorf("serving: Config.Store is a typed-nil %T; pass nil directly for a timing-only engine", cfg.Store)
+		}
+		if sp, dp := cfg.Store.PageSize(), cfg.Device.Profile().PageSize; sp != dp {
+			return nil, fmt.Errorf("serving: store page size %d does not match device page size %d", sp, dp)
+		}
+	}
 	if err := cfg.Layout.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
@@ -107,11 +184,21 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
 	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 32
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Microsecond
+	}
+	if cfg.RetryBackoffCap <= 0 {
+		cfg.RetryBackoffCap = 200 * time.Microsecond
+	}
 	e := &Engine{
 		cfg:          cfg,
 		idx:          selection.NewIndex(cfg.Layout, cfg.IndexLimit),
 		costs:        cfg.Costs,
 		ValidPerRead: metrics.NewIntHist(cfg.Layout.Capacity),
+		Recovery:     &RecoveryCounters{},
 	}
 	switch {
 	case cfg.Store != nil:
@@ -148,15 +235,29 @@ type QueryStats struct {
 	CacheHits int
 	// PagesRead is the number of SSD page reads issued (excluding retries).
 	PagesRead int
-	// Retries is the number of re-issued reads after injected failures.
+	// Retries is the number of recovery reads issued after faults
+	// (replica reads and re-reads alike).
 	Retries int
+	// ReadFaults counts faulted page reads this query observed: device
+	// errors, timeouts, and corrupt payloads, over initial and recovery
+	// reads alike. The health probe's error-rate window feeds on it.
+	ReadFaults int
+	// ReplicaRescues counts keys recovered from an alternate replica page.
+	ReplicaRescues int
+	// Corruptions counts corrupt page payloads detected by checksum.
+	Corruptions int
+	// FailedKeys counts keys the query could not serve; Degraded is set
+	// when it is non-zero (partial result).
+	FailedKeys int
+	Degraded   bool
 	// UsefulFromSSD is the number of distinct keys served from SSD pages.
 	UsefulFromSSD int
 	// StartNS/EndNS bound the query on the worker's virtual clock.
 	StartNS, EndNS int64
 	// SortNS, SelectNS, and OtherSoftNS break down charged software time;
-	// SSDWaitNS is the residual the worker spent blocked on the device.
-	SortNS, SelectNS, OtherSoftNS, SSDWaitNS int64
+	// SSDWaitNS is the residual the worker spent blocked on the device;
+	// RecoveryNS is the extra time spent on backoff and recovery reads.
+	SortNS, SelectNS, OtherSoftNS, SSDWaitNS, RecoveryNS int64
 }
 
 // LatencyNS returns the end-to-end virtual latency.
@@ -168,9 +269,13 @@ func (s QueryStats) LatencyNS() int64 { return s.EndNS - s.StartNS }
 type Result struct {
 	Stats QueryStats
 	// Keys and Vectors are parallel: Vectors[i] is the embedding of
-	// Keys[i], covering every distinct key of the query.
+	// Keys[i], covering every distinct key of the query that was served.
 	Keys    []Key
 	Vectors [][]float32
+	// FailedKeys lists distinct query keys that could not be served
+	// because every read attempt within the retry budget failed. Empty on
+	// a fully successful lookup. The slice is reused by the worker.
+	FailedKeys []Key
 }
 
 // planEntry records one selected page and the range of covered keys in
@@ -180,6 +285,23 @@ type planEntry struct {
 	from, to   int
 	issueAtNS  int64
 	selectCost int64
+}
+
+// pageFailure is one failed page read pending recovery: the keys that were
+// to be served from page, the attempt count, and the pages already tried
+// for this chain (excluding page itself).
+type pageFailure struct {
+	page    layout.PageID
+	keys    []Key
+	attempt int
+	tried   []layout.PageID
+	cause   error
+}
+
+// extracted records one successfully decoded vector in Worker.vecArena.
+type extracted struct {
+	key Key
+	off int
 }
 
 // Worker is a single-threaded serving session: it owns a selector, an SSD
@@ -201,6 +323,11 @@ type Worker struct {
 	hitKeys     []Key
 	hitVecs     [][]float32
 	vecArena    []float32
+	out         []extracted
+	pageBuf     []byte
+	failures    []pageFailure
+	failedKeys  []Key
+	compMap     map[layout.PageID]ssd.Completion
 	seen        map[Key]struct{}
 }
 
@@ -208,13 +335,18 @@ type Worker struct {
 // clock starts at the device's current frontier so a session created after
 // prior activity does not appear to queue behind long-finished work.
 func (e *Engine) NewWorker() *Worker {
-	return &Worker{
-		eng:  e,
-		sel:  selection.NewSelector(e.idx),
-		q:    ssd.NewQueue(e.cfg.Device),
-		now:  e.cfg.Device.Frontier(),
-		seen: make(map[Key]struct{}, 64),
+	w := &Worker{
+		eng:     e,
+		sel:     selection.NewSelector(e.idx),
+		q:       ssd.NewQueue(e.cfg.Device),
+		now:     e.cfg.Device.Frontier(),
+		seen:    make(map[Key]struct{}, 64),
+		compMap: make(map[layout.PageID]ssd.Completion, 16),
 	}
+	if e.cfg.Store != nil {
+		w.pageBuf = make([]byte, e.cfg.Store.PageSize())
+	}
+	return w
 }
 
 // Now returns the worker's virtual clock.
@@ -230,7 +362,11 @@ func (w *Worker) SetNow(ns int64) {
 }
 
 // Lookup serves one embedding query and advances the worker's clock to its
-// completion time.
+// completion time. Read faults are recovered transparently when possible;
+// a query that exhausts its retry budget returns a partial Result with the
+// unserved keys in FailedKeys (Stats.Degraded set) rather than an error.
+// A non-nil error indicates a malformed query or broken configuration,
+// not a device fault.
 func (w *Worker) Lookup(query []Key) (Result, error) {
 	e := w.eng
 	var st QueryStats
@@ -328,29 +464,8 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 		}
 	}
 
-	// Reap completions; retry injected failures.
+	// Reap completions, extract vectors, and recover from faults.
 	done, comps := w.q.Drain(t)
-	for _, c := range comps {
-		if c.Err == nil {
-			continue
-		}
-		page := c.Page
-		ok := false
-		for r := 0; r < e.cfg.MaxRetries; r++ {
-			st.Retries++
-			w.q.Submit(page, done)
-			var rc []ssd.Completion
-			done, rc = w.q.Drain(done)
-			if len(rc) == 1 && rc[0].Err == nil {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return Result{}, fmt.Errorf("serving: page %d unreadable after %d retries: %w",
-				page, e.cfg.MaxRetries, c.Err)
-		}
-	}
 	ssdWait := done - t
 	if ssdWait < 0 {
 		ssdWait = 0
@@ -358,33 +473,264 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 	st.SSDWaitNS = ssdWait
 	t = done
 	st.PagesRead = len(w.plan)
-	st.UsefulFromSSD = len(w.coveredFlat)
 	for _, pe := range w.plan {
 		e.ValidPerRead.Add(pe.to - pe.from)
 	}
 
-	// Extract vectors and fill the cache.
+	w.out = w.out[:0]
+	w.vecArena = w.vecArena[:0]
+	w.failures = w.failures[:0]
+	w.failedKeys = w.failedKeys[:0]
+	clear(w.compMap)
+	for _, c := range comps {
+		w.compMap[c.Page] = c
+	}
+	for _, pe := range w.plan {
+		keys := w.coveredFlat[pe.from:pe.to]
+		c := w.compMap[pe.page]
+		if fail, cause := w.consume(&st, c, keys); fail {
+			w.failures = append(w.failures, pageFailure{page: pe.page, keys: keys, cause: cause})
+		}
+	}
+	if len(w.failures) > 0 {
+		t = w.recover(&st, t)
+	}
+	st.UsefulFromSSD = len(w.coveredFlat) - len(w.failedKeys)
+
+	// Assemble the result and fill the cache.
 	res := Result{}
-	extract := e.costs.Extract(len(w.coveredFlat))
+	extract := e.costs.Extract(len(w.out))
 	t += extract
 	st.OtherSoftNS += extract
 	if e.cfg.Store != nil {
-		if err := w.extract(&res); err != nil {
-			return Result{}, err
+		for _, x := range w.out {
+			vec := w.vecArena[x.off : x.off+e.dim]
+			res.Keys = append(res.Keys, x.key)
+			res.Vectors = append(res.Vectors, vec)
+			if e.cache != nil {
+				// The cache owns its copy: arena memory is reused.
+				cp := make([]float32, len(vec))
+				copy(cp, vec)
+				e.cache.Put(x.key, cp)
+			}
 		}
 	} else if e.cache != nil {
+		failed := map[Key]struct{}{}
+		for _, k := range w.failedKeys {
+			failed[k] = struct{}{}
+		}
 		for _, k := range w.coveredFlat {
-			e.cache.Put(k, nil)
+			if _, bad := failed[k]; !bad {
+				e.cache.Put(k, nil)
+			}
 		}
 	}
 	res.Keys = append(res.Keys, w.hitKeys...)
 	res.Vectors = append(res.Vectors, w.hitVecs...)
+	if len(w.failedKeys) > 0 {
+		st.FailedKeys = len(w.failedKeys)
+		st.Degraded = true
+		res.FailedKeys = w.failedKeys
+		e.Recovery.DegradedQueries.Inc()
+		e.Recovery.FailedKeys.Add(int64(len(w.failedKeys)))
+	}
 
 	st.EndNS = t
 	w.now = t
 	e.Latency.Record(st.LatencyNS())
 	res.Stats = st
 	return res, nil
+}
+
+// consume processes one page read's completion: it observes device errors,
+// and — when a Store is present — extracts and verifies every covered
+// key's vector from the page image. It reports whether the page must enter
+// recovery, with the cause.
+func (w *Worker) consume(st *QueryStats, c ssd.Completion, keys []Key) (failed bool, cause error) {
+	e := w.eng
+	if c.Err != nil {
+		st.ReadFaults++
+		e.Recovery.ReadErrors.Inc()
+		if errors.Is(c.Err, ssd.ErrTimeout) {
+			e.Recovery.Timeouts.Inc()
+		}
+		return true, c.Err
+	}
+	if e.cfg.Store == nil {
+		// Timing-only: nothing to extract; silent corruption is
+		// undetectable without payloads, as on real hardware without
+		// end-to-end checksums.
+		return false, nil
+	}
+	if err := w.extractPage(c.Page, keys, c.Corrupt); err != nil {
+		st.ReadFaults++
+		if errors.Is(err, store.ErrCorrupt) {
+			st.Corruptions++
+			e.Recovery.Corruptions.Inc()
+		}
+		return true, err
+	}
+	return false, nil
+}
+
+// extractPage reads page p's image into the worker's buffer, applies
+// injected corruption when the completion was flagged, and decodes every
+// key in keys with checksum verification. On any failure the arena and
+// output are rolled back so the whole page can be recovered elsewhere.
+func (w *Worker) extractPage(p layout.PageID, keys []Key, corrupt bool) error {
+	e := w.eng
+	if err := e.cfg.Store.ReadPage(p, w.pageBuf); err != nil {
+		return fmt.Errorf("serving: page %d payload: %w", p, err)
+	}
+	nSlots := len(e.cfg.Layout.Pages[p])
+	if corrupt {
+		// The device flagged this read's payload as corrupted in flight.
+		// Damage the host buffer (never the store) so the checksum path
+		// detects it exactly as it would real bit rot.
+		slot := 8 + 4*e.dim
+		for i := 0; i < nSlots; i++ {
+			w.pageBuf[i*slot+4] ^= 0xA5
+		}
+	}
+	arenaMark, outMark := len(w.vecArena), len(w.out)
+	for _, k := range keys {
+		off := len(w.vecArena)
+		var ok bool
+		var err error
+		w.vecArena, ok, err = store.ExtractFromImage(w.pageBuf, e.dim, k, nSlots, w.vecArena)
+		if err != nil || !ok {
+			w.vecArena = w.vecArena[:arenaMark]
+			w.out = w.out[:outMark]
+			if err == nil {
+				err = fmt.Errorf("page does not hold key %d", k)
+			}
+			return fmt.Errorf("serving: extract key %d from page %d: %w", k, p, err)
+		}
+		w.out = append(w.out, extracted{key: k, off: off})
+	}
+	return nil
+}
+
+// backoffDelay returns the capped exponential backoff before recovery
+// attempt number attempt (0-based).
+func (e *Engine) backoffDelay(attempt int) int64 {
+	d := int64(e.cfg.RetryBackoff)
+	for i := 0; i < attempt && d < int64(e.cfg.RetryBackoffCap); i++ {
+		d *= 2
+	}
+	if cap := int64(e.cfg.RetryBackoffCap); d > cap {
+		d = cap
+	}
+	return d
+}
+
+// recoveryGroup batches keys of one failure that share a recovery target
+// page.
+type recoveryGroup struct {
+	page layout.PageID
+	keys []Key
+}
+
+// recover drains the worker's failure queue: each failed page's keys are
+// re-fetched after a capped exponential backoff, preferring an alternate
+// replica page from the index over re-reading the page that just failed.
+// Chains that exhaust MaxRetries, and queries that exhaust RetryBudget,
+// give their keys up to failedKeys. Returns the advanced clock.
+func (w *Worker) recover(st *QueryStats, t int64) int64 {
+	e := w.eng
+	start := t
+	spent := 0
+	// The queue grows as recovery reads themselves fail; index-iterate.
+	for qi := 0; qi < len(w.failures); qi++ {
+		f := w.failures[qi]
+		if f.attempt >= e.cfg.MaxRetries || spent >= e.cfg.RetryBudget {
+			w.failedKeys = append(w.failedKeys, f.keys...)
+			continue
+		}
+		issueAt := t + e.backoffDelay(f.attempt)
+
+		// Pick each key's recovery target: the first candidate page not
+		// already tried in this chain; keys with no alternate replica
+		// re-read the failed page. Grouping preserves key order so the
+		// schedule is deterministic.
+		var groups []recoveryGroup
+		for _, k := range f.keys {
+			target := f.page
+			for _, cand := range e.idx.Candidates(k) {
+				if cand == f.page || containsPage(f.tried, cand) {
+					continue
+				}
+				target = cand
+				break
+			}
+			gi := -1
+			for i := range groups {
+				if groups[i].page == target {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				groups = append(groups, recoveryGroup{page: target})
+				gi = len(groups) - 1
+			}
+			groups[gi].keys = append(groups[gi].keys, k)
+		}
+
+		submitted := groups[:0]
+		for _, g := range groups {
+			if spent >= e.cfg.RetryBudget {
+				w.failedKeys = append(w.failedKeys, g.keys...)
+				continue
+			}
+			spent++
+			st.Retries++
+			e.Recovery.Retries.Inc()
+			w.q.Submit(g.page, issueAt)
+			submitted = append(submitted, g)
+		}
+		if len(submitted) == 0 {
+			continue
+		}
+		done, comps := w.q.Drain(issueAt)
+		if done > t {
+			t = done
+		}
+		clear(w.compMap)
+		for _, c := range comps {
+			w.compMap[c.Page] = c
+		}
+		for _, g := range submitted {
+			c := w.compMap[g.page]
+			fail, cause := w.consume(st, c, g.keys)
+			if fail {
+				tried := append(append([]layout.PageID(nil), f.tried...), f.page)
+				w.failures = append(w.failures, pageFailure{
+					page: g.page, keys: g.keys, attempt: f.attempt + 1,
+					tried: tried, cause: cause,
+				})
+				continue
+			}
+			e.Recovery.RecoveredKeys.Add(int64(len(g.keys)))
+			if g.page != f.page {
+				st.ReplicaRescues += len(g.keys)
+				e.Recovery.ReplicaRescues.Add(int64(len(g.keys)))
+			}
+		}
+	}
+	w.failures = w.failures[:0]
+	st.RecoveryNS = t - start
+	return t
+}
+
+// containsPage reports whether pages contains p.
+func containsPage(pages []layout.PageID, p layout.PageID) bool {
+	for _, q := range pages {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // LookupBatch serves several queries as one combined lookup, deduplicating
@@ -406,44 +752,4 @@ func (w *Worker) LookupBatch(queries [][]Key) (Result, error) {
 		w.batchBuf = append(w.batchBuf, q...)
 	}
 	return w.Lookup(w.batchBuf)
-}
-
-// extract decodes every covered key's vector from its selected page,
-// verifies the slot key header, and inserts SSD-served vectors into the
-// cache.
-func (w *Worker) extract(res *Result) error {
-	e := w.eng
-	w.vecArena = w.vecArena[:0]
-	// Arena-first pass: decode all vectors, then slice the arena (the
-	// arena may reallocate while growing, so slicing must come after).
-	for _, pe := range w.plan {
-		nSlots := len(e.cfg.Layout.Pages[pe.page])
-		for _, k := range w.coveredFlat[pe.from:pe.to] {
-			var ok bool
-			var err error
-			w.vecArena, ok, err = e.cfg.Store.Extract(pe.page, k, nSlots, w.vecArena)
-			if err != nil {
-				return fmt.Errorf("serving: extract key %d from page %d: %w", k, pe.page, err)
-			}
-			if !ok {
-				return fmt.Errorf("serving: page %d does not hold key %d (index corrupt?)", pe.page, k)
-			}
-		}
-	}
-	off := 0
-	for _, pe := range w.plan {
-		for _, k := range w.coveredFlat[pe.from:pe.to] {
-			vec := w.vecArena[off : off+e.dim]
-			off += e.dim
-			res.Keys = append(res.Keys, k)
-			res.Vectors = append(res.Vectors, vec)
-			if e.cache != nil {
-				// The cache owns its copy: arena memory is reused.
-				cp := make([]float32, len(vec))
-				copy(cp, vec)
-				e.cache.Put(k, cp)
-			}
-		}
-	}
-	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maxembed/internal/metrics"
+	"maxembed/internal/store"
 )
 
 // RunResult aggregates one closed-loop serving run.
@@ -37,8 +38,17 @@ type RunResult struct {
 	CacheHits int64
 	// Latency summarizes per-query end-to-end latency.
 	Latency metrics.LatencySummary
-	// Software time breakdown totals (Fig 15).
-	SortNS, SelectNS, OtherSoftNS, SSDWaitNS int64
+	// Software time breakdown totals (Fig 15). RecoveryNS is time spent in
+	// fault recovery (backoff plus recovery reads).
+	SortNS, SelectNS, OtherSoftNS, SSDWaitNS, RecoveryNS int64
+	// Fault-recovery totals: recovery reads issued, keys rescued from an
+	// alternate replica page, corrupt payloads detected, queries that
+	// returned partial results, and the keys those results were missing.
+	Retries         int64
+	ReplicaRescues  int64
+	Corruptions     int64
+	DegradedQueries int64
+	FailedKeys      int64
 }
 
 // Run processes the queries on the engine with the given number of
@@ -53,6 +63,7 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 	e.cfg.Device.Reset()
 	e.Latency.Reset()
 	e.ValidPerRead.Reset()
+	e.Recovery.Reset()
 	if e.cache != nil {
 		e.cache.ResetStats()
 	}
@@ -78,6 +89,14 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 		res.SelectNS += st.SelectNS
 		res.OtherSoftNS += st.OtherSoftNS
 		res.SSDWaitNS += st.SSDWaitNS
+		res.RecoveryNS += st.RecoveryNS
+		res.Retries += int64(st.Retries)
+		res.ReplicaRescues += int64(st.ReplicaRescues)
+		res.Corruptions += int64(st.Corruptions)
+		res.FailedKeys += int64(st.FailedKeys)
+		if st.Degraded {
+			res.DegradedQueries++
+		}
 	}
 	for _, w := range ws {
 		if w.Now() > res.ElapsedNS {
@@ -106,6 +125,7 @@ func (e *Engine) WarmCache(queries [][]Key) error {
 		return nil
 	}
 	lay := e.cfg.Layout
+	var buf []byte
 	for _, q := range queries {
 		for _, k := range q {
 			if _, ok := e.cache.Get(k); ok {
@@ -113,10 +133,16 @@ func (e *Engine) WarmCache(queries [][]Key) error {
 			}
 			var vec []float32
 			if e.cfg.Store != nil {
+				if buf == nil {
+					buf = make([]byte, e.cfg.Store.PageSize())
+				}
 				home := lay.Home[k]
+				if err := e.cfg.Store.ReadPage(home, buf); err != nil {
+					return fmt.Errorf("serving: warm cache key %d: %w", k, err)
+				}
 				var ok bool
 				var err error
-				vec, ok, err = e.cfg.Store.Extract(home, k, len(lay.Pages[home]), nil)
+				vec, ok, err = store.ExtractFromImage(buf, e.dim, k, len(lay.Pages[home]), nil)
 				if err != nil {
 					return fmt.Errorf("serving: warm cache key %d: %w", k, err)
 				}

@@ -16,6 +16,32 @@ func BenchmarkDeviceRead(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueSaturated is the pipelined-worker pattern: a long burst of
+// submissions with Outstanding polls and no intermediate Drain. Before the
+// in-flight min-heap, Outstanding and Submit scanned every completion since
+// the last Drain, so this pattern degraded quadratically with burst length.
+func BenchmarkQueueSaturated(b *testing.B) {
+	d, err := NewDevice(P5800X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := NewQueue(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	const burst = 4096
+	for i := 0; i < b.N; i++ {
+		issue := q.Submit(PageID(i%8192), now)
+		if issue > now {
+			now = issue
+		}
+		q.Outstanding(now)
+		if (i+1)%burst == 0 {
+			now, _ = q.Drain(now)
+		}
+	}
+}
+
 func BenchmarkQueueSubmitDrain(b *testing.B) {
 	d, err := NewDevice(P5800X)
 	if err != nil {

@@ -1,0 +1,183 @@
+package ssd
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Error taxonomy for injected (and, on real hardware, observed) read
+// failures. The serving layer distinguishes them to pick a recovery
+// strategy: failed and timed-out commands are retried — preferably against
+// a replica page — while corruption is detected after the fact by the
+// store's per-slot checksums.
+var (
+	// ErrReadFailed is returned (wrapped) for injected read failures: the
+	// command completed with an error status.
+	ErrReadFailed = errors.New("ssd: read failed")
+	// ErrTimeout is returned (wrapped) for stuck commands: the command
+	// occupied the device for the injector's Timeout before being aborted.
+	ErrTimeout = errors.New("ssd: read timed out")
+	// ErrCorrupt marks payload corruption. The device itself never returns
+	// it — a corrupt read completes successfully with bad data — but the
+	// taxonomy lives here so every fault class shares one vocabulary; the
+	// store and serving layers wrap it when checksum verification fails.
+	ErrCorrupt = errors.New("ssd: payload corrupt")
+)
+
+// Fault is the injected outcome of one device command.
+type Fault struct {
+	// Err is non-nil when the command fails (ErrReadFailed, ErrTimeout).
+	Err error
+	// ExtraLatencyNS is added to the command's device-internal latency:
+	// a tail spike, a degraded channel, or the timeout of a stuck command.
+	ExtraLatencyNS int64
+	// Corrupt marks the payload as silently corrupted: the command
+	// succeeds but the data delivered to the host is wrong. Detection is
+	// the reader's job (store checksums).
+	Corrupt bool
+}
+
+// FaultModel decides the outcome of every device read. Implementations
+// must be deterministic functions of (n, page) and safe for concurrent
+// use. A nil model injects nothing.
+type FaultModel interface {
+	// Judge returns the fault (if any) for the n-th read (1-based,
+	// device-global submission order) of the given page.
+	Judge(n int64, page PageID) Fault
+}
+
+// FaultInjector is the legacy boolean fault hook: it only distinguishes
+// pass/fail. Retained for compatibility; new code should implement
+// FaultModel. Implementations must be safe for concurrent use.
+type FaultInjector interface {
+	// Fail reports whether the n-th read (1-based, device-global order of
+	// submission) of the given page should return an error.
+	Fail(n int64, page PageID) bool
+}
+
+// FailEveryN fails every n-th read. Useful for exercising engine retry
+// paths deterministically.
+type FailEveryN int64
+
+// Fail implements FaultInjector.
+func (f FailEveryN) Fail(n int64, _ PageID) bool { return f > 0 && n%int64(f) == 0 }
+
+// legacyModel adapts a FaultInjector to the FaultModel interface.
+type legacyModel struct{ inj FaultInjector }
+
+func (m legacyModel) Judge(n int64, page PageID) Fault {
+	if m.inj.Fail(n, page) {
+		return Fault{Err: ErrReadFailed}
+	}
+	return Fault{}
+}
+
+// InjectorConfig parameterizes the standard seeded injector. All
+// probabilities are per read in [0, 1] and drawn independently; when
+// several classes fire on one read the most severe wins
+// (timeout > error > corruption > spike).
+type InjectorConfig struct {
+	// Seed makes the fault schedule deterministic: two injectors with the
+	// same config produce identical schedules.
+	Seed int64
+	// ReadErrorProb is the probability a read completes with ErrReadFailed.
+	ReadErrorProb float64
+	// TimeoutProb is the probability a read becomes a stuck command: it
+	// occupies the device for Timeout and then fails with ErrTimeout.
+	TimeoutProb float64
+	// Timeout is the stuck-command occupancy; zero defaults to 1ms.
+	Timeout time.Duration
+	// CorruptProb is the probability a read silently delivers a corrupted
+	// payload (store/file-backed paths detect it via slot checksums).
+	CorruptProb float64
+	// SpikeProb is the probability of a latency spike on an otherwise
+	// healthy read — the p99 tail of a real drive.
+	SpikeProb float64
+	// SpikeLatency is the extra latency of a spike; zero defaults to 20×
+	// the P5800X read latency (100µs).
+	SpikeLatency time.Duration
+	// SlowChannels lists degraded device channels (page mod Channels):
+	// every read landing on one is charged SlowLatency extra.
+	SlowChannels []int
+	// Channels is the device's channel count, needed to map pages onto
+	// SlowChannels. Ignored when SlowChannels is empty.
+	Channels int
+	// SlowLatency is the extra latency of a slow-channel read; zero
+	// defaults to SpikeLatency.
+	SlowLatency time.Duration
+}
+
+// Injector is the standard deterministic fault injector: a seeded,
+// stateless hash of the read sequence number decides each read's fate, so
+// identical configurations produce identical fault schedules regardless of
+// timing or concurrency. It is safe for concurrent use.
+type Injector struct {
+	cfg  InjectorConfig
+	slow map[int]bool
+}
+
+// NewInjector returns an injector for the given configuration.
+func NewInjector(cfg InjectorConfig) *Injector {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Millisecond
+	}
+	if cfg.SpikeLatency <= 0 {
+		cfg.SpikeLatency = 100 * time.Microsecond
+	}
+	if cfg.SlowLatency <= 0 {
+		cfg.SlowLatency = cfg.SpikeLatency
+	}
+	inj := &Injector{cfg: cfg}
+	if len(cfg.SlowChannels) > 0 && cfg.Channels > 0 {
+		inj.slow = make(map[int]bool, len(cfg.SlowChannels))
+		for _, ch := range cfg.SlowChannels {
+			inj.slow[ch%cfg.Channels] = true
+		}
+	}
+	return inj
+}
+
+// roll returns a uniform float64 in [0, 1) for the given read and fault
+// class, derived from a splitmix64-style hash so the schedule is a pure
+// function of (seed, n, class).
+func (inj *Injector) roll(n int64, class uint64) float64 {
+	x := uint64(inj.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9 + class*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Judge implements FaultModel.
+func (inj *Injector) Judge(n int64, page PageID) Fault {
+	c := inj.cfg
+	switch {
+	case c.TimeoutProb > 0 && inj.roll(n, 1) < c.TimeoutProb:
+		return Fault{Err: ErrTimeout, ExtraLatencyNS: int64(c.Timeout)}
+	case c.ReadErrorProb > 0 && inj.roll(n, 2) < c.ReadErrorProb:
+		return Fault{Err: ErrReadFailed}
+	}
+	var f Fault
+	if c.CorruptProb > 0 && inj.roll(n, 3) < c.CorruptProb {
+		f.Corrupt = true
+	}
+	if c.SpikeProb > 0 && inj.roll(n, 4) < c.SpikeProb {
+		f.ExtraLatencyNS += int64(c.SpikeLatency)
+	}
+	if inj.slow != nil && inj.slow[int(page)%c.Channels] {
+		f.ExtraLatencyNS += int64(c.SlowLatency)
+	}
+	return f
+}
+
+// ExpectedFaultRate returns the per-read probability that this injector
+// produces a failed or corrupt read (spikes excluded) — useful for sizing
+// retry budgets in sweeps.
+func (inj *Injector) ExpectedFaultRate() float64 {
+	c := inj.cfg
+	ok := (1 - c.TimeoutProb) * (1 - c.ReadErrorProb) * (1 - c.CorruptProb)
+	return math.Min(1, math.Max(0, 1-ok))
+}

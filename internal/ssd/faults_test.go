@@ -1,0 +1,236 @@
+package ssd
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func judgeSeq(inj *Injector, n int) []Fault {
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = inj.Judge(int64(i+1), PageID(i%512))
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := InjectorConfig{
+		Seed:          7,
+		ReadErrorProb: 0.02,
+		TimeoutProb:   0.01,
+		CorruptProb:   0.02,
+		SpikeProb:     0.05,
+	}
+	a := judgeSeq(NewInjector(cfg), 5000)
+	b := judgeSeq(NewInjector(cfg), 5000)
+	for i := range a {
+		if !errors.Is(a[i].Err, errOf(b[i])) || a[i].Corrupt != b[i].Corrupt ||
+			a[i].ExtraLatencyNS != b[i].ExtraLatencyNS {
+			t.Fatalf("read %d differs across identically-seeded injectors: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+	cfg.Seed = 8
+	c := judgeSeq(NewInjector(cfg), 5000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] && (a[i].Err != nil) != (c[i].Err != nil) {
+			same = false
+			break
+		}
+		if (a[i].Err == nil) != (c[i].Err == nil) || a[i].Corrupt != c[i].Corrupt {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 5000-read fault schedule")
+	}
+}
+
+func errOf(f Fault) error {
+	if f.Err == nil {
+		return nil
+	}
+	return f.Err
+}
+
+func TestInjectorRates(t *testing.T) {
+	const n = 40000
+	inj := NewInjector(InjectorConfig{Seed: 3, ReadErrorProb: 0.05, CorruptProb: 0.02})
+	var errs, corrupt int
+	for _, f := range judgeSeq(inj, n) {
+		if f.Err != nil {
+			errs++
+		}
+		if f.Corrupt {
+			corrupt++
+		}
+	}
+	if got := float64(errs) / n; got < 0.04 || got > 0.06 {
+		t.Errorf("error rate %.4f far from configured 0.05", got)
+	}
+	if got := float64(corrupt) / n; got < 0.012 || got > 0.028 {
+		t.Errorf("corruption rate %.4f far from configured 0.02", got)
+	}
+	if r := inj.ExpectedFaultRate(); r < 0.069 || r > 0.071 {
+		t.Errorf("ExpectedFaultRate = %v, want ≈ 1-(0.95·0.98) ≈ 0.069", r)
+	}
+}
+
+func TestInjectorPrecedence(t *testing.T) {
+	// When every class fires, the stuck command wins and carries its
+	// occupancy.
+	inj := NewInjector(InjectorConfig{
+		Seed: 1, TimeoutProb: 1, ReadErrorProb: 1, CorruptProb: 1, SpikeProb: 1,
+	})
+	f := inj.Judge(1, 0)
+	if !errors.Is(f.Err, ErrTimeout) {
+		t.Fatalf("Err = %v, want ErrTimeout", f.Err)
+	}
+	if f.ExtraLatencyNS != int64(time.Millisecond) {
+		t.Errorf("timeout occupancy = %d, want default 1ms", f.ExtraLatencyNS)
+	}
+	// Error beats corruption and spikes.
+	inj = NewInjector(InjectorConfig{Seed: 1, ReadErrorProb: 1, CorruptProb: 1})
+	f = inj.Judge(1, 0)
+	if !errors.Is(f.Err, ErrReadFailed) || f.Corrupt {
+		t.Errorf("fault = %+v, want pure ErrReadFailed", f)
+	}
+}
+
+func TestInjectorSlowChannel(t *testing.T) {
+	slow := 50 * time.Microsecond
+	inj := NewInjector(InjectorConfig{
+		Seed: 1, SlowChannels: []int{3}, Channels: 16, SlowLatency: slow,
+		SpikeLatency: time.Microsecond, // keeps SlowLatency from defaulting
+	})
+	if f := inj.Judge(1, 3); f.ExtraLatencyNS != int64(slow) {
+		t.Errorf("page on slow channel charged %d, want %d", f.ExtraLatencyNS, int64(slow))
+	}
+	if f := inj.Judge(2, 19); f.ExtraLatencyNS != int64(slow) {
+		t.Errorf("page 19 (channel 3) charged %d, want %d", f.ExtraLatencyNS, int64(slow))
+	}
+	if f := inj.Judge(3, 4); f.ExtraLatencyNS != 0 {
+		t.Errorf("healthy channel charged %d extra", f.ExtraLatencyNS)
+	}
+}
+
+func TestInjectorSpikeLatencyCharged(t *testing.T) {
+	spike := 100 * time.Microsecond
+	dev, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultModel(NewInjector(InjectorConfig{Seed: 1, SpikeProb: 1, SpikeLatency: spike}))
+	done, fault := dev.ReadDetailed(0, 0)
+	if fault.Err != nil || fault.Corrupt {
+		t.Fatalf("spike should not fail the read: %+v", fault)
+	}
+	base := int64(P5800X.ReadLatency) + int64(P5800X.TransferTime())
+	if done < base+int64(spike) {
+		t.Errorf("completion %d did not include the %d spike (base %d)", done, int64(spike), base)
+	}
+	if st := dev.Stats(); st.InjectedLatencyNS != int64(spike) {
+		t.Errorf("InjectedLatencyNS = %d, want %d", st.InjectedLatencyNS, int64(spike))
+	}
+}
+
+func TestDeviceTimeoutAccounting(t *testing.T) {
+	timeout := 2 * time.Millisecond
+	dev, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultModel(NewInjector(InjectorConfig{Seed: 1, TimeoutProb: 1, Timeout: timeout}))
+	done, fault := dev.ReadDetailed(7, 0)
+	if !errors.Is(fault.Err, ErrTimeout) {
+		t.Fatalf("Err = %v, want ErrTimeout", fault.Err)
+	}
+	if done < int64(timeout) {
+		t.Errorf("stuck command completed at %d, before its %d occupancy", done, int64(timeout))
+	}
+	st := dev.Stats()
+	if st.Errors != 1 || st.Timeouts != 1 {
+		t.Errorf("Errors/Timeouts = %d/%d, want 1/1", st.Errors, st.Timeouts)
+	}
+	if st.Faults() != 1 {
+		t.Errorf("Faults() = %d, want 1", st.Faults())
+	}
+}
+
+func TestDeviceCorruptionAccounting(t *testing.T) {
+	dev, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultModel(NewInjector(InjectorConfig{Seed: 1, CorruptProb: 1}))
+	_, fault := dev.ReadDetailed(0, 0)
+	if fault.Err != nil {
+		t.Fatalf("corrupt read must complete successfully, got %v", fault.Err)
+	}
+	if !fault.Corrupt {
+		t.Fatal("Corrupt not set")
+	}
+	st := dev.Stats()
+	if st.Corruptions != 1 || st.Errors != 0 {
+		t.Errorf("Corruptions/Errors = %d/%d, want 1/0", st.Corruptions, st.Errors)
+	}
+	if st.Faults() != 1 {
+		t.Errorf("Faults() = %d, want 1", st.Faults())
+	}
+}
+
+func TestLegacyInjectorAdapter(t *testing.T) {
+	dev, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultInjector(FailEveryN(3))
+	var now int64
+	for i := 1; i <= 9; i++ {
+		done, rerr := dev.Read(0, now)
+		now = done
+		if i%3 == 0 {
+			if !errors.Is(rerr, ErrReadFailed) {
+				t.Errorf("read %d: err = %v, want ErrReadFailed", i, rerr)
+			}
+		} else if rerr != nil {
+			t.Errorf("read %d unexpectedly failed: %v", i, rerr)
+		}
+	}
+	dev.SetFaultInjector(nil)
+	if _, rerr := dev.Read(0, now); rerr != nil {
+		t.Errorf("cleared injector still failing: %v", rerr)
+	}
+}
+
+func TestQueueCompletionsCarryFaults(t *testing.T) {
+	dev, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultModel(NewInjector(InjectorConfig{Seed: 1, ReadErrorProb: 0.5, CorruptProb: 0.5}))
+	q := NewQueue(dev)
+	for i := 0; i < 64; i++ {
+		q.Submit(PageID(i), 0)
+	}
+	_, comps := q.Drain(0)
+	var errs, corrupt int
+	for _, c := range comps {
+		if c.Err != nil {
+			errs++
+		}
+		if c.Corrupt {
+			corrupt++
+		}
+	}
+	if errs == 0 || corrupt == 0 {
+		t.Errorf("completions carried %d errors and %d corruptions; want both > 0", errs, corrupt)
+	}
+	st := dev.Stats()
+	if int64(errs) != st.Errors || int64(corrupt) != st.Corruptions {
+		t.Errorf("completion counts (%d, %d) disagree with device stats (%d, %d)",
+			errs, corrupt, st.Errors, st.Corruptions)
+	}
+}

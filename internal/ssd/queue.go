@@ -10,8 +10,12 @@ type Completion struct {
 	SubmitNS int64
 	// CompleteNS is the virtual time the read finished.
 	CompleteNS int64
-	// Err is non-nil if the read failed (fault injection).
+	// Err is non-nil if the read failed (fault injection): ErrReadFailed
+	// or ErrTimeout, wrapped with the page and read sequence number.
 	Err error
+	// Corrupt marks a read that completed successfully but delivered a
+	// corrupted payload (fault injection). Detection is the reader's job.
+	Corrupt bool
 }
 
 // Queue is an asynchronous submission/completion queue pair bound to a
@@ -21,10 +25,19 @@ type Completion struct {
 //
 // A Queue is not safe for concurrent use; each worker owns one, as SPDK
 // prescribes. The underlying Device is shared and thread-safe.
+//
+// The queue tracks in-flight commands in a min-heap on completion time, so
+// Outstanding and Submit cost O(log depth) instead of scanning every
+// completion since the last Drain — long-running workers that drain rarely
+// would otherwise degrade quadratically. Both assume the virtual clock
+// passed in never moves backwards (as worker clocks are monotone).
 type Queue struct {
 	dev     *Device
 	depth   int
 	pending []Completion // all completions since the last Drain
+	// inflight holds the completion times of commands not yet observed
+	// complete, as a binary min-heap.
+	inflight []int64
 }
 
 // NewQueue returns a queue bound to dev with the profile's queue depth.
@@ -32,15 +45,55 @@ func NewQueue(dev *Device) *Queue {
 	return &Queue{dev: dev, depth: dev.Profile().QueueDepth}
 }
 
+// heapPush adds a completion time to the in-flight heap.
+func (q *Queue) heapPush(t int64) {
+	q.inflight = append(q.inflight, t)
+	i := len(q.inflight) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.inflight[parent] <= q.inflight[i] {
+			break
+		}
+		q.inflight[parent], q.inflight[i] = q.inflight[i], q.inflight[parent]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the earliest in-flight completion time.
+func (q *Queue) heapPop() int64 {
+	top := q.inflight[0]
+	last := len(q.inflight) - 1
+	q.inflight[0] = q.inflight[last]
+	q.inflight = q.inflight[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.inflight) && q.inflight[l] < q.inflight[smallest] {
+			smallest = l
+		}
+		if r < len(q.inflight) && q.inflight[r] < q.inflight[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		q.inflight[i], q.inflight[smallest] = q.inflight[smallest], q.inflight[i]
+		i = smallest
+	}
+}
+
+// reap pops every in-flight entry that has completed by nowNS.
+func (q *Queue) reap(nowNS int64) {
+	for len(q.inflight) > 0 && q.inflight[0] <= nowNS {
+		q.heapPop()
+	}
+}
+
 // Outstanding returns the number of commands still in flight at nowNS.
 func (q *Queue) Outstanding(nowNS int64) int {
-	n := 0
-	for _, c := range q.pending {
-		if c.CompleteNS > nowNS {
-			n++
-		}
-	}
-	return n
+	q.reap(nowNS)
+	return len(q.inflight)
 }
 
 // Submit issues an asynchronous read of page at virtual time nowNS and
@@ -49,24 +102,19 @@ func (q *Queue) Outstanding(nowNS int64) int {
 // completion to free a slot.
 func (q *Queue) Submit(page PageID, nowNS int64) int64 {
 	issue := nowNS
-	for q.Outstanding(issue) >= q.depth {
-		earliest := int64(-1)
-		for _, c := range q.pending {
-			if c.CompleteNS > issue && (earliest < 0 || c.CompleteNS < earliest) {
-				earliest = c.CompleteNS
-			}
-		}
-		if earliest < 0 {
-			break
-		}
-		issue = earliest
+	q.reap(issue)
+	for len(q.inflight) >= q.depth {
+		issue = q.heapPop()
+		q.reap(issue)
 	}
-	done, err := q.dev.Read(page, issue)
+	done, fault := q.dev.ReadDetailed(page, issue)
+	q.heapPush(done)
 	q.pending = append(q.pending, Completion{
 		Page:       page,
 		SubmitNS:   issue,
 		CompleteNS: done,
-		Err:        err,
+		Err:        fault.Err,
+		Corrupt:    fault.Corrupt,
 	})
 	return issue
 }
@@ -84,6 +132,7 @@ func (q *Queue) Drain(nowNS int64) (doneNS int64, comps []Completion) {
 	}
 	comps = q.pending
 	q.pending = nil
+	q.inflight = q.inflight[:0]
 	sort.Slice(comps, func(i, j int) bool { return comps[i].CompleteNS < comps[j].CompleteNS })
 	return doneNS, comps
 }

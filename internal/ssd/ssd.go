@@ -143,31 +143,26 @@ type Stats struct {
 	// BusyNS is the total channel-occupancy in virtual nanoseconds,
 	// summed over channels.
 	BusyNS int64
-	// Errors is the number of reads that failed via fault injection.
+	// Errors is the number of reads that failed via fault injection
+	// (ErrReadFailed and ErrTimeout alike).
 	Errors int64
+	// Timeouts is the subset of Errors that were stuck commands.
+	Timeouts int64
+	// Corruptions is the number of reads that completed successfully but
+	// delivered a corrupted payload.
+	Corruptions int64
+	// InjectedLatencyNS is the total extra device occupancy charged by
+	// injected latency spikes, slow channels, and stuck commands.
+	InjectedLatencyNS int64
 	// Writes is the number of page writes completed; BytesWritten is
 	// Writes × PageSize.
 	Writes       int64
 	BytesWritten int64
 }
 
-// FaultInjector decides whether a given read fails. Implementations must be
-// safe for concurrent use. A nil injector never fails.
-type FaultInjector interface {
-	// Fail reports whether the n-th read (1-based, device-global order of
-	// submission) of the given page should return an error.
-	Fail(n int64, page PageID) bool
-}
-
-// FailEveryN fails every n-th read. Useful for exercising engine retry
-// paths deterministically.
-type FailEveryN int64
-
-// Fail implements FaultInjector.
-func (f FailEveryN) Fail(n int64, _ PageID) bool { return f > 0 && n%int64(f) == 0 }
-
-// ErrReadFailed is returned (wrapped) for injected read failures.
-var ErrReadFailed = errors.New("ssd: read failed")
+// Faults returns the total number of injected faults the reader must
+// account for: failed commands plus silently corrupted payloads.
+func (s Stats) Faults() int64 { return s.Errors + s.Corruptions }
 
 // Device is a simulated SSD. It is safe for concurrent use by multiple
 // queues; state is protected by a mutex, mirroring the hardware arbitration
@@ -180,7 +175,7 @@ type Device struct {
 	busFree     int64   // virtual ns at which the transfer bus is next idle
 	stats       Stats
 	readSeq     int64
-	faults      FaultInjector
+	faults      FaultModel
 }
 
 // NewDevice returns a device with the given profile.
@@ -197,30 +192,57 @@ func NewDevice(prof Profile) (*Device, error) {
 // Profile returns the device's profile.
 func (d *Device) Profile() Profile { return d.prof }
 
-// SetFaultInjector installs (or clears, with nil) a fault injector.
+// SetFaultInjector installs (or clears, with nil) a legacy pass/fail fault
+// injector. Prefer SetFaultModel for the full fault taxonomy.
 func (d *Device) SetFaultInjector(f FaultInjector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.faults = f
+	if f == nil {
+		d.faults = nil
+		return
+	}
+	d.faults = legacyModel{inj: f}
+}
+
+// SetFaultModel installs (or clears, with nil) a fault model consulted on
+// every read.
+func (d *Device) SetFaultModel(m FaultModel) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = m
 }
 
 // Read simulates a page read submitted at virtual time submitNS and returns
-// the virtual completion time. The page's channel is page mod Channels; the
-// read occupies the channel for ReadLatency and then a serialized bus slot
-// of TransferTime, which is what bounds aggregate bandwidth. err is non-nil
-// only under fault injection; the timing cost is charged either way, as a
-// failed NVMe command still occupies the device.
+// the virtual completion time. err is non-nil only under fault injection.
+// See ReadDetailed for the full fault outcome (corruption, spikes).
 func (d *Device) Read(page PageID, submitNS int64) (completeNS int64, err error) {
+	completeNS, f := d.ReadDetailed(page, submitNS)
+	return completeNS, f.Err
+}
+
+// ReadDetailed simulates a page read submitted at virtual time submitNS and
+// returns the virtual completion time plus the injected fault outcome. The
+// page's channel is page mod Channels; the read occupies the channel for
+// ReadLatency (plus any injected spike/timeout occupancy) and then a
+// serialized bus slot of TransferTime, which is what bounds aggregate
+// bandwidth. The timing cost is charged even for failed commands, as a
+// failed NVMe command still occupies the device.
+func (d *Device) ReadDetailed(page PageID, submitNS int64) (completeNS int64, fault Fault) {
 	lat := int64(d.prof.ReadLatency)
 	xfer := int64(d.prof.TransferTime())
 
 	d.mu.Lock()
+	d.readSeq++
+	n := d.readSeq
+	if d.faults != nil {
+		fault = d.faults.Judge(n, page)
+	}
 	ch := int(page) % len(d.channelFree)
 	start := submitNS
 	if d.channelFree[ch] > start {
 		start = d.channelFree[ch]
 	}
-	readEnd := start + lat
+	readEnd := start + lat + fault.ExtraLatencyNS
 	d.channelFree[ch] = readEnd
 	xferStart := readEnd
 	if d.busFree > xferStart {
@@ -228,21 +250,24 @@ func (d *Device) Read(page PageID, submitNS int64) (completeNS int64, err error)
 	}
 	completeNS = xferStart + xfer
 	d.busFree = completeNS
-	d.readSeq++
-	n := d.readSeq
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.prof.PageSize)
 	d.stats.BusyNS += readEnd - start
-	failed := d.faults != nil && d.faults.Fail(n, page)
-	if failed {
+	d.stats.InjectedLatencyNS += fault.ExtraLatencyNS
+	if fault.Err != nil {
 		d.stats.Errors++
+		if errors.Is(fault.Err, ErrTimeout) {
+			d.stats.Timeouts++
+		}
+	} else if fault.Corrupt {
+		d.stats.Corruptions++
 	}
 	d.mu.Unlock()
 
-	if failed {
-		return completeNS, fmt.Errorf("%w: page %d (read #%d)", ErrReadFailed, page, n)
+	if fault.Err != nil {
+		fault.Err = fmt.Errorf("%w: page %d (read #%d)", fault.Err, page, n)
 	}
-	return completeNS, nil
+	return completeNS, fault
 }
 
 // Frontier returns the latest virtual time at which any device resource

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+func TestExtractDetectsCorruptVector(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	k := layout.Key(42)
+	p := lay.Home[k]
+	img, err := s.Page(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate k's slot and flip one payload byte.
+	slot := embedding.SlotSize(s.Dim())
+	for i := range lay.Pages[p] {
+		if binary.LittleEndian.Uint32(img[i*slot:]) != k {
+			continue
+		}
+		img[i*slot+8] ^= 0x01
+		_, found, err := s.Extract(p, k, len(lay.Pages[p]), nil)
+		if !found {
+			t.Fatal("corrupt slot not even found")
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Extract on damaged payload: err = %v, want ErrCorrupt", err)
+		}
+		// Repair and verify the checksum passes again.
+		img[i*slot+8] ^= 0x01
+		if _, _, err := s.Extract(p, k, len(lay.Pages[p]), nil); err != nil {
+			t.Fatalf("repaired slot still fails: %v", err)
+		}
+		return
+	}
+	t.Fatalf("key %d not found on its home page", k)
+}
+
+func TestExtractDetectsCorruptKeyHeader(t *testing.T) {
+	// The checksum covers the key header too: a bit flip that rewrites a
+	// slot's key to another queried key must not serve the wrong vector.
+	s, lay, _ := buildTestStore(t)
+	a, b := layout.Key(1), layout.Key(2) // vanilla layout: same page
+	p := lay.Home[a]
+	if lay.Home[b] != p {
+		t.Fatalf("fixture keys not co-located: %d vs %d", p, lay.Home[b])
+	}
+	img, err := s.Page(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := embedding.SlotSize(s.Dim())
+	for i := range lay.Pages[p] {
+		if binary.LittleEndian.Uint32(img[i*slot:]) != a {
+			continue
+		}
+		binary.LittleEndian.PutUint32(img[i*slot:], b)
+		_, found, err := s.Extract(p, b, len(lay.Pages[p]), nil)
+		if found && err == nil {
+			t.Fatal("header-corrupted slot served as key b without a checksum error")
+		}
+		binary.LittleEndian.PutUint32(img[i*slot:], a)
+		return
+	}
+	t.Fatalf("key %d not found on its home page", a)
+}
+
+func TestReadPageCopies(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+	buf := make([]byte, s.PageSize())
+	if err := s.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the host buffer must not damage the store (DMA-copy
+	// semantics the serving engine's corruption injection relies on).
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, _, err := s.Extract(0, lay.Pages[0][0], len(lay.Pages[0]), nil); err != nil {
+		t.Fatalf("store damaged through ReadPage buffer: %v", err)
+	}
+	if err := s.ReadPage(0, make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := s.ReadPage(layout.PageID(s.NumPages()), buf); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+}

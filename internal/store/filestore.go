@@ -7,7 +7,6 @@ import (
 	"os"
 	"sync"
 
-	"maxembed/internal/embedding"
 	"maxembed/internal/layout"
 )
 
@@ -107,8 +106,9 @@ func (s *FileStore) ReadPage(p layout.PageID, dst []byte) error {
 	return err
 }
 
-// Extract reads page p and scans its first nSlots slots for key k,
-// appending the decoded vector to dst (see Store.Extract).
+// Extract reads page p, scans its first nSlots slots for key k, verifies
+// the slot checksum, and appends the decoded vector to dst (see
+// Store.Extract).
 func (s *FileStore) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
 	if int(p) >= s.numPages {
 		return dst, false, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
@@ -128,19 +128,5 @@ func (s *FileStore) Extract(p layout.PageID, k layout.Key, nSlots int, dst []flo
 			return dst, false, err
 		}
 	}
-	slot := embedding.SlotSize(s.dim)
-	max := s.pageSize / slot
-	if nSlots < 0 || nSlots > max {
-		nSlots = max
-	}
-	for i := 0; i < nSlots; i++ {
-		off := i * slot
-		if binary.LittleEndian.Uint32(img[off:]) != k {
-			continue
-		}
-		var err error
-		dst, err = embedding.DecodeVector(img[off+4:off+slot], s.dim, dst)
-		return dst, err == nil, err
-	}
-	return dst, false, nil
+	return ExtractFromImage(img, s.dim, k, nSlots, dst)
 }

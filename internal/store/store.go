@@ -1,10 +1,11 @@
 // Package store materializes an embedding layout into SSD page images.
 //
-// Each page packs up to d slots of [4-byte key | dim×float32 vector]; the
-// remainder of the page is zero. Pages are interpreted through the layout's
-// page→keys mapping (the DRAM-resident invert index), as in the paper's
-// system; the per-slot key header additionally makes every slot
-// self-verifying, which the serving engine uses to detect corruption.
+// Each page packs up to d slots of [4-byte key | 4-byte CRC32C | dim×float32
+// vector]; the remainder of the page is zero. Pages are interpreted through
+// the layout's page→keys mapping (the DRAM-resident invert index), as in
+// the paper's system; the per-slot key header and checksum make every slot
+// self-verifying, which the serving engine uses to detect payload
+// corruption and recover from an alternate replica page.
 package store
 
 import (
@@ -12,11 +13,53 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"maxembed/internal/embedding"
 	"maxembed/internal/layout"
 )
+
+// ErrCorrupt reports a slot whose stored checksum does not match its
+// payload: the page image was damaged between write and read.
+var ErrCorrupt = errors.New("store: slot checksum mismatch")
+
+// castagnoli is the CRC32C table; the polynomial NVMe itself uses for
+// end-to-end data protection.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// slotChecksum computes the checksum of one slot from its key header and
+// vector payload bytes.
+func slotChecksum(keyHdr, vec []byte) uint32 {
+	return crc32.Update(crc32.Checksum(keyHdr, castagnoli), castagnoli, vec)
+}
+
+// ExtractFromImage scans the first nSlots slots of a page image for key k
+// and appends its vector to dst. The second result reports whether the key
+// was found; a found slot whose checksum does not verify returns an
+// ErrCorrupt-wrapped error. Pass nSlots < 0 to scan every slot that fits.
+func ExtractFromImage(img []byte, dim int, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
+	slot := embedding.SlotSize(dim)
+	max := len(img) / slot
+	if nSlots < 0 || nSlots > max {
+		nSlots = max
+	}
+	for i := 0; i < nSlots; i++ {
+		off := i * slot
+		if binary.LittleEndian.Uint32(img[off:]) != k {
+			continue
+		}
+		want := binary.LittleEndian.Uint32(img[off+4:])
+		if got := slotChecksum(img[off:off+4], img[off+8:off+slot]); got != want {
+			return dst, true, fmt.Errorf("%w: key %d slot %d (stored %08x, computed %08x)",
+				ErrCorrupt, k, i, want, got)
+		}
+		var err error
+		dst, err = embedding.DecodeVector(img[off+8:off+slot], dim, dst)
+		return dst, err == nil, err
+	}
+	return dst, false, nil
+}
 
 // Store holds the page images for one layout.
 type Store struct {
@@ -47,7 +90,9 @@ func Build(lay *layout.Layout, syn *embedding.Synthesizer, pageSize int) (*Store
 			off := base + i*slot
 			binary.LittleEndian.PutUint32(s.data[off:], k)
 			vec = syn.Vector(k, vec[:0])
-			embedding.EncodeVector(vec, s.data[off+4:off+4])
+			embedding.EncodeVector(vec, s.data[off+8:off+8])
+			sum := slotChecksum(s.data[off:off+4], s.data[off+8:off+slot])
+			binary.LittleEndian.PutUint32(s.data[off+4:], sum)
 		}
 	}
 	return s, nil
@@ -71,29 +116,32 @@ func (s *Store) Page(p layout.PageID) ([]byte, error) {
 	return s.data[int(p)*s.pageSize : (int(p)+1)*s.pageSize], nil
 }
 
-// Extract scans page p for key k and appends its vector to dst. The
-// second result reports whether the key was found in the page's first
-// nSlots slots (pass the layout's page population, or -1 to scan the whole
-// page).
+// Extract scans page p for key k, verifies the slot checksum, and appends
+// its vector to dst. The second result reports whether the key was found in
+// the page's first nSlots slots (pass the layout's page population, or -1
+// to scan the whole page).
 func (s *Store) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
 	img, err := s.Page(p)
 	if err != nil {
 		return dst, false, err
 	}
-	slot := embedding.SlotSize(s.dim)
-	max := s.pageSize / slot
-	if nSlots < 0 || nSlots > max {
-		nSlots = max
+	return ExtractFromImage(img, s.dim, k, nSlots, dst)
+}
+
+// ReadPage copies page p's image into dst, which must be at least PageSize
+// bytes. It is the PageSource payload path the serving engine extracts
+// from: the copy stands in for the DMA into a host buffer, so callers may
+// mutate dst (e.g. injected corruption) without damaging the store.
+func (s *Store) ReadPage(p layout.PageID, dst []byte) error {
+	img, err := s.Page(p)
+	if err != nil {
+		return err
 	}
-	for i := 0; i < nSlots; i++ {
-		off := i * slot
-		if binary.LittleEndian.Uint32(img[off:]) != k {
-			continue
-		}
-		dst, err = embedding.DecodeVector(img[off+4:off+slot], s.dim, dst)
-		return dst, err == nil, err
+	if len(dst) < s.pageSize {
+		return fmt.Errorf("store: buffer of %d bytes, need %d", len(dst), s.pageSize)
 	}
-	return dst, false, nil
+	copy(dst[:s.pageSize], img)
+	return nil
 }
 
 // SlotKey returns the key header of slot i on page p.
@@ -109,7 +157,9 @@ func (s *Store) SlotKey(p layout.PageID, i int) (layout.Key, error) {
 	return binary.LittleEndian.Uint32(img[i*slot:]), nil
 }
 
-const storeMagic = "MXST1\n"
+// storeMagic versions the serialized format; MXST2 added the per-slot
+// checksum (MXST1 stores cannot be verified and are rejected).
+const storeMagic = "MXST2\n"
 
 // ErrBadStore reports a malformed serialized store.
 var ErrBadStore = errors.New("store: malformed store stream")

@@ -44,6 +44,11 @@ var (
 // DeviceRAID0 stripes n drives of the base profile.
 func DeviceRAID0(base DeviceProfile, n int) DeviceProfile { return ssd.RAID0(base, n) }
 
+// FaultConfig parameterizes deterministic device fault injection: per-read
+// error/timeout/corruption probabilities and latency disturbances. See
+// ssd.InjectorConfig for field documentation.
+type FaultConfig = ssd.InjectorConfig
+
 // config is assembled by Options.
 type config struct {
 	strategy     Strategy
@@ -60,6 +65,7 @@ type config struct {
 	seed         int64
 	device       DeviceProfile
 	timingOnly   bool
+	faults       *FaultConfig
 }
 
 // Option customizes Open.
@@ -118,6 +124,15 @@ func WithDevice(p DeviceProfile) Option { return func(c *config) { c.device = p 
 // parameter sweeps.
 func TimingOnly() Option { return func(c *config) { c.timingOnly = true } }
 
+// WithFaultInjection arms the simulated device with a deterministic fault
+// injector: reads fail, time out, spike, or deliver corrupt payloads at
+// the configured rates, and the serving engine's recovery path (retry,
+// replica rescue, graceful degradation) absorbs them. Primarily for
+// resilience testing and chaos-style sweeps.
+func WithFaultInjection(fc FaultConfig) Option {
+	return func(c *config) { c.faults = &fc }
+}
+
 // DB is an opened embedding store: the offline phase's output plus the
 // shared state of the online phase. DB is safe for concurrent use through
 // per-goroutine Sessions.
@@ -172,6 +187,9 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	device, err := ssd.NewDevice(cfg.device)
 	if err != nil {
 		return nil, fmt.Errorf("maxembed: device: %w", err)
+	}
+	if cfg.faults != nil {
+		device.SetFaultModel(ssd.NewInjector(*cfg.faults))
 	}
 
 	db := &DB{cfg: cfg, lay: lay, device: device}
