@@ -15,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"maxembed"
 	"maxembed/internal/server"
@@ -35,6 +36,8 @@ func main() {
 	faultTimeout := flag.Float64("fault-timeout", 0, "injected per-read stuck-command probability")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "injected per-read payload-corruption probability")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
+	batchMax := flag.Int("batch-max", 8, "max lookups coalesced into one batch (≤1 disables coalescing)")
+	batchWait := flag.Duration("batch-wait", 250*time.Microsecond, "max wait for a coalesced batch to fill")
 	flag.Parse()
 
 	var history *maxembed.Trace
@@ -86,7 +89,15 @@ func main() {
 	ls := db.LayoutStats()
 	log.Printf("layout ready: %d pages, %.1f%% replica slots", ls.NumPages, ls.ReplicationRatio*100)
 
-	h := server.New(db.Engine(), db.Device())
+	srvOpts := []server.Option{server.WithCoalescing(*batchMax, *batchWait)}
+	if *batchMax <= 1 {
+		srvOpts = []server.Option{server.WithoutCoalescing()}
+		log.Printf("request coalescing disabled")
+	} else {
+		log.Printf("request coalescing: up to %d lookups per batch, %v max wait", *batchMax, *batchWait)
+	}
+	h := server.New(db.Engine(), db.Device(), srvOpts...)
+	defer h.Close()
 	log.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, h); err != nil {
 		fmt.Fprintln(os.Stderr, err)

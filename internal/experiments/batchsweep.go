@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+)
+
+// BatchSweep charts what cross-request micro-batching buys: the same eval
+// trace is served with lookups coalesced into batches of increasing size,
+// and each batch runs one combined dedupe → selection → read pass whose
+// results scatter back per query. Widening the per-pass key set lets page
+// selection exploit co-location and replication across queries (§8.2's
+// cross-query duplication), so pages per key fall and mean valid embeddings
+// per read and effective bandwidth rise monotonically with batch size. The
+// shared-keys and shared-reads columns show the mechanism: how many
+// distinct keys each batch requested more than once, and how many page
+// reads served keys of several queries at once. Cache is disabled so every
+// saving is attributable to batching.
+func BatchSweep(cfg Config) error {
+	cfg = cfg.withDefaults()
+	pr, err := prepare(cfg, overallProfiles()[0])
+	if err != nil {
+		return err
+	}
+	lay, err := buildLayout(cfg, pr, "maxembed", 0.40)
+	if err != nil {
+		return err
+	}
+
+	t := newTable(cfg.Out, "Batch sweep: coalesced lookups vs batch size (maxembed, 40% replicas, no cache)")
+	t.row("batch", "pages/key", "valid/read", "shared keys", "shared reads",
+		"eff MB/s", "p50 µs", "p99 µs")
+	var prevValid, prevBW float64
+	for _, b := range []int{1, 2, 4, 8, 16, 32} {
+		dev, err := ssd.NewDevice(ssd.P5800X)
+		if err != nil {
+			return err
+		}
+		eng, err := serving.New(serving.Config{
+			Layout:      lay,
+			Device:      dev,
+			IndexLimit:  10,
+			Pipeline:    true,
+			VectorBytes: embedding.BytesPerVector(cfg.Dim),
+		})
+		if err != nil {
+			return err
+		}
+		res, err := serving.RunBatched(eng, pr.eval.Queries, b, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		pagesPerKey := float64(res.PagesRead) / float64(res.Keys)
+		t.row(fmt.Sprint(b),
+			fmt.Sprintf("%.3f", pagesPerKey),
+			fmt.Sprintf("%.2f", res.MeanValidPerRead),
+			fmt.Sprint(res.SharedKeys),
+			fmt.Sprint(res.SharedPageReads),
+			mbps(res.EffectiveBandwidth),
+			fmt.Sprintf("%.1f", float64(res.Latency.P50NS)/1e3),
+			fmt.Sprintf("%.1f", float64(res.Latency.P99NS)/1e3))
+		if res.MeanValidPerRead < prevValid || res.EffectiveBandwidth < prevBW {
+			fmt.Fprintf(cfg.Out, "WARNING: batch %d regressed (valid/read %.2f, bw %.0f)\n",
+				b, res.MeanValidPerRead, res.EffectiveBandwidth)
+		}
+		prevValid, prevBW = res.MeanValidPerRead, res.EffectiveBandwidth
+	}
+	t.flush()
+	return nil
+}

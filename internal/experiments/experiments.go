@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"partitioners", "Supplementary: SHP vs label-propagation partitioning", Partitioners},
 		{"scaleout", "Supplementary: sharded multi-device serving", ScaleOut},
 		{"faultsweep", "Supplementary: fault injection, recovery, and graceful degradation", FaultSweep},
+		{"batchsweep", "Supplementary: cross-request micro-batching vs batch size", BatchSweep},
 	}
 }
 

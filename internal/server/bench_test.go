@@ -1,0 +1,120 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxembed/internal/serving"
+)
+
+// BenchmarkHandlerLookup measures the full isolated handler path — decode,
+// serve, response build (pooled arena), JSON encode — the per-request cost
+// floor of the HTTP layer. Run with -benchmem to watch AllocsPerOp: the
+// pooled response arena keeps steady-state allocations independent of key
+// count (one arena reuse + map + encoder scratch, not one slice per key).
+func BenchmarkHandlerLookup(b *testing.B) {
+	s := newTestStack(b, 0.2, nil)
+	h := New(s.eng, s.dev, WithoutCoalescing())
+	body, err := json.Marshal(LookupRequest{Keys: s.tr.Queries[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := string(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/lookup", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// benchServerThroughput drives concurrent clients against the handler and
+// reports device reads per request alongside the usual ns/op — the pair of
+// BenchmarkServerLookup{Isolated,Coalesced} runs compares how much SSD work
+// each serving mode spends at the same offered load.
+func benchServerThroughput(b *testing.B, opts ...Option) {
+	s := newTestStack(b, 0.4, func(c *serving.Config) { c.CacheEntries = 0 })
+	h := New(s.eng, s.dev, opts...)
+	b.Cleanup(h.Close)
+	payloads := make([]string, 64)
+	for i := range payloads {
+		body, err := json.Marshal(LookupRequest{Keys: s.tr.Queries[i%16]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = string(body)
+	}
+	var next atomic.Int64
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			req := httptest.NewRequest(http.MethodPost, "/v1/lookup",
+				strings.NewReader(payloads[int(i)%len(payloads)]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+	b.StopTimer()
+	if n := next.Load(); n > 0 {
+		b.ReportMetric(float64(s.dev.Stats().Reads)/float64(n), "reads/req")
+	}
+}
+
+func BenchmarkServerLookupIsolated(b *testing.B) {
+	benchServerThroughput(b, WithoutCoalescing())
+}
+
+func BenchmarkServerLookupCoalesced(b *testing.B) {
+	benchServerThroughput(b, WithCoalescing(8, 100*time.Microsecond))
+}
+
+// TestHandlerLookupSteadyStateAllocs guards the hot-path allocation budget
+// of the isolated lookup handler: after warm-up, repeated identical lookups
+// must stay within a fixed allocation budget regardless of how many keys the
+// response carries (the response vectors live in one pooled arena). The
+// bound is deliberately generous — JSON encoding and the response map
+// dominate — but catches a regression to per-key vector allocation.
+func TestHandlerLookupSteadyStateAllocs(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	h := New(s.eng, s.dev, WithoutCoalescing())
+	body, err := json.Marshal(LookupRequest{Keys: s.tr.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := string(body)
+	post := func() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/lookup", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		post()
+	}
+	keys := len(s.tr.Queries[0])
+	allocs := testing.AllocsPerRun(200, post)
+	t.Logf("handler allocs/op: %.1f for %d keys", allocs, keys)
+	// Budget: fixed request/encoder overhead plus a small constant per key
+	// (map entry + JSON number formatting) — NOT a vector slice per key.
+	budget := 60 + 6*float64(keys)
+	if allocs > budget {
+		t.Errorf("handler allocates %.1f/op for %d keys, budget %.0f", allocs, keys, budget)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"maxembed/internal/metrics"
 	"maxembed/internal/serving"
@@ -63,6 +64,28 @@ func WithRetryAfter(seconds int) Option {
 	return func(h *Handler) { h.retryAfterSec = seconds }
 }
 
+// WithCoalescing configures cross-request micro-batching: up to maxBatch
+// concurrent lookups are gathered into one coalesced serving pass, waiting
+// at most maxWait for the batch to fill once two or more requests are
+// pending (a lone request is always dispatched immediately). maxBatch ≤ 1
+// disables coalescing and serves every request in isolation from a worker
+// pool. Defaults: maxBatch 8, maxWait 250µs.
+func WithCoalescing(maxBatch int, maxWait time.Duration) Option {
+	return func(h *Handler) { h.maxBatch, h.maxWait = maxBatch, maxWait }
+}
+
+// WithoutCoalescing serves every request in isolation (the pre-batching
+// architecture); equivalent to WithCoalescing(1, 0).
+func WithoutCoalescing() Option {
+	return func(h *Handler) { h.maxBatch, h.maxWait = 1, 0 }
+}
+
+// WithCoalesceQueue bounds how many requests may wait for the coalescer
+// before backpressure sheds new arrivals with 503 (default 1024).
+func WithCoalesceQueue(n int) Option {
+	return func(h *Handler) { h.coalesceQueue = n }
+}
+
 // Handler serves the HTTP API for one engine.
 type Handler struct {
 	eng     *serving.Engine
@@ -75,9 +98,17 @@ type Handler struct {
 	minEvents     int64
 	retryAfterSec int
 	probeSeq      atomic.Int64 // admits every Nth request while unhealthy
+
+	maxBatch      int
+	maxWait       time.Duration
+	coalesceQueue int
+	coal          *coalescer // nil when coalescing is disabled
+	closeOnce     sync.Once
 }
 
-// New returns a handler over the given engine and its device.
+// New returns a handler over the given engine and its device. Coalescing
+// is on by default (see WithCoalescing); call Close when done to stop the
+// coalescer goroutine.
 func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
 	h := &Handler{
 		eng:           eng,
@@ -87,16 +118,34 @@ func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
 		threshold:     defaultUnhealthyThreshold,
 		minEvents:     defaultMinHealthEvents,
 		retryAfterSec: defaultRetryAfterSec,
+		maxBatch:      defaultMaxBatch,
+		maxWait:       defaultMaxWait,
+		coalesceQueue: defaultCoalesceQueue,
 	}
 	for _, o := range opts {
 		o(h)
 	}
 	h.workers.New = func() any { return eng.NewWorker() }
+	if h.maxBatch > 1 {
+		h.coal = newCoalescer(h, h.maxBatch, h.maxWait, h.coalesceQueue)
+		go h.coal.run()
+	}
 	h.mux.HandleFunc("POST /v1/lookup", h.lookup)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.health)
 	return h
+}
+
+// Close stops the coalescer goroutine, serving anything already queued
+// first. The handler keeps working afterwards, falling back to isolated
+// per-request serving. Safe to call multiple times.
+func (h *Handler) Close() {
+	h.closeOnce.Do(func() {
+		if h.coal != nil {
+			h.coal.close()
+		}
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -134,15 +183,74 @@ type LookupResponse struct {
 
 // LookupStats is the JSON projection of serving.QueryStats.
 type LookupStats struct {
-	DistinctKeys   int   `json:"distinct_keys"`
-	CacheHits      int   `json:"cache_hits"`
-	PagesRead      int   `json:"pages_read"`
-	Retries        int   `json:"retries,omitempty"`
-	ReplicaRescues int   `json:"replica_rescues,omitempty"`
-	LatencyNS      int64 `json:"virtual_latency_ns"`
+	DistinctKeys   int     `json:"distinct_keys"`
+	CacheHits      int     `json:"cache_hits"`
+	PagesRead      int     `json:"pages_read"`
+	PageShare      float64 `json:"page_share"`
+	BatchSize      int     `json:"batch_size"`
+	Retries        int     `json:"retries,omitempty"`
+	ReplicaRescues int     `json:"replica_rescues,omitempty"`
+	LatencyNS      int64   `json:"virtual_latency_ns"`
 }
 
 const maxLookupKeys = 1 << 16
+
+// arenaPool recycles the flat vector arenas behind lookup responses: all of
+// a response's embedding values are copied into one pooled []float32 and the
+// map holds subslices, so the hot path does one (usually amortized-free)
+// allocation per response instead of one per key. The arena is returned to
+// the pool after the response is encoded.
+var arenaPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// buildLookupResponse copies a scattered per-query result out of worker
+// scratch into a response backed by a pooled arena. The caller must release
+// the returned arena with releaseArena after encoding the response.
+func buildLookupResponse(res serving.Result) (LookupResponse, *[]float32) {
+	total := 0
+	for _, v := range res.Vectors {
+		total += len(v)
+	}
+	ap := arenaPool.Get().(*[]float32)
+	arena := *ap
+	if cap(arena) < total {
+		arena = make([]float32, total)
+	}
+	arena = arena[:total]
+	*ap = arena
+
+	resp := LookupResponse{
+		Embeddings: make(map[uint32][]float32, len(res.Keys)),
+		Stats: LookupStats{
+			DistinctKeys:   res.Stats.DistinctKeys,
+			CacheHits:      res.Stats.CacheHits,
+			PagesRead:      res.Stats.PagesRead,
+			PageShare:      res.Stats.PageShare,
+			BatchSize:      res.Stats.BatchSize,
+			Retries:        res.Stats.Retries,
+			ReplicaRescues: res.Stats.ReplicaRescues,
+			LatencyNS:      res.Stats.LatencyNS(),
+		},
+	}
+	off := 0
+	for i, k := range res.Keys {
+		v := res.Vectors[i]
+		dst := arena[off : off+len(v) : off+len(v)]
+		copy(dst, v)
+		resp.Embeddings[k] = dst
+		off += len(v)
+	}
+	if res.Stats.Degraded {
+		resp.Degraded = true
+		resp.FailedKeys = append(resp.FailedKeys, res.FailedKeys...)
+	}
+	return resp, ap
+}
+
+func releaseArena(ap *[]float32) {
+	if ap != nil {
+		arenaPool.Put(ap)
+	}
+}
 
 func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 	if rate, _, ok := h.healthy(); !ok {
@@ -169,40 +277,76 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "too many keys: %d > %d", len(req.Keys), maxLookupKeys)
 		return
 	}
+	if h.coal != nil {
+		if h.lookupCoalesced(w, req.Keys) {
+			return
+		}
+		// Coalescer shut down mid-request: fall through to isolated serving.
+	}
+	h.lookupIsolated(w, req.Keys)
+}
+
+// lookupCoalesced routes the request through the coalescer. It reports
+// false only when the coalescer has shut down and the request should be
+// served in isolation instead; a full queue is handled here (503).
+func (h *Handler) lookupCoalesced(w http.ResponseWriter, keys []uint32) bool {
+	if h.coal.closing.Load() {
+		return false
+	}
+	h.coal.inflight.Add(1)
+	defer h.coal.inflight.Add(-1)
+	job := lookupJob{keys: keys, done: make(chan lookupOutcome, 1)}
+	if !h.coal.submit(job) {
+		if h.coal.closing.Load() {
+			return false
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(h.retryAfterSec))
+		httpError(w, http.StatusServiceUnavailable,
+			"server overloaded: coalesce queue full")
+		return true
+	}
+	var out lookupOutcome
+	select {
+	case out = <-job.done:
+	case <-h.coal.exited:
+		// The coalescer exited after accepting the job; it drains its
+		// queue before exiting, so the outcome — if any — is already
+		// buffered. Otherwise serve in isolation.
+		select {
+		case out = <-job.done:
+		default:
+			return false
+		}
+	}
+	if out.err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", out.err)
+		return true
+	}
+	writeJSONStatus(w, out.status, out.resp)
+	releaseArena(out.arena)
+	return true
+}
+
+// lookupIsolated serves one request on a pooled worker with no batching —
+// the path taken when coalescing is disabled.
+func (h *Handler) lookupIsolated(w http.ResponseWriter, keys []uint32) {
 	worker := h.workers.Get().(*serving.Worker)
-	defer h.workers.Put(worker)
-	res, err := worker.Lookup(req.Keys)
+	res, err := worker.Lookup(keys)
 	if err != nil {
+		h.workers.Put(worker)
 		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", err)
 		return
 	}
 	h.window.Observe(int64(res.Stats.ReadFaults),
 		int64(res.Stats.PagesRead+res.Stats.Retries))
-	resp := LookupResponse{
-		Embeddings: make(map[uint32][]float32, len(res.Keys)),
-		Stats: LookupStats{
-			DistinctKeys:   res.Stats.DistinctKeys,
-			CacheHits:      res.Stats.CacheHits,
-			PagesRead:      res.Stats.PagesRead,
-			Retries:        res.Stats.Retries,
-			ReplicaRescues: res.Stats.ReplicaRescues,
-			LatencyNS:      res.Stats.LatencyNS(),
-		},
-	}
-	for i, k := range res.Keys {
-		// Copy out: the result vectors alias worker scratch that is
-		// reused once the worker returns to the pool.
-		v := make([]float32, len(res.Vectors[i]))
-		copy(v, res.Vectors[i])
-		resp.Embeddings[k] = v
-	}
+	resp, arena := buildLookupResponse(res)
+	h.workers.Put(worker)
 	status := http.StatusOK
-	if res.Stats.Degraded {
-		resp.Degraded = true
-		resp.FailedKeys = append(resp.FailedKeys, res.FailedKeys...)
+	if resp.Degraded {
 		status = http.StatusPartialContent
 	}
 	writeJSONStatus(w, status, resp)
+	releaseArena(arena)
 }
 
 // StatsResponse is the /v1/stats response body.
@@ -243,6 +387,9 @@ type StatsResponse struct {
 		P99NS  int64   `json:"p99_ns"`
 	} `json:"virtual_latency"`
 	MeanValidPerRead float64 `json:"mean_valid_per_read"`
+	// Coalescer reports micro-batching activity; Enabled false (and zero
+	// counters) when the server serves every request in isolation.
+	Coalescer CoalescerStats `json:"coalescer"`
 }
 
 func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
@@ -282,6 +429,9 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Latency.P50NS = ls.P50NS
 	resp.Latency.P99NS = ls.P99NS
 	resp.MeanValidPerRead = h.eng.ValidPerRead.Mean()
+	if h.coal != nil {
+		resp.Coalescer = h.coal.stats()
+	}
 	writeJSON(w, resp)
 }
 
@@ -316,6 +466,24 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE maxembed_lookups_total counter\nmaxembed_lookups_total %d\n", ls.Count)
 	fmt.Fprintf(w, "# TYPE maxembed_lookup_latency_p99_ns gauge\nmaxembed_lookup_latency_p99_ns %d\n", ls.P99NS)
 	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read gauge\nmaxembed_valid_per_read %g\n", h.eng.ValidPerRead.Mean())
+	if h.coal != nil {
+		cs := h.coal.stats()
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_batches_total counter\nmaxembed_coalesce_batches_total %d\n", cs.Batches)
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_bypass_total counter\nmaxembed_coalesce_bypass_total %d\n", cs.Bypasses)
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_requests_total counter\nmaxembed_coalesce_requests_total %d\n", cs.Coalesced)
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_shed_total counter\nmaxembed_coalesce_shed_total %d\n", cs.Shed)
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_batch_size_mean gauge\nmaxembed_coalesce_batch_size_mean %g\n", cs.MeanBatchSize)
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_wait_p99_ns gauge\nmaxembed_coalesce_wait_p99_ns %d\n", cs.WaitP99NS)
+		// Cumulative batch-size histogram in exposition format.
+		fmt.Fprintf(w, "# TYPE maxembed_coalesce_batch_size histogram\n")
+		var cum int64
+		for sz := 1; sz <= h.coal.maxBatch; sz++ {
+			cum += h.coal.batchSizes.Bucket(sz)
+			fmt.Fprintf(w, "maxembed_coalesce_batch_size_bucket{le=%q} %d\n", fmt.Sprint(sz), cum)
+		}
+		fmt.Fprintf(w, "maxembed_coalesce_batch_size_bucket{le=\"+Inf\"} %d\n", cs.Batches)
+		fmt.Fprintf(w, "maxembed_coalesce_batch_size_count %d\n", cs.Batches)
+	}
 }
 
 // health is a real readiness probe: it reports 503 while the rolling

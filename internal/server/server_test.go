@@ -31,7 +31,7 @@ type testStack struct {
 	tr  *workload.Trace
 }
 
-func newTestStack(t *testing.T, ratio float64, mutate func(*serving.Config)) *testStack {
+func newTestStack(t testing.TB, ratio float64, mutate func(*serving.Config)) *testStack {
 	t.Helper()
 	p := workload.Profile{
 		Name: "t", Items: 800, Queries: 1500, MeanQueryLen: 8,
@@ -88,8 +88,12 @@ func newTestStack(t *testing.T, ratio float64, mutate func(*serving.Config)) *te
 
 func (s *testStack) serve(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(New(s.eng, s.dev, opts...))
-	t.Cleanup(srv.Close)
+	h := New(s.eng, s.dev, opts...)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		h.Close()
+	})
 	return srv
 }
 

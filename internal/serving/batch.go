@@ -1,0 +1,346 @@
+package serving
+
+// BatchStats describes the combined pass of one coalesced batch lookup.
+type BatchStats struct {
+	// Queries is the number of queries coalesced into the batch.
+	Queries int
+	// SharedKeys counts distinct keys requested by more than one query of
+	// the batch — the cross-query duplication §8.2 attributes batching's
+	// bandwidth gains to.
+	SharedKeys int
+	// SharedPageReads counts page reads whose covered keys span more than
+	// one query, i.e. reads the batch amortized across queries.
+	SharedPageReads int
+	// Combined is the single combined pass's stats: key, page, fault, and
+	// software-time totals over the whole batch. Its latency is every
+	// member query's latency (the batch completes as one unit on the
+	// virtual clock).
+	Combined QueryStats
+}
+
+// LatencyNS returns the batch's end-to-end virtual latency.
+func (s BatchStats) LatencyNS() int64 { return s.Combined.LatencyNS() }
+
+// BatchResult is the outcome of one coalesced batch lookup.
+type BatchResult struct {
+	// PerQuery[i] is query i's scattered result: exactly its distinct keys
+	// (vectors for the ones served, FailedKeys for the ones that were not),
+	// equal to what an isolated Lookup of the same query returns modulo
+	// cache state. Per-query stats attribute the shared work: PagesRead
+	// counts pages that served at least one of the query's keys, PageShare
+	// apportions shared reads fractionally, and latency is the batch
+	// completion time. Recovery totals (Retries, ReadFaults, Corruptions,
+	// ReplicaRescues) are accounted batch-wide in Stats.Combined, not per
+	// query. Slices alias worker memory reused by the next lookup.
+	PerQuery []Result
+	// Stats aggregates the combined pass.
+	Stats BatchStats
+}
+
+// scatterScratch holds LookupBatch's reusable scatter state.
+type scatterScratch struct {
+	owners    map[Key][]int32 // distinct key → queries requesting it
+	vecOf     map[Key][]float32
+	failed    map[Key]struct{}
+	hit       map[Key]struct{}
+	distinct  []Key   // per-query distinct keys, flattened
+	bounds    []int   // distinct[bounds[i]:bounds[i+1]] is query i's keys
+	touch     []int32 // queries touched by the page being attributed
+	flatKeys  []Key
+	flatVecs  [][]float32
+	flatFail  []Key
+	pagesFor  []int
+	shareFor  []float64
+	hitsFor   []int
+	servedFor []int
+	failFor   []int
+}
+
+// LookupBatch serves several queries as one coalesced lookup: a single
+// combined dedupe → cache probe → page selection → pipelined-read pass
+// runs over the union of the queries' keys, so co-located and replicated
+// embeddings are shared across queries (§8.2's cross-query duplication),
+// and the outcome is scattered back per query — each query receives
+// exactly its keys, its own FailedKeys, and attributed stats. All queries
+// complete at the batch's completion time on the worker's virtual clock,
+// and each records one latency sample. A batch of one degenerates to
+// Lookup (no batching overhead on light traffic).
+func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
+	var br BatchResult
+	br.Stats.Queries = len(queries)
+	switch len(queries) {
+	case 0:
+		return br, nil
+	case 1:
+		res, err := w.Lookup(queries[0])
+		if err != nil {
+			return br, err
+		}
+		br.PerQuery = []Result{res}
+		br.Stats.Combined = res.Stats
+		return br, nil
+	}
+
+	total := 0
+	for _, q := range queries {
+		total += len(q)
+	}
+	if cap(w.batchBuf) < total {
+		w.batchBuf = make([]Key, 0, total)
+	}
+	w.batchBuf = w.batchBuf[:0]
+	for _, q := range queries {
+		w.batchBuf = append(w.batchBuf, q...)
+	}
+	union, err := w.lookupCombined(w.batchBuf, false)
+	if err != nil {
+		return br, err
+	}
+	e := w.eng
+	union.Stats.BatchSize = len(queries)
+	union.Stats.PageShare = float64(union.Stats.PagesRead)
+	br.Stats.Combined = union.Stats
+
+	// Ownership: which queries requested each distinct key. w.seen is free
+	// again after lookupCombined; reuse it for per-query dedup.
+	sc := &w.scatter
+	if sc.owners == nil {
+		sc.owners = make(map[Key][]int32, union.Stats.DistinctKeys)
+		sc.vecOf = make(map[Key][]float32, len(union.Keys))
+		sc.failed = make(map[Key]struct{}, 8)
+		sc.hit = make(map[Key]struct{}, 16)
+	}
+	clear(sc.owners)
+	sc.distinct = sc.distinct[:0]
+	sc.bounds = append(sc.bounds[:0], 0)
+	for qi, q := range queries {
+		clear(w.seen)
+		for _, k := range q {
+			if _, dup := w.seen[k]; dup {
+				continue
+			}
+			w.seen[k] = struct{}{}
+			sc.distinct = append(sc.distinct, k)
+			sc.owners[k] = append(sc.owners[k], int32(qi))
+		}
+		sc.bounds = append(sc.bounds, len(sc.distinct))
+		if e.cfg.Recorder != nil {
+			e.cfg.Recorder.Record(sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]])
+		}
+	}
+	for _, qs := range sc.owners {
+		if len(qs) > 1 {
+			br.Stats.SharedKeys++
+		}
+	}
+
+	clear(sc.vecOf)
+	for i, k := range union.Keys {
+		sc.vecOf[k] = union.Vectors[i]
+	}
+	clear(sc.failed)
+	for _, k := range union.FailedKeys {
+		sc.failed[k] = struct{}{}
+	}
+	clear(sc.hit)
+	for _, k := range w.hitKeys {
+		sc.hit[k] = struct{}{}
+	}
+
+	// Page attribution: each planned read is charged to every query one of
+	// its covered keys belongs to, and apportioned 1/q across those q
+	// queries so shares sum back to the batch total.
+	sc.pagesFor = resizeInts(sc.pagesFor, len(queries))
+	sc.shareFor = resizeFloats(sc.shareFor, len(queries))
+	for _, pe := range w.plan {
+		sc.touch = sc.touch[:0]
+		for _, k := range w.coveredFlat[pe.from:pe.to] {
+			for _, qi := range sc.owners[k] {
+				if !containsQ(sc.touch, qi) {
+					sc.touch = append(sc.touch, qi)
+				}
+			}
+		}
+		if len(sc.touch) == 0 {
+			continue
+		}
+		if len(sc.touch) > 1 {
+			br.Stats.SharedPageReads++
+		}
+		share := 1 / float64(len(sc.touch))
+		for _, qi := range sc.touch {
+			sc.pagesFor[qi]++
+			sc.shareFor[qi] += share
+		}
+	}
+
+	// Scatter: size the flat result arrays exactly, then carve per-query
+	// windows out of them (exact capacity keeps the backing arrays stable,
+	// so earlier windows never go stale).
+	sc.hitsFor = resizeInts(sc.hitsFor, len(queries))
+	sc.servedFor = resizeInts(sc.servedFor, len(queries))
+	sc.failFor = resizeInts(sc.failFor, len(queries))
+	totServed, totFailed := 0, 0
+	for qi := range queries {
+		for _, k := range sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]] {
+			if _, bad := sc.failed[k]; bad {
+				sc.failFor[qi]++
+				totFailed++
+				continue
+			}
+			if _, h := sc.hit[k]; h {
+				sc.hitsFor[qi]++
+			}
+			if _, ok := sc.vecOf[k]; ok {
+				sc.servedFor[qi]++
+				totServed++
+			}
+		}
+	}
+	sc.flatKeys = resizeKeys(sc.flatKeys, totServed)[:0]
+	sc.flatVecs = resizeVecs(sc.flatVecs, totServed)[:0]
+	sc.flatFail = resizeKeys(sc.flatFail, totFailed)[:0]
+
+	br.PerQuery = make([]Result, len(queries))
+	for qi := range queries {
+		keyFrom, failFrom := len(sc.flatKeys), len(sc.flatFail)
+		d := sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]]
+		for _, k := range d {
+			if _, bad := sc.failed[k]; bad {
+				sc.flatFail = append(sc.flatFail, k)
+				continue
+			}
+			if v, ok := sc.vecOf[k]; ok {
+				sc.flatKeys = append(sc.flatKeys, k)
+				sc.flatVecs = append(sc.flatVecs, v)
+			}
+		}
+		st := QueryStats{
+			Keys:          len(queries[qi]),
+			DistinctKeys:  len(d),
+			CacheHits:     sc.hitsFor[qi],
+			PagesRead:     sc.pagesFor[qi],
+			PageShare:     sc.shareFor[qi],
+			BatchSize:     len(queries),
+			FailedKeys:    sc.failFor[qi],
+			Degraded:      sc.failFor[qi] > 0,
+			UsefulFromSSD: len(d) - sc.hitsFor[qi] - sc.failFor[qi],
+			StartNS:       union.Stats.StartNS,
+			EndNS:         union.Stats.EndNS,
+		}
+		if st.Degraded {
+			e.Recovery.DegradedQueries.Inc()
+			e.Recovery.FailedKeys.Add(int64(st.FailedKeys))
+		}
+		e.Latency.Record(st.LatencyNS())
+		r := Result{
+			Stats:   st,
+			Keys:    sc.flatKeys[keyFrom:len(sc.flatKeys):len(sc.flatKeys)],
+			Vectors: sc.flatVecs[keyFrom:len(sc.flatVecs):len(sc.flatVecs)],
+		}
+		if failFrom < len(sc.flatFail) {
+			r.FailedKeys = sc.flatFail[failFrom:len(sc.flatFail):len(sc.flatFail)]
+		}
+		br.PerQuery[qi] = r
+	}
+	return br, nil
+}
+
+// containsQ reports whether qs contains qi.
+func containsQ(qs []int32, qi int32) bool {
+	for _, q := range qs {
+		if q == qi {
+			return true
+		}
+	}
+	return false
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeKeys(s []Key, n int) []Key {
+	if cap(s) < n {
+		return make([]Key, n)
+	}
+	return s[:n]
+}
+
+func resizeVecs(s [][]float32, n int) [][]float32 {
+	if cap(s) < n {
+		return make([][]float32, n)
+	}
+	return s[:n]
+}
+
+// RunBatched is Run with cross-request micro-batching: queries are grouped
+// into batches of batchSize and each batch is served as one coalesced
+// LookupBatch, with batches interleaved round-robin across workers. It is
+// the closed-loop harness behind the batchsweep experiment — widening the
+// per-pass key set raises valid embeddings per read and effective
+// bandwidth (§8.2). batchSize ≤ 1 degenerates to Run.
+func RunBatched(e *Engine, queries [][]Key, batchSize, workers int) (RunResult, error) {
+	if batchSize <= 1 {
+		return Run(e, queries, workers)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e.resetRunState()
+	ws := make([]*Worker, workers)
+	for i := range ws {
+		ws[i] = e.NewWorker()
+	}
+	var res RunResult
+	for bi := 0; bi*batchSize < len(queries); bi++ {
+		from := bi * batchSize
+		to := min(from+batchSize, len(queries))
+		br, err := ws[bi%workers].LookupBatch(queries[from:to])
+		if err != nil {
+			return res, err
+		}
+		st := br.Stats.Combined
+		res.Queries += int64(br.Stats.Queries)
+		res.Keys += int64(st.Keys)
+		res.PagesRead += int64(st.PagesRead)
+		res.UsefulKeys += int64(st.UsefulFromSSD)
+		res.CacheHits += int64(st.CacheHits)
+		res.SortNS += st.SortNS
+		res.SelectNS += st.SelectNS
+		res.OtherSoftNS += st.OtherSoftNS
+		res.SSDWaitNS += st.SSDWaitNS
+		res.RecoveryNS += st.RecoveryNS
+		res.Retries += int64(st.Retries)
+		res.ReplicaRescues += int64(st.ReplicaRescues)
+		res.Corruptions += int64(st.Corruptions)
+		res.SharedKeys += int64(br.Stats.SharedKeys)
+		res.SharedPageReads += int64(br.Stats.SharedPageReads)
+		for _, r := range br.PerQuery {
+			res.FailedKeys += int64(r.Stats.FailedKeys)
+			if r.Stats.Degraded {
+				res.DegradedQueries++
+			}
+		}
+	}
+	finalizeRun(e, &res, ws)
+	return res, nil
+}

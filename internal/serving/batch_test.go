@@ -1,0 +1,307 @@
+package serving
+
+import (
+	"testing"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/ssd"
+)
+
+// collectQueryResult deep-copies a scattered per-query result out of worker
+// scratch (which the next lookup reuses).
+func collectQueryResult(r Result) (keys []Key, vecs map[Key][]float32, failed []Key) {
+	keys = append(keys, r.Keys...)
+	vecs = make(map[Key][]float32, len(r.Keys))
+	for i, k := range r.Keys {
+		vecs[k] = append([]float32(nil), r.Vectors[i]...)
+	}
+	failed = append(failed, r.FailedKeys...)
+	return keys, vecs, failed
+}
+
+func TestLookupBatchScatterMatchesIsolated(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.4)
+	batch := f.trace.Queries[:6]
+
+	// Batched serving on one engine, isolated serving on an identical fresh
+	// one (both cacheless, so results cannot diverge through cache state).
+	be := f.engine(t, nil)
+	br, err := be.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.PerQuery) != len(batch) {
+		t.Fatalf("PerQuery = %d, want %d", len(br.PerQuery), len(batch))
+	}
+	gotKeys := make([][]Key, len(batch))
+	gotVecs := make([]map[Key][]float32, len(batch))
+	for qi := range batch {
+		var failed []Key
+		gotKeys[qi], gotVecs[qi], failed = collectQueryResult(br.PerQuery[qi])
+		if len(failed) > 0 {
+			t.Fatalf("query %d failed keys with no faults injected: %v", qi, failed)
+		}
+	}
+
+	ie := f.engine(t, nil)
+	iw := ie.NewWorker()
+	for qi, q := range batch {
+		iso, err := iw.Lookup(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotKeys[qi]) != len(iso.Keys) {
+			t.Fatalf("query %d: batched returned %d keys, isolated %d", qi, len(gotKeys[qi]), len(iso.Keys))
+		}
+		isoVecs := map[Key][]float32{}
+		for i, k := range iso.Keys {
+			isoVecs[k] = iso.Vectors[i]
+		}
+		for _, k := range gotKeys[qi] {
+			want, ok := isoVecs[k]
+			if !ok {
+				t.Fatalf("query %d: batched returned key %d isolated serving did not", qi, k)
+			}
+			got := gotVecs[qi][k]
+			if len(got) != len(want) {
+				t.Fatalf("query %d key %d: dim %d vs %d", qi, k, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("query %d key %d element %d: %v != %v", qi, k, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestLookupBatchCrossQueryDedup(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.4)
+	// A batch with heavy cross-query duplication: the same queries twice.
+	base := f.trace.Queries[:4]
+	batch := append(append([][]Key{}, base...), base...)
+
+	be := f.engine(t, nil)
+	br, err := be.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ie := f.engine(t, nil)
+	iw := ie.NewWorker()
+	isoPages := 0
+	for _, q := range batch {
+		res, err := iw.Lookup(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isoPages += res.Stats.PagesRead
+	}
+	// Every key appears in ≥ 2 queries, so the combined pass must read at
+	// most half the pages of isolated serving (cacheless engines).
+	if got := br.Stats.Combined.PagesRead; got > isoPages/2 {
+		t.Errorf("batched pass read %d pages, isolated %d — shared keys not deduped", got, isoPages)
+	}
+	if br.Stats.SharedKeys != br.Stats.Combined.DistinctKeys {
+		t.Errorf("SharedKeys = %d, want every distinct key (%d) shared",
+			br.Stats.SharedKeys, br.Stats.Combined.DistinctKeys)
+	}
+	if br.Stats.SharedPageReads == 0 {
+		t.Error("no page reads marked shared in a fully-duplicated batch")
+	}
+}
+
+func TestLookupBatchStatsAttribution(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.3)
+	batch := f.trace.Queries[:8]
+	e := f.engine(t, nil)
+	br, err := e.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shareSum float64
+	for qi, r := range br.PerQuery {
+		st := r.Stats
+		if st.BatchSize != len(batch) {
+			t.Errorf("query %d BatchSize = %d, want %d", qi, st.BatchSize, len(batch))
+		}
+		if st.Keys != len(batch[qi]) {
+			t.Errorf("query %d Keys = %d, want %d", qi, st.Keys, len(batch[qi]))
+		}
+		if got := st.LatencyNS(); got != br.Stats.LatencyNS() {
+			t.Errorf("query %d latency %d != batch latency %d (completes with the batch)",
+				qi, got, br.Stats.LatencyNS())
+		}
+		if st.PagesRead < 1 || st.PagesRead > br.Stats.Combined.PagesRead {
+			t.Errorf("query %d PagesRead = %d outside [1, %d]", qi, st.PagesRead, br.Stats.Combined.PagesRead)
+		}
+		if st.PageShare <= 0 || st.PageShare > float64(st.PagesRead) {
+			t.Errorf("query %d PageShare = %v outside (0, %d]", qi, st.PageShare, st.PagesRead)
+		}
+		shareSum += st.PageShare
+	}
+	// Fractional shares apportion the combined pass exactly: they sum back
+	// to the batch's page-read total (modulo float rounding).
+	if tot := float64(br.Stats.Combined.PagesRead); shareSum < tot-1e-6 || shareSum > tot+1e-6 {
+		t.Errorf("PageShare sum = %v, want %v", shareSum, tot)
+	}
+}
+
+func TestLookupBatchFailedKeyAttribution(t *testing.T) {
+	// Unreplicated layout + recovery disabled: every injected fault degrades
+	// immediately, so its page's keys must surface in FailedKeys — of
+	// exactly the queries that asked for them.
+	f := newFixture(t, placement.StrategySHP, 0)
+	e := f.engine(t, func(c *Config) { c.MaxRetries = -1 })
+	e.cfg.Device.SetFaultInjector(ssd.FailEveryN(3))
+
+	batch := f.trace.Queries[:6]
+	br, err := e.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Stats.Combined.FailedKeys == 0 {
+		t.Fatal("no failed keys despite injected faults and disabled recovery")
+	}
+	degradedBefore := e.Recovery.DegradedQueries.Load()
+	failedDistinct := map[Key]bool{}
+	degraded := 0
+	for qi, r := range br.PerQuery {
+		asked := map[Key]bool{}
+		for _, k := range batch[qi] {
+			asked[k] = true
+		}
+		for _, k := range r.FailedKeys {
+			if !asked[k] {
+				t.Errorf("query %d charged failed key %d it never asked for", qi, k)
+			}
+			failedDistinct[k] = true
+		}
+		for _, k := range r.Keys {
+			for _, fk := range r.FailedKeys {
+				if k == fk {
+					t.Errorf("query %d key %d both served and failed", qi, k)
+				}
+			}
+		}
+		if got := len(r.FailedKeys); got != r.Stats.FailedKeys {
+			t.Errorf("query %d FailedKeys stat %d != slice len %d", qi, r.Stats.FailedKeys, got)
+		}
+		if r.Stats.Degraded != (len(r.FailedKeys) > 0) {
+			t.Errorf("query %d Degraded = %v with %d failed keys", qi, r.Stats.Degraded, len(r.FailedKeys))
+		}
+		if r.Stats.Degraded {
+			degraded++
+		}
+		// Accounting closes: served + failed covers the query's distinct set.
+		if len(r.Keys)+len(r.FailedKeys) != r.Stats.DistinctKeys {
+			t.Errorf("query %d: %d served + %d failed != %d distinct",
+				qi, len(r.Keys), len(r.FailedKeys), r.Stats.DistinctKeys)
+		}
+	}
+	if len(failedDistinct) != br.Stats.Combined.FailedKeys {
+		t.Errorf("distinct failed keys across queries = %d, combined pass reported %d",
+			len(failedDistinct), br.Stats.Combined.FailedKeys)
+	}
+	if degraded == 0 {
+		t.Error("failed keys attributed to no query")
+	}
+	// Engine counters count degraded member queries, not batches.
+	if got := degradedBefore; got != int64(degraded) {
+		t.Errorf("DegradedQueries counter = %d, want %d", got, degraded)
+	}
+}
+
+func TestLookupBatchDegenerateSizes(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.2)
+	e := f.engine(t, nil)
+	w := e.NewWorker()
+	br, err := w.LookupBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.PerQuery) != 0 || br.Stats.Queries != 0 {
+		t.Errorf("empty batch returned %+v", br.Stats)
+	}
+	// A batch of one behaves exactly like Lookup.
+	q := f.trace.Queries[0]
+	br, err = w.LookupBatch([][]Key{q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.PerQuery) != 1 {
+		t.Fatalf("PerQuery = %d", len(br.PerQuery))
+	}
+	if st := br.PerQuery[0].Stats; st.BatchSize != 1 || st.PageShare != float64(st.PagesRead) {
+		t.Errorf("singleton batch stats %+v not equivalent to isolated Lookup", st)
+	}
+}
+
+func TestRunBatchedMonotonicGains(t *testing.T) {
+	// §8.2: widening the per-pass key set monotonically raises valid
+	// embeddings per read and effective bandwidth on a replicated layout.
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.4)
+	queries := f.trace.Queries[:800]
+
+	var prev RunResult
+	sizes := []int{1, 4, 16}
+	results := make([]RunResult, len(sizes))
+	for i, b := range sizes {
+		r, err := RunBatched(f.engine(t, nil), queries, b, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = r
+		if r.Queries != int64(len(queries)) {
+			t.Fatalf("B=%d served %d queries, want %d", b, r.Queries, len(queries))
+		}
+		if i > 0 {
+			if r.MeanValidPerRead < prev.MeanValidPerRead {
+				t.Errorf("B=%d MeanValidPerRead %.3f < B=%d's %.3f",
+					b, r.MeanValidPerRead, sizes[i-1], prev.MeanValidPerRead)
+			}
+			if r.PagesRead > prev.PagesRead {
+				t.Errorf("B=%d read %d pages > B=%d's %d", b, r.PagesRead, sizes[i-1], prev.PagesRead)
+			}
+		}
+		prev = r
+	}
+	first, last := results[0], results[len(results)-1]
+	if last.MeanValidPerRead <= first.MeanValidPerRead {
+		t.Errorf("no end-to-end valid-per-read gain: B=1 %.3f, B=16 %.3f",
+			first.MeanValidPerRead, last.MeanValidPerRead)
+	}
+	if last.EffectiveBandwidth <= first.EffectiveBandwidth {
+		t.Errorf("no end-to-end bandwidth gain: B=1 %.3e, B=16 %.3e",
+			first.EffectiveBandwidth, last.EffectiveBandwidth)
+	}
+	if last.SharedKeys == 0 || last.SharedPageReads == 0 {
+		t.Errorf("B=16 recorded no sharing: %d shared keys, %d shared reads",
+			last.SharedKeys, last.SharedPageReads)
+	}
+}
+
+func TestLookupBatchRecordsPerQueryHistory(t *testing.T) {
+	f := newFixture(t, placement.StrategySHP, 0)
+	rec := NewHistoryRecorder(64)
+	e := f.engine(t, func(c *Config) { c.Recorder = rec })
+	batch := f.trace.Queries[:5]
+	if _, err := e.NewWorker().LookupBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The recorder must see the true per-query key sets — not the batch
+	// union — so Refresh learns real co-appearance, not batching artifacts.
+	if rec.Total() != int64(len(batch)) {
+		t.Fatalf("recorded %d queries, want %d", rec.Total(), len(batch))
+	}
+	snap := rec.Snapshot()
+	for qi, q := range batch {
+		distinct := map[Key]bool{}
+		for _, k := range q {
+			distinct[k] = true
+		}
+		if len(snap[qi]) != len(distinct) {
+			t.Errorf("recorded query %d has %d keys, want %d", qi, len(snap[qi]), len(distinct))
+		}
+	}
+}

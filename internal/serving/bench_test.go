@@ -85,3 +85,48 @@ func BenchmarkWorkerLookupFull(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorkerLookupBatch measures the coalesced batch path end to end:
+// combined pass plus per-query scatter.
+func BenchmarkWorkerLookupBatch(b *testing.B) {
+	eng, tr := benchEngine(b, true)
+	w := eng.NewWorker()
+	const batch = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := (i * batch) % (len(tr.Queries) - batch)
+		if _, err := w.LookupBatch(tr.Queries[from : from+batch]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWorkerLookupSteadyStateAllocs guards the serving hot path's
+// allocation budget: once a worker's scratch (result slices, selection
+// plan, extraction arena) has grown to fit the workload, repeated lookups
+// must allocate only incidental amounts — not one slice per key or per
+// vector. The bound is deliberately loose (map rehashing and SSD queue
+// growth make single-digit noise) but fails on any per-key regression.
+func TestWorkerLookupSteadyStateAllocs(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.3)
+	e := f.engine(t, nil) // cacheless: cache inserts intentionally allocate
+	w := e.NewWorker()
+	qs := f.trace.Queries
+	for i := 0; i < 300; i++ {
+		if _, err := w.Lookup(qs[i%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := w.Lookup(qs[i%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state Lookup allocs/op: %.1f (queries average %d keys)", allocs, 16)
+	if allocs > 16 {
+		t.Errorf("steady-state Lookup allocates %.1f/op, budget 16", allocs)
+	}
+}

@@ -238,6 +238,16 @@ type QueryStats struct {
 	// Retries is the number of recovery reads issued after faults
 	// (replica reads and re-reads alike).
 	Retries int
+	// BatchSize is the number of queries coalesced into the combined pass
+	// that served this query: 1 for an isolated Lookup, the batch size for
+	// queries served through LookupBatch.
+	BatchSize int
+	// PageShare is this query's apportioned share of the page reads that
+	// served it: a page read whose covered keys span q queries of a batch
+	// contributes 1/q to each. For an isolated Lookup it equals PagesRead.
+	// Summing PageShare across a batch recovers the batch's total reads,
+	// which is what makes shared reads attributable without double counting.
+	PageShare float64
 	// ReadFaults counts faulted page reads this query observed: device
 	// errors, timeouts, and corrupt payloads, over initial and recovery
 	// reads alike. The health probe's error-rate window feeds on it.
@@ -327,8 +337,13 @@ type Worker struct {
 	pageBuf     []byte
 	failures    []pageFailure
 	failedKeys  []Key
+	resKeys     []Key
+	resVecs     [][]float32
 	compMap     map[layout.PageID]ssd.Completion
 	seen        map[Key]struct{}
+
+	// Batch-scatter scratch (LookupBatch).
+	scatter scatterScratch
 }
 
 // NewWorker returns a worker bound to the engine. The worker's virtual
@@ -368,6 +383,29 @@ func (w *Worker) SetNow(ns int64) {
 // A non-nil error indicates a malformed query or broken configuration,
 // not a device fault.
 func (w *Worker) Lookup(query []Key) (Result, error) {
+	res, err := w.lookupCombined(query, true)
+	if err != nil {
+		return res, err
+	}
+	res.Stats.BatchSize = 1
+	res.Stats.PageShare = float64(res.Stats.PagesRead)
+	if res.Stats.Degraded {
+		w.eng.Recovery.DegradedQueries.Inc()
+		w.eng.Recovery.FailedKeys.Add(int64(res.Stats.FailedKeys))
+	}
+	w.eng.Latency.Record(res.Stats.LatencyNS())
+	return res, nil
+}
+
+// lookupCombined is the combined dedupe → cache probe → selection →
+// pipelined-read → recovery pass behind both Lookup and LookupBatch. It
+// leaves the worker's per-query scratch (plan, coveredFlat, hitKeys,
+// failedKeys) describing the pass so LookupBatch can scatter the outcome
+// back per query, and does not record latency — callers attribute it.
+// record controls history recording: Lookup records its distinct key set
+// here, LookupBatch records each member query's set separately so the
+// refresh loop sees true per-query co-appearance, not batch artifacts.
+func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	e := w.eng
 	var st QueryStats
 	st.Keys = len(query)
@@ -388,7 +426,7 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 		w.distinct = append(w.distinct, k)
 	}
 	st.DistinctKeys = len(w.distinct)
-	if e.cfg.Recorder != nil {
+	if record && e.cfg.Recorder != nil {
 		e.cfg.Recorder.Record(w.distinct)
 	}
 	if e.cache != nil {
@@ -499,14 +537,16 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 
 	// Assemble the result and fill the cache.
 	res := Result{}
+	w.resKeys = w.resKeys[:0]
+	w.resVecs = w.resVecs[:0]
 	extract := e.costs.Extract(len(w.out))
 	t += extract
 	st.OtherSoftNS += extract
 	if e.cfg.Store != nil {
 		for _, x := range w.out {
 			vec := w.vecArena[x.off : x.off+e.dim]
-			res.Keys = append(res.Keys, x.key)
-			res.Vectors = append(res.Vectors, vec)
+			w.resKeys = append(w.resKeys, x.key)
+			w.resVecs = append(w.resVecs, vec)
 			if e.cache != nil {
 				// The cache owns its copy: arena memory is reused.
 				cp := make([]float32, len(vec))
@@ -525,19 +565,20 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 			}
 		}
 	}
-	res.Keys = append(res.Keys, w.hitKeys...)
-	res.Vectors = append(res.Vectors, w.hitVecs...)
+	w.resKeys = append(w.resKeys, w.hitKeys...)
+	w.resVecs = append(w.resVecs, w.hitVecs...)
+	res.Keys = w.resKeys
+	res.Vectors = w.resVecs
+	// Degradation counters are the caller's: Lookup counts one degraded
+	// query, LookupBatch attributes failed keys to each owning query.
 	if len(w.failedKeys) > 0 {
 		st.FailedKeys = len(w.failedKeys)
 		st.Degraded = true
 		res.FailedKeys = w.failedKeys
-		e.Recovery.DegradedQueries.Inc()
-		e.Recovery.FailedKeys.Add(int64(len(w.failedKeys)))
 	}
 
 	st.EndNS = t
 	w.now = t
-	e.Latency.Record(st.LatencyNS())
 	res.Stats = st
 	return res, nil
 }
@@ -733,23 +774,3 @@ func containsPage(pages []layout.PageID, p layout.PageID) bool {
 	return false
 }
 
-// LookupBatch serves several queries as one combined lookup, deduplicating
-// keys across them. Batching widens the key set page selection works with,
-// so co-located and replicated embeddings are shared across the batch —
-// the configuration the paper's throughput evaluation uses (§8.2 notes
-// that batching causes cross-query duplication). The result covers the
-// union of the queries' keys.
-func (w *Worker) LookupBatch(queries [][]Key) (Result, error) {
-	total := 0
-	for _, q := range queries {
-		total += len(q)
-	}
-	if cap(w.batchBuf) < total {
-		w.batchBuf = make([]Key, 0, total)
-	}
-	w.batchBuf = w.batchBuf[:0]
-	for _, q := range queries {
-		w.batchBuf = append(w.batchBuf, q...)
-	}
-	return w.Lookup(w.batchBuf)
-}

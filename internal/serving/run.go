@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 
+	"maxembed/internal/layout"
 	"maxembed/internal/metrics"
 	"maxembed/internal/store"
 )
@@ -49,6 +50,11 @@ type RunResult struct {
 	Corruptions     int64
 	DegradedQueries int64
 	FailedKeys      int64
+	// Cross-request coalescing totals (RunBatched only): distinct keys
+	// requested by more than one query of a batch, and page reads whose
+	// covered keys spanned more than one query.
+	SharedKeys      int64
+	SharedPageReads int64
 }
 
 // Run processes the queries on the engine with the given number of
@@ -60,14 +66,7 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	e.cfg.Device.Reset()
-	e.Latency.Reset()
-	e.ValidPerRead.Reset()
-	e.Recovery.Reset()
-	if e.cache != nil {
-		e.cache.ResetStats()
-	}
-
+	e.resetRunState()
 	ws := make([]*Worker, workers)
 	for i := range ws {
 		ws[i] = e.NewWorker()
@@ -98,6 +97,23 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 			res.DegradedQueries++
 		}
 	}
+	finalizeRun(e, &res, ws)
+	return res, nil
+}
+
+// resetRunState clears device and engine counters before a measured run.
+func (e *Engine) resetRunState() {
+	e.cfg.Device.Reset()
+	e.Latency.Reset()
+	e.ValidPerRead.Reset()
+	e.Recovery.Reset()
+	if e.cache != nil {
+		e.cache.ResetStats()
+	}
+}
+
+// finalizeRun derives the run's rates from its totals and worker clocks.
+func finalizeRun(e *Engine, res *RunResult, ws []*Worker) {
 	for _, w := range ws {
 		if w.Now() > res.ElapsedNS {
 			res.ElapsedNS = w.Now()
@@ -112,46 +128,64 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 	res.EffectiveBandwidth = res.Utilization * prof.Bandwidth
 	res.MeanValidPerRead = e.ValidPerRead.Mean()
 	res.Latency = e.Latency.Snapshot()
-	return res, nil
 }
 
 // WarmCache pre-populates the engine's cache by running the queries
 // through the cache admission path only (no timing, no device activity).
 // Used to reach steady-state hit rates before a measured run. When the
-// engine has a Store the cached vectors are real (extracted from the key's
-// home page) so later hits return correct data.
+// engine has a Store the cached vectors are real: uncached keys are
+// grouped by home page so each page image is read once per warm pass
+// (not once per key), and each distinct key is admitted once, in
+// first-appearance order, so the LRU state is deterministic.
 func (e *Engine) WarmCache(queries [][]Key) error {
 	if e.cache == nil {
 		return nil
 	}
 	lay := e.cfg.Layout
-	var buf []byte
+
+	// First pass: distinct uncached keys in first-appearance order, grouped
+	// by home page.
+	var ordered []Key
+	seen := make(map[Key]struct{})
+	byPage := make(map[layout.PageID][]Key)
 	for _, q := range queries {
 		for _, k := range q {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
 			if _, ok := e.cache.Get(k); ok {
 				continue
 			}
-			var vec []float32
-			if e.cfg.Store != nil {
-				if buf == nil {
-					buf = make([]byte, e.cfg.Store.PageSize())
-				}
-				home := lay.Home[k]
-				if err := e.cfg.Store.ReadPage(home, buf); err != nil {
-					return fmt.Errorf("serving: warm cache key %d: %w", k, err)
-				}
-				var ok bool
-				var err error
-				vec, ok, err = store.ExtractFromImage(buf, e.dim, k, len(lay.Pages[home]), nil)
+			ordered = append(ordered, k)
+			home := lay.Home[k]
+			byPage[home] = append(byPage[home], k)
+		}
+	}
+
+	// Second pass: one read per touched page, extracting every wanted key.
+	vecs := make(map[Key][]float32, len(ordered))
+	if e.cfg.Store != nil {
+		buf := make([]byte, e.cfg.Store.PageSize())
+		for home, keys := range byPage {
+			if err := e.cfg.Store.ReadPage(home, buf); err != nil {
+				return fmt.Errorf("serving: warm cache page %d: %w", home, err)
+			}
+			nSlots := len(lay.Pages[home])
+			for _, k := range keys {
+				vec, ok, err := store.ExtractFromImage(buf, e.dim, k, nSlots, nil)
 				if err != nil {
 					return fmt.Errorf("serving: warm cache key %d: %w", k, err)
 				}
 				if !ok {
 					return fmt.Errorf("serving: warm cache: home page %d missing key %d", home, k)
 				}
+				vecs[k] = vec
 			}
-			e.cache.Put(k, vec)
 		}
+	}
+	for _, k := range ordered {
+		e.cache.Put(k, vecs[k])
 	}
 	e.cache.ResetStats()
 	return nil

@@ -427,14 +427,17 @@ func TestWorkerLookupBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(res.PerQuery) != len(batch) {
+		t.Fatalf("PerQuery = %d, want %d", len(res.PerQuery), len(batch))
+	}
 	distinct := map[Key]bool{}
 	for _, q := range batch {
 		for _, k := range q {
 			distinct[k] = true
 		}
 	}
-	if len(res.Keys) != len(distinct) {
-		t.Errorf("batch keys = %d, want %d", len(res.Keys), len(distinct))
+	if res.Stats.Combined.DistinctKeys != len(distinct) {
+		t.Errorf("combined distinct = %d, want %d", res.Stats.Combined.DistinctKeys, len(distinct))
 	}
 }
 

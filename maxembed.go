@@ -262,9 +262,18 @@ func (s *Session) Lookup(query []Key) (Result, error) {
 	return s.w.Lookup(query)
 }
 
-// LookupBatch serves several queries as one combined lookup, sharing page
-// reads across them (keys occurring in multiple queries are fetched once).
-func (s *Session) LookupBatch(queries [][]Key) (Result, error) {
+// BatchResult is one coalesced batch lookup's outcome: per-query scattered
+// results plus combined-pass stats.
+type BatchResult = serving.BatchResult
+
+// LookupBatch serves several queries as one coalesced lookup: one combined
+// dedupe/selection/read pass over all queries shares page reads across them
+// (keys occurring in multiple queries are fetched once, and co-located keys
+// of different queries ride the same read), then results are scattered back
+// per query — each query receives exactly its keys, its own FailedKeys, and
+// attributed stats. Returned slices are reused by the session; consume them
+// before the next lookup.
+func (s *Session) LookupBatch(queries [][]Key) (BatchResult, error) {
 	return s.w.LookupBatch(queries)
 }
 

@@ -206,8 +206,27 @@ func TestLookupBatch(t *testing.T) {
 			distinct[k] = true
 		}
 	}
-	if len(res.Keys) != len(distinct) {
-		t.Errorf("batch returned %d keys, want %d", len(res.Keys), len(distinct))
+	if res.Stats.Combined.DistinctKeys != len(distinct) {
+		t.Errorf("batch served %d distinct keys, want %d", res.Stats.Combined.DistinctKeys, len(distinct))
+	}
+	// Each query gets back exactly its own distinct keys.
+	if len(res.PerQuery) != len(batch) {
+		t.Fatalf("PerQuery = %d, want %d", len(res.PerQuery), len(batch))
+	}
+	for qi, q := range batch {
+		want := map[Key]bool{}
+		for _, k := range q {
+			want[k] = true
+		}
+		got := res.PerQuery[qi]
+		if len(got.Keys) != len(want) {
+			t.Errorf("query %d returned %d keys, want %d", qi, len(got.Keys), len(want))
+		}
+		for _, k := range got.Keys {
+			if !want[k] {
+				t.Errorf("query %d returned key %d it never asked for", qi, k)
+			}
+		}
 	}
 	// Batching the same queries must not read more pages than serving
 	// them separately (shared pages are read once).
@@ -220,8 +239,8 @@ func TestLookupBatch(t *testing.T) {
 		}
 		sepPages += r.Stats.PagesRead
 	}
-	if res.Stats.PagesRead > sepPages {
-		t.Errorf("batch read %d pages, separate lookups %d", res.Stats.PagesRead, sepPages)
+	if got := res.Stats.Combined.PagesRead; got > sepPages {
+		t.Errorf("batch read %d pages, separate lookups %d", got, sepPages)
 	}
 }
 
