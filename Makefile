@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify experiments
+.PHONY: build test race vet staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Runs staticcheck when it is on PATH (CI installs it; local toolchains
+# may not have it) and is a no-op with a notice otherwise.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -19,7 +28,7 @@ bench:
 
 # The full pre-merge gate: static checks, build, and the test suite under
 # the race detector (the serving engine and HTTP layer are concurrent).
-verify: vet build race
+verify: vet staticcheck build race
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,4 +1,4 @@
-package maxembed
+package maxembed_test
 
 // One benchmark per table and figure of the paper's evaluation (§8). Each
 // bench runs the corresponding experiment driver end to end — trace
@@ -14,6 +14,7 @@ import (
 	"io"
 	"testing"
 
+	"maxembed"
 	"maxembed/internal/experiments"
 )
 
@@ -67,12 +68,12 @@ func BenchmarkFig17b(b *testing.B) { runExperiment(b, "fig17b") }
 // phase excluded): the per-query cost a downstream user of the library
 // observes, in real (not virtual) time.
 func BenchmarkLookup(b *testing.B) {
-	trace, err := GenerateTrace(ProfileCriteo, 0.05)
+	trace, err := maxembed.GenerateTrace(maxembed.ProfileCriteo, 0.05)
 	if err != nil {
 		b.Fatal(err)
 	}
 	history, eval := trace.Split(0.5)
-	db, err := Open(trace.NumItems, history.Queries, WithReplicationRatio(0.2))
+	db, err := maxembed.Open(trace.NumItems, history.Queries, maxembed.WithReplicationRatio(0.2))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func BenchmarkLookup(b *testing.B) {
 // BenchmarkOfflinePhase measures the full offline pipeline (hypergraph,
 // SHP partitioning, connectivity-priority replication, page layout).
 func BenchmarkOfflinePhase(b *testing.B) {
-	trace, err := GenerateTrace(ProfileCriteo, 0.05)
+	trace, err := maxembed.GenerateTrace(maxembed.ProfileCriteo, 0.05)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -97,8 +98,8 @@ func BenchmarkOfflinePhase(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Open(trace.NumItems, history.Queries,
-			WithReplicationRatio(0.2), TimingOnly()); err != nil {
+		if _, err := maxembed.Open(trace.NumItems, history.Queries,
+			maxembed.WithReplicationRatio(0.2), maxembed.TimingOnly()); err != nil {
 			b.Fatal(err)
 		}
 	}

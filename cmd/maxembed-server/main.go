@@ -38,6 +38,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	batchMax := flag.Int("batch-max", 8, "max lookups coalesced into one batch (≤1 disables coalescing)")
 	batchWait := flag.Duration("batch-wait", 250*time.Microsecond, "max wait for a coalesced batch to fill")
+	recordLast := flag.Int("record-last", 65536, "served queries kept as refresh history (0 disables recording and refresh)")
+	refreshInterval := flag.Duration("refresh-interval", 0, "background layout-refresh period (0 disables the loop; POST /v1/refresh still works)")
+	refreshMinQueries := flag.Int64("refresh-min-queries", 1024, "recorded queries required before a background refresh fires")
 	flag.Parse()
 
 	var history *maxembed.Trace
@@ -72,6 +75,9 @@ func main() {
 		maxembed.WithIndexLimit(*indexLimit),
 		maxembed.WithSeed(*seed),
 	}
+	if *recordLast > 0 {
+		opts = append(opts, maxembed.WithHistoryRecording(*recordLast))
+	}
 	if *faultError > 0 || *faultTimeout > 0 || *faultCorrupt > 0 {
 		log.Printf("fault injection armed: error=%.3f timeout=%.3f corrupt=%.3f seed=%d",
 			*faultError, *faultTimeout, *faultCorrupt, *faultSeed)
@@ -96,7 +102,19 @@ func main() {
 	} else {
 		log.Printf("request coalescing: up to %d lookups per batch, %v max wait", *batchMax, *batchWait)
 	}
-	h := server.New(db.Engine(), db.Device(), srvOpts...)
+	if *recordLast > 0 {
+		if *refreshInterval > 0 {
+			srvOpts = append(srvOpts, server.WithRefreshLoop(db, *refreshInterval, *refreshMinQueries))
+			log.Printf("layout refresh: every %v once ≥%d queries recorded (history window %d)",
+				*refreshInterval, *refreshMinQueries, *recordLast)
+		} else {
+			srvOpts = append(srvOpts, server.WithRefresh(db))
+			log.Printf("layout refresh: on demand via POST /v1/refresh (history window %d)", *recordLast)
+		}
+	} else {
+		log.Printf("history recording disabled; layout refresh unavailable")
+	}
+	h := server.NewDynamic(db.Handle(), db.Device(), srvOpts...)
 	defer h.Close()
 	log.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, h); err != nil {

@@ -18,11 +18,16 @@ type Key = uint32
 // dimension (float32 elements).
 func BytesPerVector(dim int) int { return dim * 4 }
 
+// SlotOverhead is the non-payload footprint of one page slot: the 4-byte
+// key header plus the 4-byte checksum the store writes so pages are
+// self-describing and every slot is self-verifying.
+const SlotOverhead = 8
+
 // SlotSize returns the per-embedding page-slot footprint: a vector plus its
 // 4-byte key header and 4-byte checksum, which the store writes so pages
 // are self-describing and every slot is self-verifying (corruption shows up
 // as a checksum mismatch, not as silently wrong embedding values).
-func SlotSize(dim int) int { return 8 + BytesPerVector(dim) }
+func SlotSize(dim int) int { return SlotOverhead + BytesPerVector(dim) }
 
 // PageCapacity returns d: how many embeddings of the given dimension fit in
 // one SSD page. The paper's default (dim=64, 4 KiB pages) yields 15 with

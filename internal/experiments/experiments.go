@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"scaleout", "Supplementary: sharded multi-device serving", ScaleOut},
 		{"faultsweep", "Supplementary: fault injection, recovery, and graceful degradation", FaultSweep},
 		{"batchsweep", "Supplementary: cross-request micro-batching vs batch size", BatchSweep},
+		{"refreshsweep", "Supplementary: online layout refresh and hot swap under drift", RefreshSweep},
 	}
 }
 

@@ -31,7 +31,7 @@ func FaultSweep(cfg Config) error {
 
 	t := newTable(cfg.Out, "Fault sweep: injected device faults vs recovery")
 	t.row("fault rate", "replicas", "dev faults", "retries", "rescued", "corrupt det",
-		"degraded", "failed keys", "p99 µs")
+		"degraded", "failed keys", "valid/read", "p99 µs")
 	type point struct {
 		rate  float64
 		ratio float64
@@ -90,6 +90,7 @@ func FaultSweep(cfg Config) error {
 			fmt.Sprint(res.Corruptions),
 			fmt.Sprint(res.DegradedQueries),
 			fmt.Sprint(res.FailedKeys),
+			fmt.Sprintf("%.2f", res.MeanValidPerRead),
 			fmt.Sprintf("%.1f", float64(res.Latency.P99NS)/1e3))
 	}
 	t.flush()

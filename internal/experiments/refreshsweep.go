@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed"
+	"maxembed/internal/workload"
+)
+
+// RefreshSweep exercises the online layout-refresh loop end to end: a store
+// is placed from era-1 traffic, the workload drifts to era-2 (same catalog,
+// different recurring contexts), and the serving-path numbers degrade —
+// more page reads per query, fewer valid embeddings per read. A hot
+// refresh (RefreshNow: snapshot recorded history → re-run placement →
+// atomic engine swap) is then triggered on the live DB, and the SAME
+// session keeps serving across the swap, picking the new layout up at its
+// next query. The table shows bandwidth efficiency recovering toward the
+// fresh-placement baseline, with the layout generation advancing; a
+// from-scratch era-2 store bounds how much a refresh could possibly
+// recover (the refresh keeps home pages fixed, so it recovers most but not
+// all of the drift cost).
+func RefreshSweep(cfg Config) error {
+	cfg = cfg.withDefaults()
+	profile := workload.Criteo
+	if cfg.Scale != 1.0 {
+		profile = profile.Scaled(cfg.Scale)
+	}
+	// Two eras of the same catalog: identical item count and popularity
+	// model, disjoint template pools (drifted co-appearance structure).
+	era1, err := workload.GenerateSeeded(profile, profile.Seed+cfg.Seed)
+	if err != nil {
+		return err
+	}
+	era2, err := workload.GenerateSeeded(profile, profile.Seed+cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	n := len(era2.Queries) / 4
+	if n > 8000 {
+		n = 8000
+	}
+	if n < 1 {
+		return fmt.Errorf("experiments: refreshsweep needs more queries (have %d)", len(era2.Queries))
+	}
+
+	// Record exactly the drifted segment as refresh history: the ring
+	// holds the last n served queries, so by refresh time the era-1
+	// segment has been evicted and placement re-runs on era-2 traffic.
+	db, err := maxembed.Open(era1.NumItems, era1.Queries,
+		maxembed.WithStrategy(maxembed.StrategyMaxEmbed),
+		maxembed.WithReplicationRatio(0.4),
+		maxembed.WithCacheRatio(0), // isolate placement quality
+		maxembed.WithSeed(cfg.Seed),
+		maxembed.WithHistoryRecording(n),
+		maxembed.TimingOnly(),
+	)
+	if err != nil {
+		return err
+	}
+
+	sess := db.NewSession()
+	fresh, err := measureSegment(sess, era1.Queries[len(era1.Queries)-n:])
+	if err != nil {
+		return err
+	}
+	drift, err := measureSegment(sess, era2.Queries[:n])
+	if err != nil {
+		return err
+	}
+	if err := db.RefreshNow(); err != nil {
+		return err
+	}
+	refreshed, err := measureSegment(sess, era2.Queries[n:2*n])
+	if err != nil {
+		return err
+	}
+
+	// Upper bound: a store placed offline from era-2 history, i.e. what a
+	// full redeploy (homes included) would serve the same segment at.
+	db2, err := maxembed.Open(era2.NumItems, era2.Queries[:n],
+		maxembed.WithStrategy(maxembed.StrategyMaxEmbed),
+		maxembed.WithReplicationRatio(0.4),
+		maxembed.WithCacheRatio(0),
+		maxembed.WithSeed(cfg.Seed),
+		maxembed.TimingOnly(),
+	)
+	if err != nil {
+		return err
+	}
+	rebuilt, err := measureSegment(db2.NewSession(), era2.Queries[n:2*n])
+	if err != nil {
+		return err
+	}
+
+	t := newTable(cfg.Out, "Refresh sweep: online layout refresh under workload drift")
+	t.row("segment", "queries", "pages/query", "valid/read", "layout gen")
+	t.row("era-1 on era-1 placement", fmt.Sprint(n), f2(fresh.pagesPerQuery), f2(fresh.validPerRead), fmt.Sprint(fresh.gen))
+	t.row("era-2 drifted (recorded)", fmt.Sprint(n), f2(drift.pagesPerQuery), f2(drift.validPerRead), fmt.Sprint(drift.gen))
+	t.row("era-2 after hot refresh", fmt.Sprint(n), f2(refreshed.pagesPerQuery), f2(refreshed.validPerRead), fmt.Sprint(refreshed.gen))
+	t.row("era-2 full redeploy (bound)", fmt.Sprint(n), f2(rebuilt.pagesPerQuery), f2(rebuilt.validPerRead), fmt.Sprint(rebuilt.gen))
+	t.flush()
+
+	driftCost := drift.pagesPerQuery - fresh.pagesPerQuery
+	if driftCost > 0 {
+		fmt.Fprintf(cfg.Out, "\ndrift cost: +%.1f%% reads/query; hot refresh recovers %.0f%% of it (gen %d → %d, no restart)\n",
+			100*driftCost/fresh.pagesPerQuery,
+			100*(drift.pagesPerQuery-refreshed.pagesPerQuery)/driftCost,
+			drift.gen, refreshed.gen)
+	}
+	return nil
+}
+
+// refreshSegment aggregates one measured slice of traffic.
+type refreshSegment struct {
+	pagesPerQuery float64
+	validPerRead  float64
+	gen           uint64
+}
+
+// measureSegment serves the queries on the session and reports mean page
+// reads per query, valid embeddings per read (recovery reads included in
+// the denominator), and the layout generation that served the last query.
+func measureSegment(sess *maxembed.Session, queries [][]maxembed.Key) (refreshSegment, error) {
+	var pages, retries, useful int
+	var gen uint64
+	for _, q := range queries {
+		res, err := sess.Lookup(q)
+		if err != nil {
+			return refreshSegment{}, err
+		}
+		pages += res.Stats.PagesRead
+		retries += res.Stats.Retries
+		useful += res.Stats.UsefulFromSSD
+		gen = res.Stats.Generation
+	}
+	seg := refreshSegment{
+		pagesPerQuery: float64(pages) / float64(len(queries)),
+		gen:           gen,
+	}
+	if reads := pages + retries; reads > 0 {
+		seg.validPerRead = float64(useful) / float64(reads)
+	}
+	return seg, nil
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

@@ -116,6 +116,13 @@ func (s LatencySummary) String() string {
 		float64(s.P99NS)/1e3, float64(s.MaxNS)/1e3)
 }
 
+// Count returns the number of samples recorded so far.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
 // Snapshot summarizes all samples recorded so far.
 func (r *Recorder) Snapshot() LatencySummary {
 	r.mu.Lock()

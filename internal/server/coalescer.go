@@ -42,7 +42,8 @@ type lookupOutcome struct {
 }
 
 // coalescer gathers concurrent lookups into micro-batches served on one
-// dedicated worker goroutine.
+// dedicated worker goroutine. Its worker is bound to one engine
+// generation; an engine swap makes it re-bind before the next batch.
 type coalescer struct {
 	h        *Handler
 	queue    chan lookupJob
@@ -53,6 +54,9 @@ type coalescer struct {
 	maxBatch int
 	maxWait  time.Duration
 
+	w   *serving.Worker // owned by the run goroutine
+	gen uint64          // engine generation w was created from
+
 	// Observability: batch-size histogram over every dispatch (bypasses
 	// count as size 1), wall-clock gather wait per dispatch, and counters.
 	batchSizes *metrics.IntHist
@@ -61,6 +65,7 @@ type coalescer struct {
 	bypasses   metrics.Counter // single-request zero-wait dispatches
 	coalesced  metrics.Counter // requests served in batches of ≥ 2
 	shed       metrics.Counter // requests rejected because the queue was full
+	rebinds    metrics.Counter // worker re-bindings after engine swaps
 }
 
 func newCoalescer(h *Handler, maxBatch int, maxWait time.Duration, queueLen int) *coalescer {
@@ -99,25 +104,41 @@ func (c *coalescer) submit(job lookupJob) bool {
 // gather → serve until closed, then drains whatever is still queued.
 func (c *coalescer) run() {
 	defer close(c.exited)
-	w := c.h.eng.NewWorker()
+	eng, gen := c.h.handle.Load()
+	c.w, c.gen = eng.NewWorker(), gen
 	batch := make([]lookupJob, 0, c.maxBatch)
 	for {
 		select {
 		case job := <-c.queue:
 			batch = c.gather(batch[:0], job)
-			c.serve(w, batch)
+			c.serve(batch)
 		case <-c.quit:
 			for {
 				select {
 				case job := <-c.queue:
 					batch = c.gather(batch[:0], job)
-					c.serve(w, batch)
+					c.serve(batch)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// rebind re-creates the worker when an engine swap has retired the one it
+// was using, carrying the virtual clock forward so the new engine's
+// latency accounting stays on the same timeline.
+func (c *coalescer) rebind() {
+	eng, gen := c.h.handle.Load()
+	if gen == c.gen {
+		return
+	}
+	now := c.w.Now()
+	c.w = eng.NewWorker()
+	c.w.SetNow(now)
+	c.gen = gen
+	c.rebinds.Inc()
 }
 
 // gather forms one micro-batch starting from first: whatever is already
@@ -156,7 +177,15 @@ func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
 				return batch
 			}
 		}
-		timer.Stop()
+		// Stop-and-drain: the timer may have fired between the last
+		// receive and Stop, leaving a value in timer.C that would
+		// otherwise sit in the channel for the timer's lifetime.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
 	}
 	c.waits.Record(time.Since(start).Nanoseconds())
 	return batch
@@ -166,8 +195,9 @@ func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
 // to the waiting handlers. Responses are built here — vectors copied into
 // pooled arenas — because the worker's scratch is reused by the next batch
 // the moment this returns.
-func (c *coalescer) serve(w *serving.Worker, batch []lookupJob) {
+func (c *coalescer) serve(batch []lookupJob) {
 	h := c.h
+	c.rebind()
 	c.batches.Inc()
 	c.batchSizes.Add(len(batch))
 	if len(batch) >= 2 {
@@ -178,7 +208,7 @@ func (c *coalescer) serve(w *serving.Worker, batch []lookupJob) {
 	for i, job := range batch {
 		queries[i] = job.keys
 	}
-	br, err := w.LookupBatch(queries)
+	br, err := c.w.LookupBatch(queries)
 	if err != nil {
 		for _, job := range batch {
 			job.done <- lookupOutcome{err: err}
@@ -216,6 +246,7 @@ type CoalescerStats struct {
 	Bypasses      int64   `json:"bypasses"`
 	Coalesced     int64   `json:"coalesced_requests"`
 	Shed          int64   `json:"shed"`
+	Rebinds       int64   `json:"rebinds"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	WaitP50NS     int64   `json:"wait_p50_ns"`
 	WaitP99NS     int64   `json:"wait_p99_ns"`
@@ -232,6 +263,7 @@ func (c *coalescer) stats() CoalescerStats {
 		Bypasses:      c.bypasses.Load(),
 		Coalesced:     c.coalesced.Load(),
 		Shed:          c.shed.Load(),
+		Rebinds:       c.rebinds.Load(),
 		MeanBatchSize: c.batchSizes.Mean(),
 		WaitP50NS:     ws.P50NS,
 		WaitP99NS:     ws.P99NS,

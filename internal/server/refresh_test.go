@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxembed/internal/serving"
+)
+
+// fakeSource is a RefreshSource over a pre-built queue of engines: each
+// RefreshNow swaps the next one into the handle. Engines are built in the
+// test goroutine because RefreshNow may run on handler or loop goroutines.
+type fakeSource struct {
+	handle  *serving.Swappable
+	engines chan *serving.Engine
+	pending atomic.Int64
+	calls   atomic.Int64
+	fail    atomic.Bool
+}
+
+func newFakeSource(t *testing.T, s *testStack, handle *serving.Swappable, n int) *fakeSource {
+	t.Helper()
+	f := &fakeSource{handle: handle, engines: make(chan *serving.Engine, n)}
+	for i := 0; i < n; i++ {
+		f.engines <- s.newEngine(t)
+	}
+	return f
+}
+
+func (f *fakeSource) PendingQueries() int64 { return f.pending.Load() }
+
+func (f *fakeSource) RefreshNow() error {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return errors.New("synthetic refresh failure")
+	}
+	select {
+	case e := <-f.engines:
+		if _, err := f.handle.Swap(e); err != nil {
+			return err
+		}
+		f.pending.Store(0)
+		return nil
+	default:
+		return errors.New("fakeSource: out of engines")
+	}
+}
+
+// tryLookup is postLookup without t.Fatal, safe to call off the test
+// goroutine.
+func tryLookup(url string, keys []uint32) (int, LookupResponse, error) {
+	body, err := json.Marshal(LookupRequest{Keys: keys})
+	if err != nil {
+		return 0, LookupResponse{}, err
+	}
+	resp, err := http.Post(url+"/v1/lookup", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, LookupResponse{}, err
+	}
+	defer resp.Body.Close()
+	var lr LookupResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusPartialContent {
+		if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+			return resp.StatusCode, lr, err
+		}
+	}
+	return resp.StatusCode, lr, nil
+}
+
+func TestRefreshEndpointSwapsEngine(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	handle := serving.NewSwappable(s.eng)
+	src := newFakeSource(t, s, handle, 1)
+	h := NewDynamic(handle, s.dev, WithRefresh(src), WithoutCoalescing())
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close() })
+
+	resp, err := http.Post(srv.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr RefreshResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp.StatusCode)
+	}
+	if rr.Generation != 2 || rr.Swaps != 1 {
+		t.Errorf("refresh response = %+v, want generation 2, 1 swap", rr)
+	}
+	if handle.Generation() != 2 || handle.Engine() == s.eng {
+		t.Error("handle still serves the pre-refresh engine")
+	}
+
+	// Lookups are served by the new generation and say so.
+	lr, lresp := postLookup(t, srv.URL, s.tr.Queries[0])
+	if lr.StatusCode != http.StatusOK {
+		t.Fatalf("lookup after refresh: status %d", lr.StatusCode)
+	}
+	if lresp.Stats.Generation != 2 {
+		t.Errorf("lookup served by generation %d, want 2", lresp.Stats.Generation)
+	}
+
+	st := getStats(t, srv.URL)
+	if !st.Refresh.Enabled || st.Refresh.Generation != 2 || st.Refresh.Swaps != 1 || st.Refresh.Refreshes != 1 {
+		t.Errorf("stats refresh section = %+v", st.Refresh)
+	}
+	if st.Refresh.LastDurationNS <= 0 {
+		t.Errorf("LastDurationNS = %d, want > 0", st.Refresh.LastDurationNS)
+	}
+
+	// A failing refresh surfaces as 422 and an error counter, no swap.
+	src.fail.Store(true)
+	resp, err = http.Post(srv.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("failing refresh status = %d, want 422", resp.StatusCode)
+	}
+	if st := getStats(t, srv.URL); st.Refresh.Errors != 1 || st.Refresh.Generation != 2 {
+		t.Errorf("after failed refresh: %+v", st.Refresh)
+	}
+}
+
+func TestRefreshEndpointWithoutSource(t *testing.T) {
+	srv, _, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("refresh without source: status %d, want 501", resp.StatusCode)
+	}
+	if st := getStats(t, srv.URL); st.Refresh.Enabled {
+		t.Error("stats report refresh enabled without a source")
+	}
+}
+
+func TestRefreshLoopGatesOnPendingQueries(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	handle := serving.NewSwappable(s.eng)
+	src := newFakeSource(t, s, handle, 1)
+	h := NewDynamic(handle, s.dev,
+		WithRefreshLoop(src, 2*time.Millisecond, 100), WithoutCoalescing())
+	t.Cleanup(h.Close)
+
+	// Below the gate: ticks must pass without refreshing.
+	time.Sleep(25 * time.Millisecond)
+	if src.calls.Load() != 0 {
+		t.Fatalf("loop refreshed %d times below the min-queries gate", src.calls.Load())
+	}
+	src.pending.Store(500)
+	deadline := time.Now().Add(2 * time.Second)
+	for src.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if src.calls.Load() == 0 {
+		t.Fatal("loop never refreshed after pending queries crossed the gate")
+	}
+	if handle.Generation() != 2 {
+		t.Errorf("generation = %d after loop refresh, want 2", handle.Generation())
+	}
+	// The gate resets once pending is consumed: no further refreshes.
+	calls := src.calls.Load()
+	time.Sleep(25 * time.Millisecond)
+	if src.calls.Load() != calls {
+		t.Errorf("loop kept refreshing with pending reset: %d → %d calls", calls, src.calls.Load())
+	}
+}
+
+// TestLookupsAcrossConcurrentSwaps hammers the HTTP path (coalesced and
+// pooled-worker serving) while engines are swapped underneath it: every
+// response must be a well-formed 200, per-client layout generations must
+// never move backwards, and the coalescer must re-bind its worker.
+func TestLookupsAcrossConcurrentSwaps(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	handle := serving.NewSwappable(s.eng)
+	h := NewDynamic(handle, s.dev, WithCoalescing(4, time.Millisecond))
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close() })
+
+	const swaps = 3
+	spares := make([]*serving.Engine, swaps)
+	for i := range spares {
+		spares[i] = s.newEngine(t)
+	}
+
+	const clients = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lastGen uint64
+			for i := c; ; i += clients {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, lr, err := tryLookup(srv.URL, s.tr.Queries[i%len(s.tr.Queries)])
+				if err == nil && status != http.StatusOK {
+					err = fmt.Errorf("status %d", status)
+				}
+				if err == nil && lr.Stats.Generation < lastGen {
+					err = fmt.Errorf("generation %d after %d", lr.Stats.Generation, lastGen)
+				}
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("client %d: %w", c, err):
+					default:
+					}
+					return
+				}
+				lastGen = lr.Stats.Generation
+			}
+		}(c)
+	}
+	for _, e := range spares {
+		time.Sleep(5 * time.Millisecond)
+		if _, err := handle.Swap(e); err != nil {
+			t.Errorf("swap: %v", err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := getStats(t, srv.URL)
+	if st.Refresh.Generation != 1+swaps {
+		t.Errorf("final generation = %d, want %d", st.Refresh.Generation, 1+swaps)
+	}
+	if st.Coalescer.Rebinds == 0 {
+		t.Error("coalescer never re-bound its worker across swaps")
+	}
+	if st.Recovery.ReadErrors != 0 {
+		t.Errorf("unexpected read errors: %+v", st.Recovery)
+	}
+}

@@ -5,7 +5,8 @@
 // Endpoints:
 //
 //	POST /v1/lookup   {"keys":[1,2,3]}  → embeddings + per-query stats
-//	GET  /v1/stats                      → engine/device/cache counters
+//	POST /v1/refresh                    → rebuild layout from history, hot-swap
+//	GET  /v1/stats                      → engine/device/cache/refresh counters
 //	GET  /healthz                       → readiness (error-rate driven)
 //
 // Sessions (each owning an SSD queue pair and virtual clock) are pooled
@@ -86,12 +87,13 @@ func WithCoalesceQueue(n int) Option {
 	return func(h *Handler) { h.coalesceQueue = n }
 }
 
-// Handler serves the HTTP API for one engine.
+// Handler serves the HTTP API for one engine (or, with NewDynamic, a
+// swappable engine handle that layout refreshes update in place).
 type Handler struct {
-	eng     *serving.Engine
+	handle  *serving.Swappable
 	device  *ssd.Device
 	mux     *http.ServeMux
-	workers sync.Pool
+	workers sync.Pool // *poolWorker entries, tagged with their generation
 
 	window        *metrics.RateWindow
 	threshold     float64
@@ -104,14 +106,34 @@ type Handler struct {
 	coalesceQueue int
 	coal          *coalescer // nil when coalescing is disabled
 	closeOnce     sync.Once
+
+	refreshSrc        RefreshSource
+	refreshInterval   time.Duration
+	refreshMinQueries int64
+	refreshMu         sync.Mutex // serializes admin- and loop-triggered refreshes
+	refreshes         atomic.Int64
+	refreshErrors     atomic.Int64
+	lastRefreshNS     atomic.Int64
+	refreshQuit       chan struct{}
+	refreshDone       chan struct{}
 }
 
 // New returns a handler over the given engine and its device. Coalescing
 // is on by default (see WithCoalescing); call Close when done to stop the
-// coalescer goroutine.
+// coalescer goroutine. The engine is wrapped in a single-generation
+// swappable handle; use NewDynamic to share a handle that refreshes swap.
 func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
+	return NewDynamic(serving.NewSwappable(eng), device, opts...)
+}
+
+// NewDynamic returns a handler over a swappable engine handle: when a
+// layout refresh swaps a new engine into the handle, pooled request
+// workers and the coalescer re-bind to it at their next lookup, so the
+// swap needs no connection draining or restart. Call Close when done to
+// stop the coalescer and refresh-loop goroutines.
+func NewDynamic(handle *serving.Swappable, device *ssd.Device, opts ...Option) *Handler {
 	h := &Handler{
-		eng:           eng,
+		handle:        handle,
 		device:        device,
 		mux:           http.NewServeMux(),
 		window:        metrics.NewRateWindow(defaultHealthWindow),
@@ -125,27 +147,74 @@ func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
 	for _, o := range opts {
 		o(h)
 	}
-	h.workers.New = func() any { return eng.NewWorker() }
 	if h.maxBatch > 1 {
 		h.coal = newCoalescer(h, h.maxBatch, h.maxWait, h.coalesceQueue)
 		go h.coal.run()
 	}
+	if h.refreshSrc != nil && h.refreshInterval > 0 {
+		h.refreshQuit = make(chan struct{})
+		h.refreshDone = make(chan struct{})
+		go h.refreshLoop()
+	}
 	h.mux.HandleFunc("POST /v1/lookup", h.lookup)
+	h.mux.HandleFunc("POST /v1/refresh", h.refresh)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.health)
 	return h
 }
 
-// Close stops the coalescer goroutine, serving anything already queued
-// first. The handler keeps working afterwards, falling back to isolated
-// per-request serving. Safe to call multiple times.
+// Handle returns the swappable engine handle the handler serves from.
+func (h *Handler) Handle() *serving.Swappable { return h.handle }
+
+// Close stops the refresh-loop and coalescer goroutines, serving anything
+// already queued first. The handler keeps working afterwards, falling back
+// to isolated per-request serving. Safe to call multiple times.
 func (h *Handler) Close() {
 	h.closeOnce.Do(func() {
+		if h.refreshQuit != nil {
+			close(h.refreshQuit)
+			<-h.refreshDone
+		}
 		if h.coal != nil {
 			h.coal.close()
 		}
 	})
+}
+
+// poolWorker is a pooled per-request worker tagged with the engine
+// generation it was created for; stale entries are discarded instead of
+// reused, so an engine swap invalidates the pool without coordination.
+type poolWorker struct {
+	gen uint64
+	w   *serving.Worker
+}
+
+// getWorker returns a worker bound to the current engine generation,
+// draining stale pool entries as it encounters them.
+func (h *Handler) getWorker() (*serving.Worker, uint64) {
+	eng, gen := h.handle.Load()
+	for {
+		v := h.workers.Get()
+		if v == nil {
+			return eng.NewWorker(), gen
+		}
+		if pw := v.(*poolWorker); pw.gen == gen {
+			return pw.w, gen
+		}
+		// Stale generation: drop the entry (its engine is retired) and
+		// keep draining until the pool yields a current one or empties.
+	}
+}
+
+// putWorker returns a worker to the pool unless a swap has made its
+// generation stale, in which case it is dropped so the retired engine's
+// page images can be collected.
+func (h *Handler) putWorker(w *serving.Worker, gen uint64) {
+	if h.handle.Generation() != gen {
+		return
+	}
+	h.workers.Put(&poolWorker{gen: gen, w: w})
 }
 
 // ServeHTTP implements http.Handler.
@@ -191,6 +260,9 @@ type LookupStats struct {
 	Retries        int     `json:"retries,omitempty"`
 	ReplicaRescues int     `json:"replica_rescues,omitempty"`
 	LatencyNS      int64   `json:"virtual_latency_ns"`
+	// Generation is the layout generation that served the lookup; it
+	// increments when an online refresh swaps a new layout in.
+	Generation uint64 `json:"layout_generation"`
 }
 
 const maxLookupKeys = 1 << 16
@@ -229,6 +301,7 @@ func buildLookupResponse(res serving.Result) (LookupResponse, *[]float32) {
 			Retries:        res.Stats.Retries,
 			ReplicaRescues: res.Stats.ReplicaRescues,
 			LatencyNS:      res.Stats.LatencyNS(),
+			Generation:     res.Stats.Generation,
 		},
 	}
 	off := 0
@@ -330,17 +403,17 @@ func (h *Handler) lookupCoalesced(w http.ResponseWriter, keys []uint32) bool {
 // lookupIsolated serves one request on a pooled worker with no batching —
 // the path taken when coalescing is disabled.
 func (h *Handler) lookupIsolated(w http.ResponseWriter, keys []uint32) {
-	worker := h.workers.Get().(*serving.Worker)
+	worker, gen := h.getWorker()
 	res, err := worker.Lookup(keys)
 	if err != nil {
-		h.workers.Put(worker)
+		h.putWorker(worker, gen)
 		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", err)
 		return
 	}
 	h.window.Observe(int64(res.Stats.ReadFaults),
 		int64(res.Stats.PagesRead+res.Stats.Retries))
 	resp, arena := buildLookupResponse(res)
-	h.workers.Put(worker)
+	h.putWorker(worker, gen)
 	status := http.StatusOK
 	if resp.Degraded {
 		status = http.StatusPartialContent
@@ -387,6 +460,23 @@ type StatsResponse struct {
 		P99NS  int64   `json:"p99_ns"`
 	} `json:"virtual_latency"`
 	MeanValidPerRead float64 `json:"mean_valid_per_read"`
+	// Refresh reports online layout-refresh activity. Generation and Swaps
+	// advance even when refreshes are driven externally (through the
+	// shared handle) rather than by this server's loop or endpoint.
+	Refresh struct {
+		Enabled        bool   `json:"enabled"`
+		Generation     uint64 `json:"layout_generation"`
+		Swaps          int64  `json:"engine_swaps"`
+		Refreshes      int64  `json:"refreshes"`
+		Errors         int64  `json:"errors"`
+		LastDurationNS int64  `json:"last_duration_ns"`
+		PendingQueries int64  `json:"pending_queries"`
+		// Valid-embeddings-per-read means either side of the most recent
+		// swap: Before is frozen at swap time, After accumulates on the
+		// live engine. After > Before means the refresh paid off.
+		ValidPerReadBefore float64 `json:"valid_per_read_before_swap"`
+		ValidPerReadAfter  float64 `json:"valid_per_read_after_swap"`
+	} `json:"refresh"`
 	// Coalescer reports micro-batching activity; Enabled false (and zero
 	// counters) when the server serves every request in isolation.
 	Coalescer CoalescerStats `json:"coalescer"`
@@ -400,20 +490,23 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Device.Errors = ds.Errors
 	resp.Device.Timeouts = ds.Timeouts
 	resp.Device.Corruptions = ds.Corruptions
-	rec := h.eng.Recovery
-	resp.Recovery.ReadErrors = rec.ReadErrors.Load()
-	resp.Recovery.Timeouts = rec.Timeouts.Load()
-	resp.Recovery.Corruptions = rec.Corruptions.Load()
-	resp.Recovery.Retries = rec.Retries.Load()
-	resp.Recovery.ReplicaRescues = rec.ReplicaRescues.Load()
-	resp.Recovery.RecoveredKeys = rec.RecoveredKeys.Load()
-	resp.Recovery.DegradedQueries = rec.DegradedQueries.Load()
-	resp.Recovery.FailedKeys = rec.FailedKeys.Load()
+	// Recovery counters aggregate across engine swaps (retired engines'
+	// totals are folded in) so they stay monotonic for pollers.
+	rec := h.handle.Totals()
+	resp.Recovery.ReadErrors = rec.ReadErrors
+	resp.Recovery.Timeouts = rec.Timeouts
+	resp.Recovery.Corruptions = rec.Corruptions
+	resp.Recovery.Retries = rec.Retries
+	resp.Recovery.ReplicaRescues = rec.ReplicaRescues
+	resp.Recovery.RecoveredKeys = rec.RecoveredKeys
+	resp.Recovery.DegradedQueries = rec.DegradedQueries
+	resp.Recovery.FailedKeys = rec.FailedKeys
 	rate, events, ready := h.healthy()
 	resp.Health.Ready = ready
 	resp.Health.ErrorRate = rate
 	resp.Health.WindowEvents = events
-	if c := h.eng.Cache(); c != nil {
+	eng := h.handle.Engine()
+	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
 		resp.Cache = &struct {
 			Hits      int64   `json:"hits"`
@@ -423,12 +516,23 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 			Entries   int     `json:"entries"`
 		}{cs.Hits, cs.Misses, cs.Evictions, cs.HitRate(), c.Len()}
 	}
-	ls := h.eng.Latency.Snapshot()
+	ls := eng.Latency.Snapshot()
 	resp.Latency.Count = ls.Count
 	resp.Latency.MeanNS = ls.MeanNS
 	resp.Latency.P50NS = ls.P50NS
 	resp.Latency.P99NS = ls.P99NS
-	resp.MeanValidPerRead = h.eng.ValidPerRead.Mean()
+	resp.MeanValidPerRead = eng.ValidPerRead.Mean()
+	resp.Refresh.Enabled = h.refreshSrc != nil
+	resp.Refresh.Generation = h.handle.Generation()
+	resp.Refresh.Swaps = h.handle.Swaps()
+	resp.Refresh.Refreshes = h.refreshes.Load()
+	resp.Refresh.Errors = h.refreshErrors.Load()
+	resp.Refresh.LastDurationNS = h.lastRefreshNS.Load()
+	if h.refreshSrc != nil {
+		resp.Refresh.PendingQueries = h.refreshSrc.PendingQueries()
+	}
+	resp.Refresh.ValidPerReadBefore = h.handle.ValidPerReadBefore()
+	resp.Refresh.ValidPerReadAfter = eng.ValidPerRead.Mean()
 	if h.coal != nil {
 		resp.Coalescer = h.coal.stats()
 	}
@@ -445,27 +549,34 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE maxembed_device_errors_total counter\nmaxembed_device_errors_total %d\n", ds.Errors)
 	fmt.Fprintf(w, "# TYPE maxembed_device_timeouts_total counter\nmaxembed_device_timeouts_total %d\n", ds.Timeouts)
 	fmt.Fprintf(w, "# TYPE maxembed_device_corruptions_total counter\nmaxembed_device_corruptions_total %d\n", ds.Corruptions)
-	rec := h.eng.Recovery
-	fmt.Fprintf(w, "# TYPE maxembed_read_errors_total counter\nmaxembed_read_errors_total %d\n", rec.ReadErrors.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_corruptions_detected_total counter\nmaxembed_corruptions_detected_total %d\n", rec.Corruptions.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_read_retries_total counter\nmaxembed_read_retries_total %d\n", rec.Retries.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_replica_rescues_total counter\nmaxembed_replica_rescues_total %d\n", rec.ReplicaRescues.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_recovered_keys_total counter\nmaxembed_recovered_keys_total %d\n", rec.RecoveredKeys.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_degraded_queries_total counter\nmaxembed_degraded_queries_total %d\n", rec.DegradedQueries.Load())
-	fmt.Fprintf(w, "# TYPE maxembed_failed_keys_total counter\nmaxembed_failed_keys_total %d\n", rec.FailedKeys.Load())
+	rec := h.handle.Totals()
+	fmt.Fprintf(w, "# TYPE maxembed_read_errors_total counter\nmaxembed_read_errors_total %d\n", rec.ReadErrors)
+	fmt.Fprintf(w, "# TYPE maxembed_corruptions_detected_total counter\nmaxembed_corruptions_detected_total %d\n", rec.Corruptions)
+	fmt.Fprintf(w, "# TYPE maxembed_read_retries_total counter\nmaxembed_read_retries_total %d\n", rec.Retries)
+	fmt.Fprintf(w, "# TYPE maxembed_replica_rescues_total counter\nmaxembed_replica_rescues_total %d\n", rec.ReplicaRescues)
+	fmt.Fprintf(w, "# TYPE maxembed_recovered_keys_total counter\nmaxembed_recovered_keys_total %d\n", rec.RecoveredKeys)
+	fmt.Fprintf(w, "# TYPE maxembed_degraded_queries_total counter\nmaxembed_degraded_queries_total %d\n", rec.DegradedQueries)
+	fmt.Fprintf(w, "# TYPE maxembed_failed_keys_total counter\nmaxembed_failed_keys_total %d\n", rec.FailedKeys)
 	rate, _, ready := h.healthy()
 	fmt.Fprintf(w, "# TYPE maxembed_read_error_rate gauge\nmaxembed_read_error_rate %g\n", rate)
 	fmt.Fprintf(w, "# TYPE maxembed_ready gauge\nmaxembed_ready %d\n", b2i(ready))
-	if c := h.eng.Cache(); c != nil {
+	eng := h.handle.Engine()
+	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
 		fmt.Fprintf(w, "# TYPE maxembed_cache_hits_total counter\nmaxembed_cache_hits_total %d\n", cs.Hits)
 		fmt.Fprintf(w, "# TYPE maxembed_cache_misses_total counter\nmaxembed_cache_misses_total %d\n", cs.Misses)
 		fmt.Fprintf(w, "# TYPE maxembed_cache_entries gauge\nmaxembed_cache_entries %d\n", c.Len())
 	}
-	ls := h.eng.Latency.Snapshot()
-	fmt.Fprintf(w, "# TYPE maxembed_lookups_total counter\nmaxembed_lookups_total %d\n", ls.Count)
+	ls := eng.Latency.Snapshot()
+	fmt.Fprintf(w, "# TYPE maxembed_lookups_total counter\nmaxembed_lookups_total %d\n", rec.Lookups)
 	fmt.Fprintf(w, "# TYPE maxembed_lookup_latency_p99_ns gauge\nmaxembed_lookup_latency_p99_ns %d\n", ls.P99NS)
-	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read gauge\nmaxembed_valid_per_read %g\n", h.eng.ValidPerRead.Mean())
+	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read gauge\nmaxembed_valid_per_read %g\n", eng.ValidPerRead.Mean())
+	fmt.Fprintf(w, "# TYPE maxembed_layout_generation gauge\nmaxembed_layout_generation %d\n", h.handle.Generation())
+	fmt.Fprintf(w, "# TYPE maxembed_engine_swaps_total counter\nmaxembed_engine_swaps_total %d\n", h.handle.Swaps())
+	fmt.Fprintf(w, "# TYPE maxembed_refresh_total counter\nmaxembed_refresh_total %d\n", h.refreshes.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_refresh_errors_total counter\nmaxembed_refresh_errors_total %d\n", h.refreshErrors.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_refresh_duration_seconds gauge\nmaxembed_refresh_duration_seconds %g\n", float64(h.lastRefreshNS.Load())/1e9)
+	fmt.Fprintf(w, "# TYPE maxembed_valid_per_read_before_swap gauge\nmaxembed_valid_per_read_before_swap %g\n", h.handle.ValidPerReadBefore())
 	if h.coal != nil {
 		cs := h.coal.stats()
 		fmt.Fprintf(w, "# TYPE maxembed_coalesce_batches_total counter\nmaxembed_coalesce_batches_total %d\n", cs.Batches)

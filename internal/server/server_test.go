@@ -29,6 +29,18 @@ type testStack struct {
 	dev *ssd.Device
 	syn *embedding.Synthesizer
 	tr  *workload.Trace
+	cfg serving.Config
+}
+
+// newEngine builds another engine over the same layout, store, and device
+// — what a layout refresh produces, as far as a swap is concerned.
+func (s *testStack) newEngine(t testing.TB) *serving.Engine {
+	t.Helper()
+	e, err := serving.New(s.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }
 
 func newTestStack(t testing.TB, ratio float64, mutate func(*serving.Config)) *testStack {
@@ -83,7 +95,7 @@ func newTestStack(t testing.TB, ratio float64, mutate func(*serving.Config)) *te
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &testStack{eng: eng, dev: dev, syn: syn, tr: tr}
+	return &testStack{eng: eng, dev: dev, syn: syn, tr: tr, cfg: cfg}
 }
 
 func (s *testStack) serve(t *testing.T, opts ...Option) *httptest.Server {

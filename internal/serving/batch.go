@@ -225,6 +225,7 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			FailedKeys:    sc.failFor[qi],
 			Degraded:      sc.failFor[qi] > 0,
 			UsefulFromSSD: len(d) - sc.hitsFor[qi] - sc.failFor[qi],
+			Generation:    union.Stats.Generation,
 			StartNS:       union.Stats.StartNS,
 			EndNS:         union.Stats.EndNS,
 		}

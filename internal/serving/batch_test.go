@@ -152,7 +152,7 @@ func TestLookupBatchFailedKeyAttribution(t *testing.T) {
 	// immediately, so its page's keys must surface in FailedKeys — of
 	// exactly the queries that asked for them.
 	f := newFixture(t, placement.StrategySHP, 0)
-	e := f.engine(t, func(c *Config) { c.MaxRetries = -1 })
+	e := f.engine(t, func(c *Config) { c.MaxRetries = Retries(0) })
 	e.cfg.Device.SetFaultInjector(ssd.FailEveryN(3))
 
 	batch := f.trace.Queries[:6]

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"maxembed/internal/cache"
+	"maxembed/internal/embedding"
 	"maxembed/internal/layout"
 	"maxembed/internal/metrics"
 	"maxembed/internal/selection"
@@ -79,9 +80,11 @@ type Config struct {
 	Costs CostModel
 	// MaxRetries caps recovery attempts per failed page read; when a
 	// page's chain of retries (replica reads and re-reads) exhausts it,
-	// its keys are reported in Result.FailedKeys. Default 2; negative
-	// disables recovery entirely (every fault degrades immediately).
-	MaxRetries int
+	// its keys are reported in Result.FailedKeys. nil applies
+	// DefaultMaxRetries; Retries(0) disables recovery entirely (every
+	// fault degrades immediately) — zero really means zero, it is not
+	// rewritten to the default. Negative values are clamped to 0.
+	MaxRetries *int
 	// RetryBudget caps the total recovery reads one query may issue
 	// before degrading to a partial result. Default 32.
 	RetryBudget int
@@ -98,6 +101,15 @@ type Config struct {
 	// the offline phase can later be refreshed from live traffic.
 	Recorder *HistoryRecorder
 }
+
+// DefaultMaxRetries is the recovery-attempt cap applied when
+// Config.MaxRetries is nil.
+const DefaultMaxRetries = 2
+
+// Retries returns a pointer to n for Config.MaxRetries, distinguishing an
+// explicit cap — including the meaningful zero, "no recovery at all" —
+// from the unset field that takes DefaultMaxRetries.
+func Retries(n int) *int { return &n }
 
 // RecoveryCounters aggregates fault-recovery activity across all of an
 // engine's workers. All fields are safe for concurrent use.
@@ -138,12 +150,17 @@ func (r *RecoveryCounters) Reset() {
 // Engine is the shared, immutable part of a serving deployment. Workers
 // created by NewWorker do the per-goroutine work.
 type Engine struct {
-	cfg     Config
-	idx     *selection.Index
-	cache   *cache.Cache[Key, []float32]
-	costs   CostModel
-	dim     int
-	vecSize int
+	cfg        Config
+	idx        *selection.Index
+	cache      *cache.Cache[Key, []float32]
+	costs      CostModel
+	dim        int
+	vecSize    int
+	maxRetries int
+	// gen is the layout generation stamped by a Swappable before the
+	// engine is published (0 for engines never held by one). Immutable
+	// once workers exist.
+	gen uint64
 
 	// Latency is recorded per query across all workers.
 	Latency metrics.Recorder
@@ -181,9 +198,6 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Costs == nil {
 		cfg.Costs = NewDefaultCosts()
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 2
-	}
 	if cfg.RetryBudget == 0 {
 		cfg.RetryBudget = 32
 	}
@@ -197,8 +211,12 @@ func New(cfg Config) (*Engine, error) {
 		cfg:          cfg,
 		idx:          selection.NewIndex(cfg.Layout, cfg.IndexLimit),
 		costs:        cfg.Costs,
+		maxRetries:   DefaultMaxRetries,
 		ValidPerRead: metrics.NewIntHist(cfg.Layout.Capacity),
 		Recovery:     &RecoveryCounters{},
+	}
+	if cfg.MaxRetries != nil {
+		e.maxRetries = max(*cfg.MaxRetries, 0)
 	}
 	switch {
 	case cfg.Store != nil:
@@ -207,9 +225,18 @@ func New(cfg Config) (*Engine, error) {
 	case cfg.VectorBytes > 0:
 		e.vecSize = cfg.VectorBytes
 	default:
-		// Timing-only mode still accounts useful bytes by layout capacity
-		// arithmetic: approximate the slot payload from the page size.
-		e.vecSize = cfg.Device.Profile().PageSize / cfg.Layout.Capacity
+		// Timing-only mode still accounts useful bytes by slot arithmetic:
+		// the per-slot byte budget is PageSize/Capacity, of which
+		// embedding.SlotOverhead is the key/checksum header, and the
+		// payload is whole float32 elements of the remainder. Counting the
+		// header as useful would overstate EffectiveBandwidth relative to a
+		// store-backed engine on the same configuration.
+		slot := cfg.Device.Profile().PageSize / cfg.Layout.Capacity
+		dim := (slot - embedding.SlotOverhead) / 4
+		if dim < 1 {
+			dim = 1
+		}
+		e.vecSize = embedding.BytesPerVector(dim)
 	}
 	if cfg.CacheEntries > 0 {
 		if cfg.SegmentedCache {
@@ -223,6 +250,13 @@ func New(cfg Config) (*Engine, error) {
 
 // Index exposes the engine's selection index (read-only).
 func (e *Engine) Index() *selection.Index { return e.idx }
+
+// Generation returns the layout generation a Swappable stamped on the
+// engine when publishing it (0 for an engine never held by a Swappable).
+func (e *Engine) Generation() uint64 { return e.gen }
+
+// Layout returns the layout the engine serves.
+func (e *Engine) Layout() *layout.Layout { return e.cfg.Layout }
 
 // Cache returns the DRAM cache, or nil when disabled.
 func (e *Engine) Cache() *cache.Cache[Key, []float32] { return e.cache }
@@ -260,6 +294,11 @@ type QueryStats struct {
 	// when it is non-zero (partial result).
 	FailedKeys int
 	Degraded   bool
+	// Generation is the layout generation of the engine that served the
+	// query (0 when the engine is not behind a Swappable handle). Every
+	// page read of one query comes from this single generation — a hot
+	// swap is only picked up between queries.
+	Generation uint64
 	// UsefulFromSSD is the number of distinct keys served from SSD pages.
 	UsefulFromSSD int
 	// StartNS/EndNS bound the query on the worker's virtual clock.
@@ -409,6 +448,7 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	e := w.eng
 	var st QueryStats
 	st.Keys = len(query)
+	st.Generation = e.gen
 	st.StartNS = w.now
 	t := w.now
 
@@ -511,9 +551,6 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	st.SSDWaitNS = ssdWait
 	t = done
 	st.PagesRead = len(w.plan)
-	for _, pe := range w.plan {
-		e.ValidPerRead.Add(pe.to - pe.from)
-	}
 
 	w.out = w.out[:0]
 	w.vecArena = w.vecArena[:0]
@@ -523,11 +560,20 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	for _, c := range comps {
 		w.compMap[c.Page] = c
 	}
+	// The Fig 9 histogram is fed per read as its outcome resolves: a read
+	// that faulted served nothing (0 valid embeddings), and recovery reads
+	// — issued in recover below — are reads too, each counted with the
+	// keys it actually served. Crediting planned coverage up front would
+	// overstate the histogram (and everything derived from it) exactly
+	// when faults make it matter.
 	for _, pe := range w.plan {
 		keys := w.coveredFlat[pe.from:pe.to]
 		c := w.compMap[pe.page]
 		if fail, cause := w.consume(&st, c, keys); fail {
+			e.ValidPerRead.Add(0)
 			w.failures = append(w.failures, pageFailure{page: pe.page, keys: keys, cause: cause})
+		} else {
+			e.ValidPerRead.Add(len(keys))
 		}
 	}
 	if len(w.failures) > 0 {
@@ -684,7 +730,7 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 	// The queue grows as recovery reads themselves fail; index-iterate.
 	for qi := 0; qi < len(w.failures); qi++ {
 		f := w.failures[qi]
-		if f.attempt >= e.cfg.MaxRetries || spent >= e.cfg.RetryBudget {
+		if f.attempt >= e.maxRetries || spent >= e.cfg.RetryBudget {
 			w.failedKeys = append(w.failedKeys, f.keys...)
 			continue
 		}
@@ -745,6 +791,7 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 			c := w.compMap[g.page]
 			fail, cause := w.consume(st, c, g.keys)
 			if fail {
+				e.ValidPerRead.Add(0)
 				tried := append(append([]layout.PageID(nil), f.tried...), f.page)
 				w.failures = append(w.failures, pageFailure{
 					page: g.page, keys: g.keys, attempt: f.attempt + 1,
@@ -752,6 +799,9 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 				})
 				continue
 			}
+			// A successful recovery read is a page read like any other:
+			// it enters the histogram with the keys it served.
+			e.ValidPerRead.Add(len(g.keys))
 			e.Recovery.RecoveredKeys.Add(int64(len(g.keys)))
 			if g.page != f.page {
 				st.ReplicaRescues += len(g.keys)
@@ -773,4 +823,3 @@ func containsPage(pages []layout.PageID, p layout.PageID) bool {
 	}
 	return false
 }
-

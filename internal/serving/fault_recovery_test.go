@@ -195,11 +195,11 @@ func TestMultiKeyPartialResult(t *testing.T) {
 	}
 }
 
-// TestNoRetriesDegradesImmediately covers the negative-MaxRetries escape
-// hatch: every fault degrades without recovery reads.
+// TestNoRetriesDegradesImmediately covers the explicit zero-retries
+// configuration: every fault degrades without recovery reads.
 func TestNoRetriesDegradesImmediately(t *testing.T) {
 	f := newFixture(t, placement.StrategySHP, 0)
-	e := f.engine(t, func(c *Config) { c.MaxRetries = -1 })
+	e := f.engine(t, func(c *Config) { c.MaxRetries = Retries(0) })
 	e.cfg.Device.SetFaultModel(ssd.NewInjector(ssd.InjectorConfig{Seed: 5, ReadErrorProb: 0.05}))
 	r, err := Run(e, f.trace.Queries[:300], 2)
 	if err != nil {
@@ -217,7 +217,7 @@ func TestNoRetriesDegradesImmediately(t *testing.T) {
 // recovery read is issued per query no matter how many pages fault.
 func TestRetryBudgetCapsRecoveryReads(t *testing.T) {
 	f := newFixture(t, placement.StrategySHP, 0)
-	e := f.engine(t, func(c *Config) { c.RetryBudget = 1; c.MaxRetries = 5 })
+	e := f.engine(t, func(c *Config) { c.RetryBudget = 1; c.MaxRetries = Retries(5) })
 	e.cfg.Device.SetFaultModel(ssd.NewInjector(ssd.InjectorConfig{Seed: 5, ReadErrorProb: 0.2}))
 	w := e.NewWorker()
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,143 @@
+package serving
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Online layout refresh needs to replace a running engine — new layout, new
+// store, new selection index — without stranding in-flight sessions on the
+// old layout or dropping requests. Swappable is that seam: a versioned,
+// atomically swappable engine handle. Serving frontends load the current
+// (engine, generation) pair at each query boundary and re-bind their
+// workers when the generation has moved, so a swap is picked up between
+// queries, never inside one; the old engine (and its page images) stays
+// alive until the last worker bound to it finishes, which is what lets two
+// store generations coexist during a swap.
+
+// engineEntry pairs an engine with the layout generation it serves.
+type engineEntry struct {
+	eng *Engine
+	gen uint64
+}
+
+// RecoveryTotals is a plain-value snapshot of recovery activity summed
+// across every engine a Swappable has held. Keeping the totals monotonic
+// across swaps is what lets Prometheus-style counters survive a refresh
+// (a fresh engine's counters start at zero).
+type RecoveryTotals struct {
+	ReadErrors      int64
+	Timeouts        int64
+	Corruptions     int64
+	Retries         int64
+	ReplicaRescues  int64
+	RecoveredKeys   int64
+	DegradedQueries int64
+	FailedKeys      int64
+	// Lookups counts queries served (latency samples recorded).
+	Lookups int64
+}
+
+// add accumulates an engine's current counters into the totals.
+func (t *RecoveryTotals) add(e *Engine) {
+	r := e.Recovery
+	t.ReadErrors += r.ReadErrors.Load()
+	t.Timeouts += r.Timeouts.Load()
+	t.Corruptions += r.Corruptions.Load()
+	t.Retries += r.Retries.Load()
+	t.ReplicaRescues += r.ReplicaRescues.Load()
+	t.RecoveredKeys += r.RecoveredKeys.Load()
+	t.DegradedQueries += r.DegradedQueries.Load()
+	t.FailedKeys += r.FailedKeys.Load()
+	t.Lookups += int64(e.Latency.Count())
+}
+
+// Swappable is a versioned engine handle supporting atomic hot swap: Load
+// returns the current engine and its layout generation, and Swap publishes
+// a replacement built from a refreshed layout. It is safe for concurrent
+// use; loads are a single atomic pointer read on the serving hot path.
+type Swappable struct {
+	cur   atomic.Pointer[engineEntry]
+	swaps atomic.Int64
+
+	mu         sync.Mutex     // serializes Swap
+	retired    RecoveryTotals // counters carried over from replaced engines
+	beforeMean float64        // replaced engine's ValidPerRead mean at last swap
+}
+
+// NewSwappable returns a handle serving the given engine at generation 1.
+func NewSwappable(e *Engine) *Swappable {
+	if e == nil {
+		panic("serving: NewSwappable(nil)")
+	}
+	s := &Swappable{}
+	e.gen = 1
+	s.cur.Store(&engineEntry{eng: e, gen: 1})
+	return s
+}
+
+// Load returns the current engine and its layout generation.
+func (s *Swappable) Load() (*Engine, uint64) {
+	e := s.cur.Load()
+	return e.eng, e.gen
+}
+
+// Engine returns the current engine.
+func (s *Swappable) Engine() *Engine { return s.cur.Load().eng }
+
+// Generation returns the current layout generation (starts at 1 and
+// increments on every Swap).
+func (s *Swappable) Generation() uint64 { return s.cur.Load().gen }
+
+// Swaps returns how many engines have been swapped in since creation.
+func (s *Swappable) Swaps() int64 { return s.swaps.Load() }
+
+// Swap atomically publishes e as the current engine under the next
+// generation and returns that generation. The replaced engine's counters
+// are folded into the handle's retired totals and its valid-per-read mean
+// is retained (ValidPerReadBefore) so a refresh's effect is observable as
+// a before/after pair. The caller must not have exposed e to any worker
+// yet: Swap stamps its generation before publishing it.
+func (s *Swappable) Swap(e *Engine) (uint64, error) {
+	if e == nil {
+		return 0, errors.New("serving: Swap(nil)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur.Load()
+	if e == old.eng {
+		return old.gen, errors.New("serving: Swap of the already-current engine")
+	}
+	s.retired.add(old.eng)
+	s.beforeMean = old.eng.ValidPerRead.Mean()
+	gen := old.gen + 1
+	e.gen = gen
+	s.cur.Store(&engineEntry{eng: e, gen: gen})
+	s.swaps.Add(1)
+	return gen, nil
+}
+
+// ValidPerReadBefore returns the valid-embeddings-per-read mean of the
+// engine most recently replaced by Swap (0 before any swap). Read next to
+// the current engine's running mean, it is the before/after pair that shows
+// whether a refresh recovered placement quality.
+func (s *Swappable) ValidPerReadBefore() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beforeMean
+}
+
+// Totals returns recovery counters summed over every engine the handle has
+// held: the retired totals of replaced engines plus the current engine's
+// live counters. Monotonic across swaps.
+func (s *Swappable) Totals() RecoveryTotals {
+	// Taken under the swap mutex so a concurrent Swap cannot fold the
+	// current engine into retired between the two reads (which would make
+	// the totals transiently dip).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.retired
+	t.add(s.cur.Load().eng)
+	return t
+}

@@ -135,17 +135,21 @@ func WithFaultInjection(fc FaultConfig) Option {
 
 // DB is an opened embedding store: the offline phase's output plus the
 // shared state of the online phase. DB is safe for concurrent use through
-// per-goroutine Sessions.
+// per-goroutine Sessions. The serving engine lives behind a versioned
+// swappable handle so Refresh can hot-swap a re-placed layout under live
+// traffic: existing Sessions pick the new engine up at their next query
+// boundary instead of being stranded on the old layout.
 type DB struct {
 	cfg      config
-	lay      *layout.Layout
-	eng      *serving.Engine
 	device   *ssd.Device
 	syn      *embedding.Synthesizer
 	recorder *serving.HistoryRecorder
+	handle   *serving.Swappable
 
-	mu          sync.Mutex
-	defaultSess *Session
+	mu               sync.Mutex
+	lay              *layout.Layout
+	defaultSess      *Session
+	lastRefreshTotal int64 // recorder.Total() at the last successful Refresh
 }
 
 // Open runs the offline phase over the historical queries and returns a
@@ -227,10 +231,11 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		// PageSource interface would read as "store present".
 		engCfg.Store = st
 	}
-	db.eng, err = serving.New(engCfg)
+	eng, err := serving.New(engCfg)
 	if err != nil {
 		return nil, fmt.Errorf("maxembed: engine: %w", err)
 	}
+	db.handle = serving.NewSwappable(eng)
 	return db, nil
 }
 
@@ -238,17 +243,36 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 // and SSD queue pair. Create one per goroutine; a Session itself is not
 // safe for concurrent use.
 type Session struct {
-	w *serving.Worker
+	handle *serving.Swappable
+	w      *serving.Worker
+	gen    uint64
 }
 
 // NewSession returns an independent serving session bound to the DB's
-// current layout (a later Refresh does not affect existing sessions).
+// current layout. A later Refresh is picked up automatically at the
+// session's next query boundary: the session re-binds to the swapped-in
+// engine, keeping its virtual clock, so no query ever mixes layouts.
 func (db *DB) NewSession() *Session {
-	db.mu.Lock()
-	eng := db.eng
-	db.mu.Unlock()
-	return &Session{w: eng.NewWorker()}
+	eng, gen := db.handle.Load()
+	return &Session{handle: db.handle, w: eng.NewWorker(), gen: gen}
 }
+
+// rebind moves the session onto the current engine when a Refresh has
+// swapped one in since the session's last query. The worker's virtual
+// clock carries over so the session's timeline stays monotonic.
+func (s *Session) rebind() {
+	eng, gen := s.handle.Load()
+	if gen != s.gen {
+		now := s.w.Now()
+		s.w = eng.NewWorker()
+		s.w.SetNow(now)
+		s.gen = gen
+	}
+}
+
+// Generation returns the layout generation the session is currently bound
+// to (it advances at the first query boundary after a Refresh).
+func (s *Session) Generation() uint64 { return s.gen }
 
 // Result is one lookup's outcome.
 type Result = serving.Result
@@ -259,6 +283,7 @@ type QueryStats = serving.QueryStats
 // Lookup fetches the embeddings of the queried keys. Returned slices are
 // reused by the session; consume them before the next Lookup.
 func (s *Session) Lookup(query []Key) (Result, error) {
+	s.rebind()
 	return s.w.Lookup(query)
 }
 
@@ -274,6 +299,7 @@ type BatchResult = serving.BatchResult
 // attributed stats. Returned slices are reused by the session; consume them
 // before the next lookup.
 func (s *Session) LookupBatch(queries [][]Key) (BatchResult, error) {
+	s.rebind()
 	return s.w.LookupBatch(queries)
 }
 
@@ -287,7 +313,7 @@ func (db *DB) Lookup(query []Key) (Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.defaultSess == nil {
-		db.defaultSess = &Session{w: db.eng.NewWorker()}
+		db.defaultSess = db.NewSession()
 	}
 	return db.defaultSess.Lookup(query)
 }
@@ -295,22 +321,31 @@ func (db *DB) Lookup(query []Key) (Result, error) {
 // Refresh recomputes the replica pages from a newer query history while
 // keeping every key's home page fixed — the base table on SSD is not
 // rewritten, only the (much smaller) replica region and the DRAM indexes.
-// Only meaningful for StrategyMaxEmbed-style layouts. Sessions created
-// before Refresh continue serving the old layout; create new ones after.
+// Only meaningful for StrategyMaxEmbed-style layouts.
+//
+// The rebuild runs entirely off the serving path: placement, store, and
+// engine are constructed and validated first, then swapped in atomically.
+// Live Sessions (and the HTTP server's pooled and coalescer workers) pick
+// the new layout up at their next query boundary; queries in flight finish
+// on the old engine, whose page images stay alive until its last worker
+// lets go.
 func (db *DB) Refresh(history [][]Key) error {
 	if db.cfg.strategy != StrategyMaxEmbed {
 		return fmt.Errorf("maxembed: Refresh requires StrategyMaxEmbed, have %q", db.cfg.strategy)
 	}
-	g, err := hypergraph.FromQueries(db.lay.NumKeys, history)
+	db.mu.Lock()
+	cur := db.lay
+	db.mu.Unlock()
+	g, err := hypergraph.FromQueries(cur.NumKeys, history)
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh hypergraph: %w", err)
 	}
-	assign := make([]int32, db.lay.NumKeys)
-	for k, p := range db.lay.Home {
+	assign := make([]int32, cur.NumKeys)
+	for k, p := range cur.Home {
 		assign[k] = int32(p)
 	}
 	lay, err := placement.Replicate(g, assign, placement.Options{
-		Capacity:         db.lay.Capacity,
+		Capacity:         cur.Capacity,
 		ReplicationRatio: db.cfg.ratio,
 		Seed:             db.cfg.seed,
 	})
@@ -346,12 +381,51 @@ func (db *DB) Refresh(history [][]Key) error {
 		return fmt.Errorf("maxembed: refresh engine: %w", err)
 	}
 	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, err := db.handle.Swap(eng); err != nil {
+		return fmt.Errorf("maxembed: refresh swap: %w", err)
+	}
 	db.lay = lay
-	db.eng = eng
-	db.defaultSess = nil
-	db.mu.Unlock()
+	if db.recorder != nil {
+		db.lastRefreshTotal = db.recorder.Total()
+	}
 	return nil
 }
+
+// RefreshNow snapshots the recorded query history and refreshes the layout
+// from it. It is the hook the HTTP server's refresh loop and admin endpoint
+// call; it requires history recording (WithHistoryRecording) and at least
+// one recorded query.
+func (db *DB) RefreshNow() error {
+	if db.recorder == nil {
+		return fmt.Errorf("maxembed: RefreshNow requires history recording (WithHistoryRecording)")
+	}
+	history := db.recorder.Snapshot()
+	if len(history) == 0 {
+		return fmt.Errorf("maxembed: RefreshNow: no recorded queries yet")
+	}
+	return db.Refresh(history)
+}
+
+// PendingQueries reports how many queries have been recorded since the last
+// successful Refresh — the signal a refresh loop gates on. Zero when history
+// recording is disabled.
+func (db *DB) PendingQueries() int64 {
+	if db.recorder == nil {
+		return 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.recorder.Total() - db.lastRefreshTotal
+}
+
+// LayoutGeneration returns the current layout generation, starting at 1 and
+// incremented by each successful Refresh.
+func (db *DB) LayoutGeneration() uint64 { return db.handle.Generation() }
+
+// Handle exposes the swappable engine handle so serving frontends can follow
+// refreshes without holding a stale *Engine.
+func (db *DB) Handle() *serving.Swappable { return db.handle }
 
 // RecordedHistory returns the key sets of recently served queries when
 // history recording is enabled (WithHistoryRecording), oldest first. The
@@ -378,12 +452,10 @@ func (db *DB) DeviceStats() ssd.Stats { return db.device.Stats() }
 // stats endpoint or fault-injection tests).
 func (db *DB) Device() *ssd.Device { return db.device }
 
-// Engine exposes the underlying serving engine for benchmarking harnesses.
-func (db *DB) Engine() *serving.Engine {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.eng
-}
+// Engine exposes the current serving engine for benchmarking harnesses.
+// After a Refresh the returned engine is stale; long-lived frontends should
+// use Handle instead.
+func (db *DB) Engine() *serving.Engine { return db.handle.Engine() }
 
 // TraceProfile identifies a built-in synthetic dataset profile modelled on
 // the paper's Table 3.

@@ -1,9 +1,11 @@
 package maxembed
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 func smallTrace(t *testing.T) *Trace {
@@ -284,5 +286,127 @@ func TestHistoryRecordingAndRefreshLoop(t *testing.T) {
 	}
 	if _, err := db.NewSession().Lookup(live.Queries[0]); err != nil {
 		t.Fatalf("lookup after refresh: %v", err)
+	}
+}
+
+// TestHotSwapUnderConcurrentLookups hammers the refresh hot-swap seam:
+// sessions serve isolated and coalesced lookups (with device faults armed)
+// while the layout is refreshed repeatedly underneath them. Every served
+// vector must stay correct, each session must observe a non-decreasing
+// layout generation, per-query PageShare must keep summing to the batch's
+// page reads, and the final generation must reflect every refresh.
+func TestHotSwapUnderConcurrentLookups(t *testing.T) {
+	tr := smallTrace(t)
+	history, live := tr.Split(0.5)
+	db, err := Open(tr.NumItems, history.Queries,
+		WithReplicationRatio(0.3), WithSeed(3),
+		WithHistoryRecording(256),
+		WithFaultInjection(FaultConfig{Seed: 7, ReadErrorProb: 0.01, CorruptProb: 0.005}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const refreshes = 3
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			lastGen := sess.Generation()
+			var want []float32
+			checkResult := func(res Result) bool {
+				for j, k := range res.Keys {
+					want = db.syn.Vector(k, want[:0])
+					got := res.Vectors[j]
+					if len(got) != len(want) {
+						fail("worker %d: key %d vector dim %d, want %d", w, k, len(got), len(want))
+						return false
+					}
+					for x := range want {
+						if got[x] != want[x] {
+							fail("worker %d: wrong vector for key %d (gen %d)", w, k, res.Stats.Generation)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			for i := w; ; i += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := live.Queries[i%len(live.Queries)]
+				var gen uint64
+				if w%2 == 0 {
+					res, err := sess.Lookup(q)
+					if err != nil {
+						fail("worker %d: Lookup: %v", w, err)
+						return
+					}
+					if !checkResult(res) {
+						return
+					}
+					gen = res.Stats.Generation
+				} else {
+					q2 := live.Queries[(i+1)%len(live.Queries)]
+					br, err := sess.LookupBatch([][]Key{q, q2})
+					if err != nil {
+						fail("worker %d: LookupBatch: %v", w, err)
+						return
+					}
+					var share float64
+					for _, r := range br.PerQuery {
+						if !checkResult(r) {
+							return
+						}
+						share += r.Stats.PageShare
+					}
+					if got := float64(br.Stats.Combined.PagesRead); share < got-1e-6 || share > got+1e-6 {
+						fail("worker %d: PageShare sum %.6f != batch PagesRead %d", w, share, br.Stats.Combined.PagesRead)
+						return
+					}
+					gen = br.Stats.Combined.Generation
+				}
+				if gen < lastGen {
+					fail("worker %d: generation went backwards: %d after %d", w, gen, lastGen)
+					return
+				}
+				lastGen = gen
+			}
+		}(w)
+	}
+
+	for r := 0; r < refreshes; r++ {
+		if err := db.Refresh(live.Queries[:200]); err != nil {
+			t.Errorf("refresh %d: %v", r, err)
+			break
+		}
+		// Let the hammer goroutines serve a few queries on the new
+		// generation before the next swap.
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got, want := db.LayoutGeneration(), uint64(1+refreshes); got != want {
+		t.Errorf("final layout generation = %d, want %d", got, want)
+	}
+	if db.Handle().Swaps() != refreshes {
+		t.Errorf("Swaps = %d, want %d", db.Handle().Swaps(), refreshes)
 	}
 }
