@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench verify experiments
+.PHONY: build test race race-shard vet staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,21 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
+# The multi-device fault and hot-swap seams, explicitly and repeatedly under
+# the race detector: shard fault isolation, the striped-array serving path,
+# and the array hot-swap-under-load hammer. `race` covers these once as part
+# of the full suite; this target reruns them with -count to shake out
+# interleavings.
+race-shard:
+	$(GO) test -race -count=3 -run 'TestShardFaultIsolation|TestShardQueuePeaksAcrossRun|TestBackendOneShardMatchesDevice' ./internal/serving
+	$(GO) test -race -count=3 -run 'TestMultiDeviceHotSwapUnderLoad|TestMultiDeviceOpenAndLookup' .
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full pre-merge gate: static checks, build, and the test suite under
 # the race detector (the serving engine and HTTP layer are concurrent).
-verify: vet staticcheck build race
+verify: vet staticcheck build race race-shard
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -31,6 +31,7 @@ func main() {
 	ratio := flag.Float64("ratio", 0.2, "replication ratio r")
 	cacheRatio := flag.Float64("cache", 0.1, "DRAM cache fraction")
 	indexLimit := flag.Int("k", 10, "index-shrinking limit")
+	devices := flag.Int("devices", 1, "independent SSDs to stripe the layout over (RAID-0 at page granularity)")
 	seed := flag.Int64("seed", 1, "placement seed")
 	faultError := flag.Float64("fault-error", 0, "injected per-read error probability (chaos testing)")
 	faultTimeout := flag.Float64("fault-timeout", 0, "injected per-read stuck-command probability")
@@ -75,6 +76,10 @@ func main() {
 		maxembed.WithIndexLimit(*indexLimit),
 		maxembed.WithSeed(*seed),
 	}
+	if *devices > 1 {
+		opts = append(opts, maxembed.WithDevices(*devices))
+		log.Printf("striping across %d devices (shard-aware replica placement, per-shard queue pairs)", *devices)
+	}
 	if *recordLast > 0 {
 		opts = append(opts, maxembed.WithHistoryRecording(*recordLast))
 	}
@@ -114,7 +119,7 @@ func main() {
 	} else {
 		log.Printf("history recording disabled; layout refresh unavailable")
 	}
-	h := server.NewDynamic(db.Handle(), db.Device(), srvOpts...)
+	h := server.NewDynamic(db.Handle(), db.Backend(), srvOpts...)
 	defer h.Close()
 	log.Printf("serving on %s", *addr)
 	if err := http.ListenAndServe(*addr, h); err != nil {

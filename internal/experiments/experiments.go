@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"deploycost", "Supplementary: one-time write cost of deploying a layout", DeployCost},
 		{"partitioners", "Supplementary: SHP vs label-propagation partitioning", Partitioners},
 		{"scaleout", "Supplementary: sharded multi-device serving", ScaleOut},
+		{"shardsweep", "Supplementary: RAID-0 device-array scaling (§7)", ShardSweep},
 		{"faultsweep", "Supplementary: fault injection, recovery, and graceful degradation", FaultSweep},
 		{"batchsweep", "Supplementary: cross-request micro-batching vs batch size", BatchSweep},
 		{"refreshsweep", "Supplementary: online layout refresh and hot swap under drift", RefreshSweep},
@@ -137,6 +138,7 @@ type layoutKey struct {
 	ratio    float64
 	dim      int
 	seed     int64
+	shards   int
 }
 
 type prepKey struct {
@@ -191,7 +193,13 @@ func prepare(cfg Config, p workload.Profile) (*prepared, error) {
 
 // buildLayout produces (or recalls) a placement for the profile.
 func buildLayout(cfg Config, pr *prepared, strat placement.Strategy, ratio float64) (*layout.Layout, error) {
-	key := layoutKey{pr.profile.Name, cfg.Scale, strat, ratio, cfg.Dim, cfg.Seed}
+	return buildLayoutOn(cfg, pr, strat, ratio, 1)
+}
+
+// buildLayoutOn is buildLayout for a layout striped over the given number
+// of device shards (shard-aware replica placement when shards > 1).
+func buildLayoutOn(cfg Config, pr *prepared, strat placement.Strategy, ratio float64, shards int) (*layout.Layout, error) {
+	key := layoutKey{pr.profile.Name, cfg.Scale, strat, ratio, cfg.Dim, cfg.Seed, shards}
 	memoMu.Lock()
 	if l, ok := layMemo[key]; ok {
 		memoMu.Unlock()
@@ -204,6 +212,7 @@ func buildLayout(cfg Config, pr *prepared, strat placement.Strategy, ratio float
 		Capacity:         capacity,
 		ReplicationRatio: ratio,
 		Seed:             cfg.Seed,
+		Shards:           shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s placement for %s: %w", strat, pr.profile.Name, err)
@@ -217,6 +226,7 @@ func buildLayout(cfg Config, pr *prepared, strat placement.Strategy, ratio float
 // servingOpts configures one serving run.
 type servingOpts struct {
 	device     ssd.Profile
+	devices    int     // stripe over this many devices (≤1 = single)
 	cacheRatio float64 // fraction of the key space; 0 disables
 	indexLimit int
 	pipeline   bool
@@ -236,20 +246,29 @@ func defaultServing() servingOpts {
 
 // serve runs the eval trace through a timing-only engine over the layout.
 func serve(cfg Config, pr *prepared, lay *layout.Layout, so servingOpts) (serving.RunResult, error) {
-	dev, err := ssd.NewDevice(so.device)
-	if err != nil {
-		return serving.RunResult{}, err
-	}
 	cacheEntries := int(so.cacheRatio * float64(lay.NumKeys))
-	eng, err := serving.New(serving.Config{
+	engCfg := serving.Config{
 		Layout:       lay,
-		Device:       dev,
 		CacheEntries: cacheEntries,
 		IndexLimit:   so.indexLimit,
 		Pipeline:     so.pipeline,
 		Greedy:       so.greedy,
 		VectorBytes:  embedding.BytesPerVector(cfg.Dim),
-	})
+	}
+	if so.devices > 1 {
+		arr, err := ssd.NewArray(so.device, so.devices)
+		if err != nil {
+			return serving.RunResult{}, err
+		}
+		engCfg.Backend = arr
+	} else {
+		dev, err := ssd.NewDevice(so.device)
+		if err != nil {
+			return serving.RunResult{}, err
+		}
+		engCfg.Device = dev
+	}
+	eng, err := serving.New(engCfg)
 	if err != nil {
 		return serving.RunResult{}, err
 	}

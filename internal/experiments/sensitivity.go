@@ -62,13 +62,25 @@ func Fig17a(cfg Config) error {
 // MaxEmbed placements on different SSD types (P4510, P5800X, RAID-0 of two
 // P5800X) on Alibaba-iFashion. Paper: the relative improvements are
 // consistent across devices; only the absolute bandwidth scale differs.
+// The RAID-0 point runs on a real two-device ssd.Array (independent
+// per-shard queues, shard-aware replica placement), not the coarse
+// ssd.RAID0 merged-profile approximation.
 func Fig17b(cfg Config) error {
 	cfg = cfg.withDefaults()
 	pr, err := prepare(cfg, workload.AlibabaIFashion)
 	if err != nil {
 		return err
 	}
-	devices := []ssd.Profile{ssd.P4510, ssd.P5800X, ssd.RAID0(ssd.P5800X, 2)}
+	type devEntry struct {
+		name string
+		prof ssd.Profile
+		n    int // array member count (1 = single device)
+	}
+	devices := []devEntry{
+		{ssd.P4510.Name, ssd.P4510, 1},
+		{ssd.P5800X.Name, ssd.P5800X, 1},
+		{"Array-2xP5800X", ssd.P5800X, 2},
+	}
 	type variant struct {
 		name  string
 		strat placement.Strategy
@@ -82,15 +94,16 @@ func Fig17b(cfg Config) error {
 	t := newTable(cfg.Out, "Figure 17b: effective bandwidth (MB/s) by SSD type")
 	t.row("device", "vanilla", "SHP", "ME(r=40%)", "ME/SHP")
 	for _, dev := range devices {
-		cells := []string{dev.Name}
+		cells := []string{dev.name}
 		var shp, me float64
 		for _, v := range variants {
-			lay, err := buildLayout(cfg, pr, v.strat, v.r)
+			lay, err := buildLayoutOn(cfg, pr, v.strat, v.r, dev.n)
 			if err != nil {
 				return err
 			}
 			so := defaultServing()
-			so.device = dev
+			so.device = dev.prof
+			so.devices = dev.n
 			res, err := serve(cfg, pr, lay, so)
 			if err != nil {
 				return err

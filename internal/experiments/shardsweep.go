@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxembed/internal/placement"
+	"maxembed/internal/ssd"
+	"maxembed/internal/workload"
+)
+
+// ShardSweep reproduces the paper's RAID-0 device-array result (§7):
+// effective bandwidth scaling near-linearly with device count at a fixed
+// replication ratio. Each point stripes the same MaxEmbed layout over an
+// ssd.Array of 1, 2, and 4 P4510s (the NAND drives the paper builds its
+// array from) with shard-aware replica placement, and serves the eval
+// trace cachelessly so the SSD path dominates. The worker count is fixed
+// across points — only the device count varies — and is sized to keep a
+// four-device array busy. Valid-embeddings-per-read is a placement
+// property, so it must stay flat across the sweep: the array scales
+// bandwidth by adding parallel devices, not by changing what a read is
+// worth.
+func ShardSweep(cfg Config) error {
+	cfg = cfg.withDefaults()
+	// Enough closed-loop workers to saturate the largest array; identical
+	// for every point so software concurrency is not a confound.
+	cfg.Workers *= 4
+
+	pr, err := prepare(cfg, workload.AlibabaIFashion)
+	if err != nil {
+		return err
+	}
+	const r = 0.40
+	t := newTable(cfg.Out, fmt.Sprintf("Shard sweep: %s array scaling, MaxEmbed r=%.0f%%, cacheless, %d workers",
+		ssd.P4510.Name, r*100, cfg.Workers))
+	t.row("devices", "eff.BW (MB/s)", "raw BW (MB/s)", "valid/read", "QPS", "p99 (µs)", "scaling")
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		lay, err := buildLayoutOn(cfg, pr, placement.StrategyMaxEmbed, r, n)
+		if err != nil {
+			return err
+		}
+		so := servingOpts{
+			device:     ssd.P4510,
+			devices:    n,
+			cacheRatio: 0,
+			indexLimit: 10,
+			pipeline:   true,
+		}
+		res, err := serve(cfg, pr, lay, so)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			base = res.EffectiveBandwidth
+		}
+		t.row(
+			fmt.Sprintf("%d", n),
+			mbps(res.EffectiveBandwidth),
+			mbps(res.RawBandwidth),
+			fmt.Sprintf("%.2f", res.MeanValidPerRead),
+			fmt.Sprintf("%.0f", res.QPS),
+			fmt.Sprintf("%.1f", float64(res.Latency.P99NS)/1e3),
+			fmt.Sprintf("%.2fx", res.EffectiveBandwidth/base),
+		)
+	}
+	t.flush()
+	return nil
+}

@@ -57,6 +57,13 @@ type Options struct {
 	// MaxEmbed strategies: PartitionerSHP (default, the paper's choice)
 	// or PartitionerLPA (size-constrained label propagation).
 	Partitioner Partitioner
+	// Shards is the device count the layout will be striped over (page p
+	// lives on device p mod Shards, matching ssd.Array). Shards > 1 makes
+	// MaxEmbed's replication shard-aware: replica pages are steered onto
+	// devices that hold none of their keys' home copies, so a key's copies
+	// land on distinct devices and recovery can reroute around a faulty
+	// shard. 0 or 1 means a single device (no steering).
+	Shards int
 }
 
 // Partitioner names a base hypergraph-partitioning algorithm.
@@ -219,9 +226,9 @@ func Replicate(g *hypergraph.Graph, assign []int32, opts Options) (*layout.Layou
 		return uint64(a)<<32 | uint64(b)
 	}
 	coocc := hypergraph.NewCoOccurrence(g)
-	pages := 0
+	var cands [][]layout.Key
 	for _, base := range order {
-		if pages >= budget || score[base] == 0 {
+		if len(cands) >= budget || score[base] == 0 {
 			break
 		}
 		baseBucket := assign[base]
@@ -238,17 +245,64 @@ func Replicate(g *hypergraph.Graph, assign []int32, opts Options) (*layout.Layou
 		keys := make([]layout.Key, 0, len(neighbors)+1)
 		keys = append(keys, base)
 		keys = append(keys, neighbors...)
-		if _, err := lay.AddReplicaPage(keys); err != nil {
-			return nil, fmt.Errorf("placement: maxembed replica page: %w", err)
-		}
+		cands = append(cands, keys)
 		for i, a := range keys {
 			for _, b := range keys[i+1:] {
 				pairSeen[pairKey(a, b)] = struct{}{}
 			}
 		}
-		pages++
+	}
+	if err := emitReplicaPages(lay, cands, opts.Shards); err != nil {
+		return nil, err
 	}
 	return lay, nil
+}
+
+// emitReplicaPages appends the candidate replica pages (built in score
+// order) to the layout. With Shards > 1 the candidates are permuted across
+// the replica-page slots: slot i becomes global page NumPages+i, which
+// lives on device (NumPages+i) mod Shards under ssd.Array striping, so
+// each slot greedily takes the earliest unplaced candidate with the fewest
+// keys whose home page shares that device — a key's replica then lands on
+// a different device than its home copy whenever the budget allows, which
+// is what lets recovery route around a whole faulty shard. Shards <= 1
+// emits the candidates in score order unchanged (the historical layout).
+func emitReplicaPages(lay *layout.Layout, cands [][]layout.Key, shards int) error {
+	if shards > 1 && len(cands) > 1 {
+		numHome := lay.NumPages()
+		used := make([]bool, len(cands))
+		ordered := make([][]layout.Key, 0, len(cands))
+		for slot := 0; slot < len(cands); slot++ {
+			slotShard := (numHome + slot) % shards
+			pick, best := -1, int(^uint(0)>>1)
+			for i, keys := range cands {
+				if used[i] {
+					continue
+				}
+				collisions := 0
+				for _, k := range keys {
+					if int(lay.Home[k])%shards == slotShard {
+						collisions++
+					}
+				}
+				if collisions < best {
+					pick, best = i, collisions
+					if collisions == 0 {
+						break
+					}
+				}
+			}
+			used[pick] = true
+			ordered = append(ordered, cands[pick])
+		}
+		cands = ordered
+	}
+	for _, keys := range cands {
+		if _, err := lay.AddReplicaPage(keys); err != nil {
+			return fmt.Errorf("placement: maxembed replica page: %w", err)
+		}
+	}
+	return nil
 }
 
 // replicaPageBudget returns ⌊rN/d⌋: the number of extra pages a

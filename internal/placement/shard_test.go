@@ -1,0 +1,106 @@
+package placement
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"maxembed/internal/layout"
+)
+
+// TestShardsDegenerateIdentical: Shards 0 and 1 (and unset) must not change
+// the layout at all — shard awareness is strictly opt-in.
+func TestShardsDegenerateIdentical(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	base, err := Build(StrategyMaxEmbed, g, Options{Capacity: 15, ReplicationRatio: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1} {
+		lay, err := Build(StrategyMaxEmbed, g, Options{
+			Capacity: 15, ReplicationRatio: 0.4, Seed: 1, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lay, base) {
+			t.Errorf("Shards=%d changed the layout", shards)
+		}
+	}
+}
+
+// replicaCollisions counts keys on replica pages whose home page lives on
+// the same device shard as the replica page — reads that a single-shard
+// failure would take out together.
+func replicaCollisions(lay *layout.Layout, homePages, shards int) int {
+	collisions := 0
+	for p := homePages; p < lay.NumPages(); p++ {
+		pageShard := p % shards
+		for _, k := range lay.Pages[p] {
+			if int(lay.Home[k])%shards == pageShard {
+				collisions++
+			}
+		}
+	}
+	return collisions
+}
+
+// TestShardAwareReplicaDiversity: with Shards set, replica pages are
+// assigned to slots so that their keys' home shards differ from the replica
+// page's own shard wherever possible. The shard-aware build must not be
+// worse than the shard-ignorant one, and on a clustered workload it must be
+// strictly better. The replica *contents* must be unchanged — only their
+// page-slot assignment (and hence device shard) may move.
+func TestShardAwareReplicaDiversity(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	opts := Options{Capacity: 15, ReplicationRatio: 0.4, Seed: 1}
+	base, err := Build(StrategyMaxEmbed, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noHomes, err := Build(StrategyMaxEmbed, g, Options{Capacity: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	homePages := noHomes.NumPages()
+
+	for _, shards := range []int{2, 4} {
+		awareOpts := opts
+		awareOpts.Shards = shards
+		aware, err := Build(StrategyMaxEmbed, g, awareOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(aware.Home, base.Home) {
+			t.Fatalf("shards=%d: shard awareness changed home placement", shards)
+		}
+		if aware.NumPages() != base.NumPages() {
+			t.Fatalf("shards=%d: page count changed: %d vs %d", shards, aware.NumPages(), base.NumPages())
+		}
+		// Same replica pages as a multiset; only the order may differ.
+		canon := func(lay *layout.Layout) []string {
+			var out []string
+			for p := homePages; p < lay.NumPages(); p++ {
+				keys := append([]layout.Key(nil), lay.Pages[p]...)
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				out = append(out, fmt.Sprint(keys))
+			}
+			sort.Strings(out)
+			return out
+		}
+		if !reflect.DeepEqual(canon(aware), canon(base)) {
+			t.Fatalf("shards=%d: shard awareness changed replica page contents", shards)
+		}
+		got := replicaCollisions(aware, homePages, shards)
+		unaware := replicaCollisions(base, homePages, shards)
+		if got > unaware {
+			t.Errorf("shards=%d: aware placement has %d same-shard replica keys, ignorant %d",
+				shards, got, unaware)
+		}
+		if got >= unaware {
+			t.Errorf("shards=%d: no improvement from shard-aware assignment (%d vs %d)",
+				shards, got, unaware)
+		}
+	}
+}

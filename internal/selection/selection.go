@@ -117,6 +117,7 @@ type Selector struct {
 	coverMark  []int32 // key already covered
 	keys       []Key
 	coveredBuf []Key
+	tieBreak   func(cand, best PageID) bool
 }
 
 // NewSelector returns a selector over idx.
@@ -126,6 +127,16 @@ func NewSelector(idx *Index) *Selector {
 		queryMark: make([]int32, idx.numKeys),
 		coverMark: make([]int32, idx.numKeys),
 	}
+}
+
+// SetTieBreak installs (or clears, with nil) a page-score tie-breaker for
+// OnePass: when two candidate pages cover the same number of uncovered
+// keys, prefer(cand, best) == true switches the pick to cand. The serving
+// engine uses this on multi-device backends to steer score-ties toward the
+// least-loaded shard; with no tie-breaker the first candidate in forward-
+// index order wins, preserving the historical deterministic choice.
+func (s *Selector) SetTieBreak(prefer func(cand, best PageID) bool) {
+	s.tieBreak = prefer
 }
 
 // ErrKeyRange reports a query key outside the layout's key space.
@@ -218,7 +229,8 @@ func (s *Selector) onePass(query []Key, skip func(Key) bool, emit EmitFunc, sort
 					covers++
 				}
 			}
-			if covers > bestCovers {
+			if covers > bestCovers ||
+				(covers == bestCovers && s.tieBreak != nil && s.tieBreak(p, best)) {
 				best = p
 				bestCovers = covers
 			}

@@ -91,7 +91,7 @@ func WithCoalesceQueue(n int) Option {
 // swappable engine handle that layout refreshes update in place).
 type Handler struct {
 	handle  *serving.Swappable
-	device  *ssd.Device
+	backend ssd.Backend
 	mux     *http.ServeMux
 	workers sync.Pool // *poolWorker entries, tagged with their generation
 
@@ -118,12 +118,13 @@ type Handler struct {
 	refreshDone       chan struct{}
 }
 
-// New returns a handler over the given engine and its device. Coalescing
-// is on by default (see WithCoalescing); call Close when done to stop the
+// New returns a handler over the given engine and its read backend (a
+// single *ssd.Device or a multi-shard ssd.Array). Coalescing is on by
+// default (see WithCoalescing); call Close when done to stop the
 // coalescer goroutine. The engine is wrapped in a single-generation
 // swappable handle; use NewDynamic to share a handle that refreshes swap.
-func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
-	return NewDynamic(serving.NewSwappable(eng), device, opts...)
+func New(eng *serving.Engine, backend ssd.Backend, opts ...Option) *Handler {
+	return NewDynamic(serving.NewSwappable(eng), backend, opts...)
 }
 
 // NewDynamic returns a handler over a swappable engine handle: when a
@@ -131,10 +132,10 @@ func New(eng *serving.Engine, device *ssd.Device, opts ...Option) *Handler {
 // workers and the coalescer re-bind to it at their next lookup, so the
 // swap needs no connection draining or restart. Call Close when done to
 // stop the coalescer and refresh-loop goroutines.
-func NewDynamic(handle *serving.Swappable, device *ssd.Device, opts ...Option) *Handler {
+func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) *Handler {
 	h := &Handler{
 		handle:        handle,
-		device:        device,
+		backend:       backend,
 		mux:           http.NewServeMux(),
 		window:        metrics.NewRateWindow(defaultHealthWindow),
 		threshold:     defaultUnhealthyThreshold,
@@ -431,6 +432,10 @@ type StatsResponse struct {
 		Timeouts    int64 `json:"timeouts"`
 		Corruptions int64 `json:"corruptions"`
 	} `json:"device"`
+	// Shards breaks Device down per member drive of a multi-device
+	// backend (one entry on a single device), with each shard's peak
+	// observed queue depth.
+	Shards   []ShardStatsEntry `json:"shards"`
 	Recovery struct {
 		ReadErrors      int64 `json:"read_errors"`
 		Timeouts        int64 `json:"timeouts"`
@@ -482,14 +487,51 @@ type StatsResponse struct {
 	Coalescer CoalescerStats `json:"coalescer"`
 }
 
+// ShardStatsEntry is one device shard's slice of /v1/stats: its share of
+// the read/fault activity plus the highest per-worker queue depth any
+// serving worker observed on its queue pair to that shard.
+type ShardStatsEntry struct {
+	Shard       int   `json:"shard"`
+	Reads       int64 `json:"reads"`
+	BytesRead   int64 `json:"bytes_read"`
+	Errors      int64 `json:"errors"`
+	Timeouts    int64 `json:"timeouts"`
+	Corruptions int64 `json:"corruptions"`
+	QueuePeak   int64 `json:"queue_peak"`
+}
+
+// shardStats snapshots per-shard device counters and the current engine's
+// per-shard queue-depth peaks.
+func (h *Handler) shardStats(eng *serving.Engine) []ShardStatsEntry {
+	n := h.backend.NumShards()
+	peaks := eng.ShardQueuePeaks()
+	out := make([]ShardStatsEntry, n)
+	for i := 0; i < n; i++ {
+		ds := h.backend.Shard(i).Stats()
+		out[i] = ShardStatsEntry{
+			Shard:       i,
+			Reads:       ds.Reads,
+			BytesRead:   ds.BytesRead,
+			Errors:      ds.Errors,
+			Timeouts:    ds.Timeouts,
+			Corruptions: ds.Corruptions,
+		}
+		if i < len(peaks) {
+			out[i].QueuePeak = peaks[i]
+		}
+	}
+	return out
+}
+
 func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	var resp StatsResponse
-	ds := h.device.Stats()
+	ds := h.backend.Stats()
 	resp.Device.Reads = ds.Reads
 	resp.Device.BytesRead = ds.BytesRead
 	resp.Device.Errors = ds.Errors
 	resp.Device.Timeouts = ds.Timeouts
 	resp.Device.Corruptions = ds.Corruptions
+	resp.Shards = h.shardStats(h.handle.Engine())
 	// Recovery counters aggregate across engine swaps (retired engines'
 	// totals are folded in) so they stay monotonic for pollers.
 	rec := h.handle.Totals()
@@ -543,12 +585,33 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 // for scrape-based monitoring.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	ds := h.device.Stats()
+	ds := h.backend.Stats()
 	fmt.Fprintf(w, "# TYPE maxembed_device_reads_total counter\nmaxembed_device_reads_total %d\n", ds.Reads)
 	fmt.Fprintf(w, "# TYPE maxembed_device_bytes_read_total counter\nmaxembed_device_bytes_read_total %d\n", ds.BytesRead)
 	fmt.Fprintf(w, "# TYPE maxembed_device_errors_total counter\nmaxembed_device_errors_total %d\n", ds.Errors)
 	fmt.Fprintf(w, "# TYPE maxembed_device_timeouts_total counter\nmaxembed_device_timeouts_total %d\n", ds.Timeouts)
 	fmt.Fprintf(w, "# TYPE maxembed_device_corruptions_total counter\nmaxembed_device_corruptions_total %d\n", ds.Corruptions)
+	shards := h.shardStats(h.handle.Engine())
+	fmt.Fprintf(w, "# TYPE maxembed_shard_reads_total counter\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "maxembed_shard_reads_total{shard=\"%d\"} %d\n", s.Shard, s.Reads)
+	}
+	fmt.Fprintf(w, "# TYPE maxembed_shard_errors_total counter\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "maxembed_shard_errors_total{shard=\"%d\"} %d\n", s.Shard, s.Errors)
+	}
+	fmt.Fprintf(w, "# TYPE maxembed_shard_timeouts_total counter\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "maxembed_shard_timeouts_total{shard=\"%d\"} %d\n", s.Shard, s.Timeouts)
+	}
+	fmt.Fprintf(w, "# TYPE maxembed_shard_corruptions_total counter\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "maxembed_shard_corruptions_total{shard=\"%d\"} %d\n", s.Shard, s.Corruptions)
+	}
+	fmt.Fprintf(w, "# TYPE maxembed_shard_queue_peak gauge\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "maxembed_shard_queue_peak{shard=\"%d\"} %d\n", s.Shard, s.QueuePeak)
+	}
 	rec := h.handle.Totals()
 	fmt.Fprintf(w, "# TYPE maxembed_read_errors_total counter\nmaxembed_read_errors_total %d\n", rec.ReadErrors)
 	fmt.Fprintf(w, "# TYPE maxembed_corruptions_detected_total counter\nmaxembed_corruptions_detected_total %d\n", rec.Corruptions)

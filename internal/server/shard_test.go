@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/placement"
+	"maxembed/internal/serving"
+	"maxembed/internal/ssd"
+	"maxembed/internal/store"
+	"maxembed/internal/workload"
+)
+
+// newShardedServer builds a serving stack striped over a 2-device array and
+// serves it, returning the array for direct inspection.
+func newShardedServer(t *testing.T) (*httptest.Server, *ssd.Array, *workload.Trace) {
+	t.Helper()
+	p := workload.Profile{
+		Name: "t", Items: 800, Queries: 1500, MeanQueryLen: 8,
+		Communities: 60, CommunityAffinity: 0.8, CommunitySpread: 0.5,
+		ZipfS: 1.2, PopularityOffset: 0.05, Seed: 3,
+	}
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hypergraph.FromQueries(tr.NumItems, tr.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: embedding.PageCapacity(4096, testDim), ReplicationRatio: 0.2,
+		Seed: 1, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := embedding.NewSynthesizer(testDim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := store.BuildSharded(lay, syn, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := ssd.NewArray(ssd.P5800X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serving.New(serving.Config{
+		Layout:     lay,
+		Backend:    arr,
+		Store:      sh,
+		IndexLimit: 10,
+		Pipeline:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(eng, arr)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		h.Close()
+	})
+	return srv, arr, tr
+}
+
+func TestStatsEndpointShards(t *testing.T) {
+	srv, arr, tr := newShardedServer(t)
+	for i := 0; i < 50; i++ {
+		resp, _ := postLookup(t, srv.URL, tr.Queries[i])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lookup %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Shards) != 2 {
+		t.Fatalf("stats reported %d shards, want 2", len(sr.Shards))
+	}
+	ss := arr.ShardStats()
+	var total int64
+	for i, entry := range sr.Shards {
+		if entry.Shard != i {
+			t.Errorf("shard entry %d labelled %d", i, entry.Shard)
+		}
+		if entry.Reads == 0 {
+			t.Errorf("shard %d reports no reads", i)
+		}
+		if entry.Reads != ss[i].Reads || entry.BytesRead != ss[i].BytesRead {
+			t.Errorf("shard %d entry %+v does not match device stats %+v", i, entry, ss[i])
+		}
+		if entry.QueuePeak <= 0 {
+			t.Errorf("shard %d queue peak = %d, want > 0", i, entry.QueuePeak)
+		}
+		total += entry.Reads
+	}
+	if sr.Device.Reads != total {
+		t.Errorf("aggregate device reads %d != per-shard sum %d", sr.Device.Reads, total)
+	}
+}
+
+func TestMetricsEndpointShards(t *testing.T) {
+	srv, _, tr := newShardedServer(t)
+	for i := 0; i < 20; i++ {
+		if resp, _ := postLookup(t, srv.URL, tr.Queries[i]); resp.StatusCode != http.StatusOK {
+			t.Fatalf("lookup %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"maxembed_shard_reads_total",
+		"maxembed_shard_errors_total",
+		"maxembed_shard_timeouts_total",
+		"maxembed_shard_corruptions_total",
+		"maxembed_shard_queue_peak",
+	} {
+		if !strings.Contains(text, "# TYPE "+family) {
+			t.Errorf("metrics missing TYPE header for %s", family)
+		}
+		for shard := 0; shard < 2; shard++ {
+			if want := fmt.Sprintf("%s{shard=\"%d\"}", family, shard); !strings.Contains(text, want) {
+				t.Errorf("metrics missing %s", want)
+			}
+		}
+	}
+}
+
+// TestStatsEndpointSingleDeviceShards: a single-device server still reports
+// a one-entry shards array, so dashboards need no special case.
+func TestStatsEndpointSingleDeviceShards(t *testing.T) {
+	srv, _, tr := newTestServer(t)
+	if resp, _ := postLookup(t, srv.URL, tr.Queries[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("lookup status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Shards) != 1 {
+		t.Fatalf("single-device stats reported %d shards, want 1", len(sr.Shards))
+	}
+	if sr.Shards[0].Reads != sr.Device.Reads {
+		t.Errorf("shard 0 reads %d != device reads %d", sr.Shards[0].Reads, sr.Device.Reads)
+	}
+}

@@ -86,6 +86,77 @@ func BenchmarkWorkerLookupFull(b *testing.B) {
 	}
 }
 
+// benchShardedEngine is benchEngine striped over a device array, with
+// shard-aware replica placement and a sharded store.
+func benchShardedEngine(b *testing.B, devices int) (*Engine, *workload.Trace) {
+	b.Helper()
+	p := workload.Criteo.Scaled(0.05)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist, _ := tr.Split(0.5)
+	g, err := hypergraph.FromQueries(tr.NumItems, hist.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: embedding.PageCapacity(4096, 64), ReplicationRatio: 0.2, Seed: 1,
+		Shards: devices,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := embedding.NewSynthesizer(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.BuildSharded(lay, syn, 4096, devices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := ssd.NewArray(ssd.P5800X, devices)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(Config{
+		Layout:       lay,
+		Backend:      arr,
+		Store:        st,
+		CacheEntries: tr.NumItems / 10,
+		IndexLimit:   10,
+		Pipeline:     true,
+		VectorBytes:  256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, tr
+}
+
+// BenchmarkWorkerLookupSharded measures the full lookup path over striped
+// device arrays: the per-shard queue routing, cross-shard completion merge,
+// and selection tie-breaking that only multi-device engines exercise.
+func BenchmarkWorkerLookupSharded(b *testing.B) {
+	for _, devices := range []int{1, 2, 4} {
+		b.Run(fmtDevices(devices), func(b *testing.B) {
+			eng, tr := benchShardedEngine(b, devices)
+			w := eng.NewWorker()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Lookup(tr.Queries[i%len(tr.Queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fmtDevices(n int) string {
+	return map[int]string{1: "devices=1", 2: "devices=2", 4: "devices=4"}[n]
+}
+
 // BenchmarkWorkerLookupBatch measures the coalesced batch path end to end:
 // combined pass plus per-query scatter.
 func BenchmarkWorkerLookupBatch(b *testing.B) {
@@ -128,5 +199,35 @@ func TestWorkerLookupSteadyStateAllocs(t *testing.T) {
 	t.Logf("steady-state Lookup allocs/op: %.1f (queries average %d keys)", allocs, 16)
 	if allocs > 16 {
 		t.Errorf("steady-state Lookup allocates %.1f/op, budget 16", allocs)
+	}
+}
+
+// TestWorkerLookupShardedSteadyStateAllocs holds the multi-shard lookup
+// path to the same allocation budget as the single-device path: per-shard
+// queue routing, the cross-shard completion merge, and shard-load
+// tie-breaking must all run on reused worker scratch.
+func TestWorkerLookupShardedSteadyStateAllocs(t *testing.T) {
+	f := newFixture(t, placement.StrategyMaxEmbed, 0.3)
+	e := f.engine(t, func(c *Config) {
+		c.Device = nil
+		c.Backend = mustTestArray(t, ssd.P5800X, 4)
+	})
+	w := e.NewWorker()
+	qs := f.trace.Queries
+	for i := 0; i < 300; i++ {
+		if _, err := w.Lookup(qs[i%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		i++
+		if _, err := w.Lookup(qs[i%len(qs)]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("steady-state 4-shard Lookup allocs/op: %.1f", allocs)
+	if allocs > 16 {
+		t.Errorf("steady-state 4-shard Lookup allocates %.1f/op, budget 16", allocs)
 	}
 }

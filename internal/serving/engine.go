@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"time"
 
 	"maxembed/internal/cache"
@@ -50,8 +51,15 @@ type PageSource interface {
 type Config struct {
 	// Layout is the embedding placement (required).
 	Layout *layout.Layout
-	// Device is the simulated SSD (required).
+	// Device is the simulated SSD. Exactly one of Device and Backend must
+	// be set; Device is the single-drive special case of Backend.
 	Device *ssd.Device
+	// Backend is the read target when serving spans multiple devices: an
+	// ssd.Array stripes the layout's global page space across N drives,
+	// each worker drives one queue pair per shard, and reads are submitted
+	// to the owning shard and reaped across shards. A one-shard Backend
+	// behaves bit-identically to setting Device.
+	Backend ssd.Backend
 	// Store supplies page payloads. Optional: nil runs timing-only (no
 	// vector extraction or verification). A non-nil interface wrapping a
 	// nil pointer (e.g. a nil *store.Store assigned to a PageSource
@@ -151,12 +159,18 @@ func (r *RecoveryCounters) Reset() {
 // created by NewWorker do the per-goroutine work.
 type Engine struct {
 	cfg        Config
+	be         ssd.Backend
+	numShards  int
 	idx        *selection.Index
 	cache      *cache.Cache[Key, []float32]
 	costs      CostModel
 	dim        int
 	vecSize    int
 	maxRetries int
+	// shardQueuePeak[s] is the highest outstanding-command count any
+	// worker has observed on its shard-s queue pair — the per-shard
+	// queue-depth gauge /metrics exports. Updated lock-free by workers.
+	shardQueuePeak []atomic.Int64
 	// gen is the layout generation stamped by a Swappable before the
 	// engine is published (0 for engines never held by one). Immutable
 	// once workers exist.
@@ -175,8 +189,14 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Layout == nil {
 		return nil, errors.New("serving: Config.Layout is required")
 	}
-	if cfg.Device == nil {
-		return nil, errors.New("serving: Config.Device is required")
+	be := cfg.Backend
+	if be == nil {
+		if cfg.Device == nil {
+			return nil, errors.New("serving: one of Config.Device and Config.Backend is required")
+		}
+		be = cfg.Device
+	} else if cfg.Device != nil {
+		return nil, errors.New("serving: Config.Device and Config.Backend are mutually exclusive")
 	}
 	if cfg.Store != nil {
 		// A typed nil ((*store.Store)(nil) in a PageSource variable)
@@ -188,7 +208,7 @@ func New(cfg Config) (*Engine, error) {
 			v.Kind() == reflect.Interface) && v.IsNil() {
 			return nil, fmt.Errorf("serving: Config.Store is a typed-nil %T; pass nil directly for a timing-only engine", cfg.Store)
 		}
-		if sp, dp := cfg.Store.PageSize(), cfg.Device.Profile().PageSize; sp != dp {
+		if sp, dp := cfg.Store.PageSize(), be.Profile().PageSize; sp != dp {
 			return nil, fmt.Errorf("serving: store page size %d does not match device page size %d", sp, dp)
 		}
 	}
@@ -208,12 +228,15 @@ func New(cfg Config) (*Engine, error) {
 		cfg.RetryBackoffCap = 200 * time.Microsecond
 	}
 	e := &Engine{
-		cfg:          cfg,
-		idx:          selection.NewIndex(cfg.Layout, cfg.IndexLimit),
-		costs:        cfg.Costs,
-		maxRetries:   DefaultMaxRetries,
-		ValidPerRead: metrics.NewIntHist(cfg.Layout.Capacity),
-		Recovery:     &RecoveryCounters{},
+		cfg:            cfg,
+		be:             be,
+		numShards:      be.NumShards(),
+		idx:            selection.NewIndex(cfg.Layout, cfg.IndexLimit),
+		costs:          cfg.Costs,
+		maxRetries:     DefaultMaxRetries,
+		shardQueuePeak: make([]atomic.Int64, be.NumShards()),
+		ValidPerRead:   metrics.NewIntHist(cfg.Layout.Capacity),
+		Recovery:       &RecoveryCounters{},
 	}
 	if cfg.MaxRetries != nil {
 		e.maxRetries = max(*cfg.MaxRetries, 0)
@@ -231,7 +254,7 @@ func New(cfg Config) (*Engine, error) {
 		// payload is whole float32 elements of the remainder. Counting the
 		// header as useful would overstate EffectiveBandwidth relative to a
 		// store-backed engine on the same configuration.
-		slot := cfg.Device.Profile().PageSize / cfg.Layout.Capacity
+		slot := be.Profile().PageSize / cfg.Layout.Capacity
 		dim := (slot - embedding.SlotOverhead) / 4
 		if dim < 1 {
 			dim = 1
@@ -250,6 +273,25 @@ func New(cfg Config) (*Engine, error) {
 
 // Index exposes the engine's selection index (read-only).
 func (e *Engine) Index() *selection.Index { return e.idx }
+
+// Backend returns the read target the engine serves from: the configured
+// Backend, or the configured Device as a one-shard backend.
+func (e *Engine) Backend() ssd.Backend { return e.be }
+
+// NumShards returns the backend's device count.
+func (e *Engine) NumShards() int { return e.numShards }
+
+// ShardQueuePeaks returns, per shard, the highest outstanding-command
+// count any worker observed on its queue pair to that shard since the
+// engine was built (or the last run reset) — the per-shard queue-depth
+// gauge exported on /metrics.
+func (e *Engine) ShardQueuePeaks() []int64 {
+	out := make([]int64, len(e.shardQueuePeak))
+	for i := range e.shardQueuePeak {
+		out[i] = e.shardQueuePeak[i].Load()
+	}
+	return out
+}
 
 // Generation returns the layout generation a Swappable stamped on the
 // engine when publishing it (0 for an engine never held by a Swappable).
@@ -359,10 +401,15 @@ type extracted struct {
 type Worker struct {
 	eng *Engine
 	sel *selection.Selector
-	q   *ssd.Queue
+	q   *ssd.MultiQueue
 
 	// now is the worker's virtual clock in nanoseconds.
 	now int64
+
+	// shardLoad counts, per shard, the reads this query's plan has already
+	// steered there; selection tie-breaking reads it. Nil on one-shard
+	// backends (no tie-breaker installed).
+	shardLoad []int
 
 	// Per-query scratch.
 	plan        []planEntry
@@ -392,15 +439,44 @@ func (e *Engine) NewWorker() *Worker {
 	w := &Worker{
 		eng:     e,
 		sel:     selection.NewSelector(e.idx),
-		q:       ssd.NewQueue(e.cfg.Device),
-		now:     e.cfg.Device.Frontier(),
+		q:       ssd.NewMultiQueue(e.be),
+		now:     e.be.Frontier(),
 		seen:    make(map[Key]struct{}, 64),
 		compMap: make(map[layout.PageID]ssd.Completion, 16),
 	}
 	if e.cfg.Store != nil {
 		w.pageBuf = make([]byte, e.cfg.Store.PageSize())
 	}
+	if e.numShards > 1 {
+		// Break page-score ties toward the shard this query has steered the
+		// fewest reads to so far: a worker drains its queues every query, so
+		// the plan under construction is the load there is to balance.
+		// One-shard engines install no tie-breaker, preserving the
+		// historical first-candidate-wins choice exactly.
+		w.shardLoad = make([]int, e.numShards)
+		w.sel.SetTieBreak(func(cand, best selection.PageID) bool {
+			cs, _ := e.be.ShardOf(cand)
+			bs, _ := e.be.ShardOf(best)
+			return w.shardLoad[cs] < w.shardLoad[bs]
+		})
+	}
 	return w
+}
+
+// foldQueuePeaks publishes the worker's per-shard queue high-water marks
+// into the engine's gauges with a CAS-max, so concurrent workers never
+// lose a peak.
+func (w *Worker) foldQueuePeaks() {
+	for s := range w.eng.shardQueuePeak {
+		hw := int64(w.q.HighWater(s))
+		p := &w.eng.shardQueuePeak[s]
+		for {
+			cur := p.Load()
+			if hw <= cur || p.CompareAndSwap(cur, hw) {
+				break
+			}
+		}
+	}
 }
 
 // Now returns the worker's virtual clock.
@@ -451,6 +527,10 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	st.Generation = e.gen
 	st.StartNS = w.now
 	t := w.now
+
+	for i := range w.shardLoad {
+		w.shardLoad[i] = 0
+	}
 
 	// Cache probe over distinct keys (first-appearance order, so LRU
 	// promotion order is deterministic); hits are served from DRAM.
@@ -511,6 +591,10 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 			to:         len(w.coveredFlat),
 			selectCost: cost,
 		})
+		if w.shardLoad != nil {
+			s, _ := e.be.ShardOf(p)
+			w.shardLoad[s]++
+		}
 	}
 	var selErr error
 	switch {
@@ -623,6 +707,7 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 		res.FailedKeys = w.failedKeys
 	}
 
+	w.foldQueuePeaks()
 	st.EndNS = t
 	w.now = t
 	res.Stats = st
@@ -737,18 +822,35 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 		issueAt := t + e.backoffDelay(f.attempt)
 
 		// Pick each key's recovery target: the first candidate page not
-		// already tried in this chain; keys with no alternate replica
-		// re-read the failed page. Grouping preserves key order so the
-		// schedule is deterministic.
+		// already tried in this chain — on a multi-device backend,
+		// preferring a candidate on a different shard than the page that
+		// just failed, so shard-diverse replicas route around a whole
+		// faulty drive. Keys with no alternate replica re-read the failed
+		// page. Grouping preserves key order so the schedule is
+		// deterministic; with one shard the pick is unchanged.
+		failShard, _ := e.be.ShardOf(f.page)
 		var groups []recoveryGroup
 		for _, k := range f.keys {
 			target := f.page
-			for _, cand := range e.idx.Candidates(k) {
-				if cand == f.page || containsPage(f.tried, cand) {
-					continue
+			if e.numShards > 1 {
+				for _, cand := range e.idx.Candidates(k) {
+					if cand == f.page || containsPage(f.tried, cand) {
+						continue
+					}
+					if cs, _ := e.be.ShardOf(cand); cs != failShard {
+						target = cand
+						break
+					}
 				}
-				target = cand
-				break
+			}
+			if target == f.page {
+				for _, cand := range e.idx.Candidates(k) {
+					if cand == f.page || containsPage(f.tried, cand) {
+						continue
+					}
+					target = cand
+					break
+				}
 			}
 			gi := -1
 			for i := range groups {

@@ -44,7 +44,7 @@ func RunOpenLoop(e *Engine, queries [][]Key, workers int, offeredQPS float64) (O
 	if workers < 1 {
 		workers = 1
 	}
-	e.cfg.Device.Reset()
+	e.be.Reset()
 	e.Latency.Reset()
 	e.ValidPerRead.Reset()
 	if e.cache != nil {

@@ -103,10 +103,13 @@ func Run(e *Engine, queries [][]Key, workers int) (RunResult, error) {
 
 // resetRunState clears device and engine counters before a measured run.
 func (e *Engine) resetRunState() {
-	e.cfg.Device.Reset()
+	e.be.Reset()
 	e.Latency.Reset()
 	e.ValidPerRead.Reset()
 	e.Recovery.Reset()
+	for i := range e.shardQueuePeak {
+		e.shardQueuePeak[i].Store(0)
+	}
 	if e.cache != nil {
 		e.cache.ResetStats()
 	}
@@ -120,7 +123,7 @@ func finalizeRun(e *Engine, res *RunResult, ws []*Worker) {
 		}
 	}
 	res.QPS = metrics.PerSecond(res.Queries, res.ElapsedNS)
-	prof := e.cfg.Device.Profile()
+	prof := e.be.Profile()
 	res.RawBandwidth = metrics.BytesPerSecond(res.PagesRead*int64(prof.PageSize), res.ElapsedNS)
 	res.Utilization = metrics.Utilization(
 		float64(res.UsefulKeys*int64(e.vecSize)),

@@ -1,0 +1,309 @@
+package ssd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Backend is a read target the serving layer submits page reads to: a
+// single Device or a striped Array of devices. The page space is global;
+// ShardOf maps a global page onto its owning shard and the page's local
+// address there, and GlobalOf inverts the mapping. A lone *Device is the
+// degenerate one-shard backend, so code written against Backend serves
+// single-device and multi-device deployments identically.
+type Backend interface {
+	// Profile returns the backend's aggregate performance profile: for an
+	// Array, bandwidth/channels/queue depth sum over member devices while
+	// per-read latency is that of one device.
+	Profile() Profile
+	// NumShards returns the number of independent devices.
+	NumShards() int
+	// ShardOf maps a global page to (owning shard, page address local to
+	// that shard's device).
+	ShardOf(page PageID) (shard int, local PageID)
+	// GlobalOf inverts ShardOf.
+	GlobalOf(shard int, local PageID) PageID
+	// Shard returns the i-th member device.
+	Shard(i int) *Device
+	// Frontier returns the latest virtual time at which any resource of
+	// any shard becomes idle.
+	Frontier() int64
+	// Stats returns activity summed across shards.
+	Stats() Stats
+	// Reset clears statistics and returns every shard to an idle state at
+	// virtual time zero.
+	Reset()
+}
+
+// Single-device Backend implementation: a *Device is a one-shard backend
+// whose global and local page spaces coincide.
+
+// NumShards implements Backend: a lone device is one shard.
+func (d *Device) NumShards() int { return 1 }
+
+// ShardOf implements Backend: every page lives on shard 0 at its own
+// address.
+func (d *Device) ShardOf(page PageID) (int, PageID) { return 0, page }
+
+// GlobalOf implements Backend.
+func (d *Device) GlobalOf(_ int, local PageID) PageID { return local }
+
+// Shard implements Backend; the only valid index is 0.
+func (d *Device) Shard(i int) *Device {
+	if i != 0 {
+		panic(fmt.Sprintf("ssd: Device.Shard(%d) on a single device", i))
+	}
+	return d
+}
+
+// Array is a striped multi-device backend: n independent Devices with page
+// i living on device i mod n at local address i div n — RAID-0 at page
+// granularity, the arrangement the paper's multi-drive evaluation uses
+// (§7). Unlike the RAID0 profile helper (which folds n drives into one
+// virtual device), every member device keeps its own channels, transfer
+// bus, queue depths, and fault state, so cross-device parallelism, skewed
+// per-shard load, and single-shard faults are modelled faithfully.
+//
+// The striping uses the LOCAL page for channel mapping (each Device hashes
+// its local page onto its channels): mapping the global page would alias
+// all of a shard's pages — which share a residue class mod n — onto a
+// subset of its channels whenever the channel count shares a factor with n.
+//
+// An Array is safe for concurrent use; each member Device carries its own
+// mutex, so queues on different shards never contend on a shared lock —
+// exactly the hardware arbitration structure of separate drives.
+type Array struct {
+	devs []*Device
+	prof Profile
+}
+
+// NewArray returns an array of n identical devices with the given profile.
+// n == 1 yields a working (if pointless) one-shard array whose behaviour
+// is identical to a bare Device.
+func NewArray(prof Profile, n int) (*Array, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ssd: array needs at least 1 device, got %d", n)
+	}
+	devs := make([]*Device, n)
+	for i := range devs {
+		d, err := NewDevice(prof)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
+	}
+	return NewArrayOf(devs)
+}
+
+// NewArrayOf assembles an array from pre-built devices (e.g. devices armed
+// with per-shard fault models). All members must share a page size; the
+// aggregate profile takes its latency from the first device and sums
+// bandwidth, channels, and queue depth.
+func NewArrayOf(devs []*Device) (*Array, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("ssd: array needs at least 1 device")
+	}
+	base := devs[0].Profile()
+	if len(devs) == 1 {
+		return &Array{devs: devs, prof: base}, nil
+	}
+	agg := base
+	agg.Name = fmt.Sprintf("Array-%dx%s", len(devs), base.Name)
+	for _, d := range devs[1:] {
+		p := d.Profile()
+		if p.PageSize != base.PageSize {
+			return nil, fmt.Errorf("ssd: array page sizes differ: %d vs %d", p.PageSize, base.PageSize)
+		}
+		agg.Bandwidth += p.Bandwidth
+		agg.Channels += p.Channels
+		agg.QueueDepth += p.QueueDepth
+		agg.WriteBandwidth += p.writeBandwidth()
+	}
+	return &Array{devs: devs, prof: agg}, nil
+}
+
+// Profile implements Backend.
+func (a *Array) Profile() Profile { return a.prof }
+
+// NumShards implements Backend.
+func (a *Array) NumShards() int { return len(a.devs) }
+
+// ShardOf implements Backend: page p lives on device p mod n at local
+// address p div n.
+func (a *Array) ShardOf(page PageID) (int, PageID) {
+	n := PageID(len(a.devs))
+	return int(page % n), page / n
+}
+
+// GlobalOf implements Backend.
+func (a *Array) GlobalOf(shard int, local PageID) PageID {
+	return local*PageID(len(a.devs)) + PageID(shard)
+}
+
+// Shard implements Backend.
+func (a *Array) Shard(i int) *Device { return a.devs[i] }
+
+// Frontier implements Backend: the maximum frontier over member devices.
+func (a *Array) Frontier() int64 {
+	var f int64
+	for _, d := range a.devs {
+		if df := d.Frontier(); df > f {
+			f = df
+		}
+	}
+	return f
+}
+
+// Stats implements Backend: activity summed across shards.
+func (a *Array) Stats() Stats {
+	var s Stats
+	for _, d := range a.devs {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.BytesRead += ds.BytesRead
+		s.BusyNS += ds.BusyNS
+		s.Errors += ds.Errors
+		s.Timeouts += ds.Timeouts
+		s.Corruptions += ds.Corruptions
+		s.InjectedLatencyNS += ds.InjectedLatencyNS
+		s.Writes += ds.Writes
+		s.BytesWritten += ds.BytesWritten
+	}
+	return s
+}
+
+// ShardStats returns each member device's statistics, indexed by shard.
+func (a *Array) ShardStats() []Stats {
+	out := make([]Stats, len(a.devs))
+	for i, d := range a.devs {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// Reset implements Backend.
+func (a *Array) Reset() {
+	for _, d := range a.devs {
+		d.Reset()
+	}
+}
+
+// SetFaultModel installs (or clears, with nil) a fault model on every
+// shard. Each shard judges reads against its own read sequence, so the
+// schedule stays deterministic per shard regardless of cross-shard
+// interleaving.
+func (a *Array) SetFaultModel(m FaultModel) {
+	for _, d := range a.devs {
+		d.SetFaultModel(m)
+	}
+}
+
+// SetShardFaultModel installs (or clears, with nil) a fault model on a
+// single shard — the lever for single-drive failure scenarios.
+func (a *Array) SetShardFaultModel(shard int, m FaultModel) {
+	a.devs[shard].SetFaultModel(m)
+}
+
+// MultiQueue is the per-worker set of per-shard queue pairs over a
+// Backend: one SPDK-style Queue per member device, addressed by global
+// page. Submission routes each page to its owning shard's queue (local
+// address), and Drain reaps completions across all shards, translating
+// pages back to the global space — so the virtual clock reflects genuine
+// parallel submission on independent devices rather than a single merged
+// queue.
+//
+// Like Queue, a MultiQueue is not safe for concurrent use; each worker
+// owns one. For a one-shard backend it delegates to the single underlying
+// Queue, making its behaviour (issue times, completion order, stats)
+// bit-identical to driving that Queue directly.
+type MultiQueue struct {
+	be     Backend
+	qs     []*Queue
+	high   []int // per-shard outstanding-commands high-water mark
+	merged []Completion
+}
+
+// NewMultiQueue returns a queue set bound to every shard of the backend,
+// each with its device profile's queue depth.
+func NewMultiQueue(be Backend) *MultiQueue {
+	n := be.NumShards()
+	m := &MultiQueue{
+		be:   be,
+		qs:   make([]*Queue, n),
+		high: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		m.qs[i] = NewQueue(be.Shard(i))
+	}
+	return m
+}
+
+// NumShards returns the number of per-shard queues.
+func (m *MultiQueue) NumShards() int { return len(m.qs) }
+
+// Submit issues an asynchronous read of the global page at virtual time
+// nowNS on the owning shard's queue and returns the issue time (which
+// exceeds nowNS only when that shard's queue was full).
+func (m *MultiQueue) Submit(page PageID, nowNS int64) int64 {
+	shard, local := m.be.ShardOf(page)
+	issue := m.qs[shard].Submit(local, nowNS)
+	if n := m.qs[shard].InFlight(); n > m.high[shard] {
+		m.high[shard] = n
+	}
+	return issue
+}
+
+// ShardOutstanding returns the number of commands in flight on one shard's
+// queue at nowNS — the load signal selection tie-breaking steers by.
+func (m *MultiQueue) ShardOutstanding(shard int, nowNS int64) int {
+	return m.qs[shard].Outstanding(nowNS)
+}
+
+// Outstanding returns the commands in flight across all shards at nowNS.
+func (m *MultiQueue) Outstanding(nowNS int64) int {
+	total := 0
+	for _, q := range m.qs {
+		total += q.Outstanding(nowNS)
+	}
+	return total
+}
+
+// HighWater returns the highest number of simultaneously outstanding
+// commands observed on the shard's queue since creation.
+func (m *MultiQueue) HighWater(shard int) int { return m.high[shard] }
+
+// Drain waits (virtually) for every command submitted since the last Drain
+// to complete — on every shard — and returns the resulting virtual time (at
+// least nowNS) with all completions, pages translated back to the global
+// space, ordered by completion time (ties by page for determinism). The
+// returned slice is reused by the next multi-shard Drain.
+func (m *MultiQueue) Drain(nowNS int64) (doneNS int64, comps []Completion) {
+	if len(m.qs) == 1 {
+		// Single shard: global == local; hand back the queue's own
+		// completions so the path is identical to a bare Queue.
+		return m.qs[0].Drain(nowNS)
+	}
+	doneNS = nowNS
+	m.merged = m.merged[:0]
+	for shard, q := range m.qs {
+		d, cs := q.Drain(nowNS)
+		if d > doneNS {
+			doneNS = d
+		}
+		for _, c := range cs {
+			c.Page = m.be.GlobalOf(shard, c.Page)
+			m.merged = append(m.merged, c)
+		}
+		// The completions were just copied into merged, so the drained
+		// buffer can go back to the queue for its next submit cycle instead
+		// of every drain growing a fresh pending slice on every shard.
+		q.pending = cs[:0]
+	}
+	sort.Slice(m.merged, func(i, j int) bool {
+		if m.merged[i].CompleteNS != m.merged[j].CompleteNS {
+			return m.merged[i].CompleteNS < m.merged[j].CompleteNS
+		}
+		return m.merged[i].Page < m.merged[j].Page
+	})
+	return doneNS, m.merged
+}

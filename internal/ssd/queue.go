@@ -96,6 +96,10 @@ func (q *Queue) Outstanding(nowNS int64) int {
 	return len(q.inflight)
 }
 
+// InFlight returns the number of commands not yet observed complete as of
+// the last Submit/Outstanding/reap — without advancing the reap point.
+func (q *Queue) InFlight() int { return len(q.inflight) }
+
 // Submit issues an asynchronous read of page at virtual time nowNS and
 // returns the issue time, which exceeds nowNS only when the queue was full
 // and the caller had to (virtually) wait for the earliest outstanding

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+// Sharded holds one layout's page images striped across n per-device
+// stores: global page p lives in shard p mod n at local index p div n —
+// the same striping ssd.Array uses, so each shard store holds exactly the
+// pages its device serves and store-backed integrity paths (per-slot
+// checksums, corruption detection) work per shard. Sharded implements the
+// serving engine's PageSource over the global page space.
+type Sharded struct {
+	shards   []*Store
+	pageSize int
+	dim      int
+	numPages int
+}
+
+// BuildSharded packs vectors from the synthesizer into per-shard page
+// images per the layout. shards must match the device array's member
+// count; shards == 1 produces a single shard byte-identical to Build.
+func BuildSharded(lay *layout.Layout, syn *embedding.Synthesizer, pageSize, shards int) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("store: sharded store needs at least 1 shard, got %d", shards)
+	}
+	dim := syn.Dim()
+	slot := embedding.SlotSize(dim)
+	if fit := embedding.PageCapacity(pageSize, dim); lay.Capacity > fit {
+		return nil, fmt.Errorf("store: layout capacity %d exceeds page fit %d (page %d B, dim %d)",
+			lay.Capacity, fit, pageSize, dim)
+	}
+	numPages := lay.NumPages()
+	s := &Sharded{
+		shards:   make([]*Store, shards),
+		pageSize: pageSize,
+		dim:      dim,
+		numPages: numPages,
+	}
+	// Shard i holds ceil((numPages - i) / shards) local pages.
+	for i := range s.shards {
+		local := (numPages - i + shards - 1) / shards
+		if local < 0 {
+			local = 0
+		}
+		s.shards[i] = &Store{
+			pageSize: pageSize,
+			dim:      dim,
+			numPages: local,
+			data:     make([]byte, local*pageSize),
+		}
+	}
+	var vec []float32
+	for p, keys := range lay.Pages {
+		shard, local := p%shards, p/shards
+		data := s.shards[shard].data
+		base := local * pageSize
+		for i, k := range keys {
+			off := base + i*slot
+			binary.LittleEndian.PutUint32(data[off:], k)
+			vec = syn.Vector(k, vec[:0])
+			embedding.EncodeVector(vec, data[off+8:off+8])
+			sum := slotChecksum(data[off:off+4], data[off+8:off+slot])
+			binary.LittleEndian.PutUint32(data[off+4:], sum)
+		}
+	}
+	return s, nil
+}
+
+// PageSize returns the page size in bytes.
+func (s *Sharded) PageSize() int { return s.pageSize }
+
+// Dim returns the embedding dimension.
+func (s *Sharded) Dim() int { return s.dim }
+
+// NumPages returns the number of global pages.
+func (s *Sharded) NumPages() int { return s.numPages }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i's per-device store, addressed by local pages.
+func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
+
+// ReadPage copies global page p's image into dst from its owning shard,
+// implementing the serving engine's PageSource.
+func (s *Sharded) ReadPage(p layout.PageID, dst []byte) error {
+	if int(p) >= s.numPages {
+		return fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	n := layout.PageID(len(s.shards))
+	return s.shards[int(p%n)].ReadPage(p/n, dst)
+}
+
+// Extract scans global page p for key k with checksum verification,
+// routing through the owning shard.
+func (s *Sharded) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float32) ([]float32, bool, error) {
+	if int(p) >= s.numPages {
+		return dst, false, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	n := layout.PageID(len(s.shards))
+	return s.shards[int(p%n)].Extract(p/n, k, nSlots, dst)
+}

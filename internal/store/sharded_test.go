@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+func buildTestSharded(t *testing.T, shards int) (*Sharded, *layout.Layout, *embedding.Synthesizer) {
+	t.Helper()
+	syn, err := embedding.NewSynthesizer(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.Vanilla(100, embedding.PageCapacity(4096, 16))
+	if _, err := lay.AddReplicaPage([]layout.Key{0, 50, 99}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSharded(lay, syn, 4096, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, lay, syn
+}
+
+func TestBuildShardedValidation(t *testing.T) {
+	syn, err := embedding.NewSynthesizer(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.Vanilla(10, embedding.PageCapacity(4096, 16))
+	if _, err := BuildSharded(lay, syn, 4096, 0); err == nil {
+		t.Error("BuildSharded accepted 0 shards")
+	}
+	// Capacity overflow is rejected like Build.
+	tight := layout.Vanilla(10, embedding.PageCapacity(4096, 16))
+	tight.Capacity = embedding.PageCapacity(4096, 16) + 1
+	if _, err := BuildSharded(tight, syn, 4096, 2); err == nil {
+		t.Error("BuildSharded accepted oversized capacity")
+	}
+}
+
+// TestShardedOneShardMatchesBuild pins the degenerate case: one shard must
+// be byte-identical to the flat Build store.
+func TestShardedOneShardMatchesBuild(t *testing.T) {
+	sh, lay, syn := buildTestSharded(t, 1)
+	flat, err := Build(lay, syn, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumShards() != 1 {
+		t.Fatalf("NumShards = %d", sh.NumShards())
+	}
+	a, b := make([]byte, 4096), make([]byte, 4096)
+	for p := 0; p < lay.NumPages(); p++ {
+		if err := sh.ReadPage(layout.PageID(p), a); err != nil {
+			t.Fatal(err)
+		}
+		if err := flat.ReadPage(layout.PageID(p), b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("page %d differs between sharded(1) and flat store", p)
+		}
+	}
+}
+
+// TestShardedPagesMatchFlat checks that every global page of a multi-shard
+// store carries exactly the image the flat store would, just striped.
+func TestShardedPagesMatchFlat(t *testing.T) {
+	for _, shards := range []int{2, 3, 4} {
+		sh, lay, syn := buildTestSharded(t, shards)
+		flat, err := Build(lay, syn, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := make([]byte, 4096), make([]byte, 4096)
+		for p := 0; p < lay.NumPages(); p++ {
+			if err := sh.ReadPage(layout.PageID(p), a); err != nil {
+				t.Fatalf("shards=%d ReadPage(%d): %v", shards, p, err)
+			}
+			if err := flat.ReadPage(layout.PageID(p), b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("shards=%d: global page %d differs from flat store", shards, p)
+			}
+		}
+	}
+}
+
+func TestShardedDistribution(t *testing.T) {
+	sh, lay, _ := buildTestSharded(t, 3)
+	total := 0
+	for i := 0; i < sh.NumShards(); i++ {
+		local := sh.Shard(i).NumPages()
+		// Shard i holds ceil((numPages - i) / shards) pages.
+		want := (lay.NumPages() - i + 2) / 3
+		if local != want {
+			t.Errorf("shard %d holds %d pages, want %d", i, local, want)
+		}
+		total += local
+	}
+	if total != lay.NumPages() {
+		t.Errorf("shards hold %d pages total, want %d", total, lay.NumPages())
+	}
+}
+
+func TestShardedExtract(t *testing.T) {
+	sh, lay, syn := buildTestSharded(t, 4)
+	var want, got []float32
+	var buf []layout.PageID
+	for k := layout.Key(0); int(k) < lay.NumKeys; k++ {
+		want = syn.Vector(k, want[:0])
+		buf = lay.PagesOf(k, buf[:0])
+		for _, p := range buf {
+			var ok bool
+			var err error
+			got, ok, err = sh.Extract(p, k, len(lay.Pages[p]), got[:0])
+			if err != nil || !ok {
+				t.Fatalf("Extract(page %d, key %d) = ok=%v err=%v", p, k, ok, err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("key %d page %d element %d: got %v want %v", k, p, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedOutOfRange(t *testing.T) {
+	sh, lay, _ := buildTestSharded(t, 2)
+	bad := layout.PageID(lay.NumPages())
+	if err := sh.ReadPage(bad, make([]byte, 4096)); err == nil {
+		t.Error("ReadPage accepted out-of-range page")
+	}
+	if _, _, err := sh.Extract(bad, 0, 1, nil); err == nil {
+		t.Error("Extract accepted out-of-range page")
+	}
+}

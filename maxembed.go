@@ -64,6 +64,7 @@ type config struct {
 	recordLast   int
 	seed         int64
 	device       DeviceProfile
+	devices      int
 	timingOnly   bool
 	faults       *FaultConfig
 }
@@ -119,6 +120,12 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // WithDevice selects the simulated SSD profile (default DeviceP5800X).
 func WithDevice(p DeviceProfile) Option { return func(c *config) { c.device = p } }
 
+// WithDevices stripes the layout across n independent simulated devices of
+// the configured profile (an ssd.Array: page p lives on device p mod n),
+// with per-shard queue pairs, shard-aware replica placement, and per-shard
+// stats. n <= 1 keeps the historical single-device deployment.
+func WithDevices(n int) Option { return func(c *config) { c.devices = n } }
+
 // TimingOnly skips materializing page payloads: lookups return no vectors
 // but all timing and page-read accounting is exact. Useful for large
 // parameter sweeps.
@@ -141,7 +148,7 @@ func WithFaultInjection(fc FaultConfig) Option {
 // boundary instead of being stranded on the old layout.
 type DB struct {
 	cfg      config
-	device   *ssd.Device
+	backend  ssd.Backend
 	syn      *embedding.Synthesizer
 	recorder *serving.HistoryRecorder
 	handle   *serving.Swappable
@@ -170,6 +177,9 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.devices < 1 {
+		cfg.devices = 1
+	}
 	if numItems < 0 {
 		return nil, errors.New("maxembed: numItems must be non-negative")
 	}
@@ -183,29 +193,43 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		Capacity:         capacity,
 		ReplicationRatio: cfg.ratio,
 		Seed:             cfg.seed,
+		Shards:           cfg.devices,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("maxembed: placement: %w", err)
 	}
 
-	device, err := ssd.NewDevice(cfg.device)
-	if err != nil {
-		return nil, fmt.Errorf("maxembed: device: %w", err)
-	}
-	if cfg.faults != nil {
-		device.SetFaultModel(ssd.NewInjector(*cfg.faults))
+	var backend ssd.Backend
+	if cfg.devices > 1 {
+		arr, err := ssd.NewArray(cfg.device, cfg.devices)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: device array: %w", err)
+		}
+		if cfg.faults != nil {
+			arr.SetFaultModel(ssd.NewInjector(*cfg.faults))
+		}
+		backend = arr
+	} else {
+		device, err := ssd.NewDevice(cfg.device)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: device: %w", err)
+		}
+		if cfg.faults != nil {
+			device.SetFaultModel(ssd.NewInjector(*cfg.faults))
+		}
+		backend = device
 	}
 
-	db := &DB{cfg: cfg, lay: lay, device: device}
-	var st *store.Store
+	db := &DB{cfg: cfg, lay: lay, backend: backend}
+	var src serving.PageSource
 	if !cfg.timingOnly {
 		db.syn, err = embedding.NewSynthesizer(cfg.dim, cfg.seed)
 		if err != nil {
 			return nil, fmt.Errorf("maxembed: %w", err)
 		}
-		st, err = store.Build(lay, db.syn, cfg.pageSize)
+		src, err = db.buildStore(lay)
 		if err != nil {
-			return nil, fmt.Errorf("maxembed: store: %w", err)
+			return nil, err
 		}
 	}
 
@@ -215,21 +239,21 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	}
 	engCfg := serving.Config{
 		Layout:         lay,
-		Device:         device,
 		CacheEntries:   cacheEntries,
 		SegmentedCache: cfg.segmented,
 		IndexLimit:     cfg.indexLimit,
 		Pipeline:       cfg.pipeline,
 		Greedy:         cfg.greedy,
 	}
+	db.bindBackend(&engCfg)
 	if cfg.recordLast > 0 {
 		db.recorder = serving.NewHistoryRecorder(cfg.recordLast)
 		engCfg.Recorder = db.recorder
 	}
-	if st != nil {
-		// Assign only when non-nil: a typed-nil *store.Store in the
+	if src != nil {
+		// Assign only when non-nil: a typed-nil store pointer in the
 		// PageSource interface would read as "store present".
-		engCfg.Store = st
+		engCfg.Store = src
 	}
 	eng, err := serving.New(engCfg)
 	if err != nil {
@@ -237,6 +261,37 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	}
 	db.handle = serving.NewSwappable(eng)
 	return db, nil
+}
+
+// buildStore materializes page payloads for the layout: a single Store on
+// one device, a Sharded store (striped exactly like the device array) on
+// several. Returns a non-interface nil when the DB is timing-only.
+func (db *DB) buildStore(lay *layout.Layout) (serving.PageSource, error) {
+	if db.syn == nil {
+		return nil, nil
+	}
+	if db.cfg.devices > 1 {
+		sh, err := store.BuildSharded(lay, db.syn, db.cfg.pageSize, db.cfg.devices)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: store: %w", err)
+		}
+		return sh, nil
+	}
+	st, err := store.Build(lay, db.syn, db.cfg.pageSize)
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: store: %w", err)
+	}
+	return st, nil
+}
+
+// bindBackend points the engine config at the DB's read target through
+// whichever of the two mutually exclusive fields matches its shape.
+func (db *DB) bindBackend(engCfg *serving.Config) {
+	if dev, ok := db.backend.(*ssd.Device); ok {
+		engCfg.Device = dev
+		return
+	}
+	engCfg.Backend = db.backend
 }
 
 // Session is a single-threaded serving handle with its own virtual clock
@@ -348,16 +403,14 @@ func (db *DB) Refresh(history [][]Key) error {
 		Capacity:         cur.Capacity,
 		ReplicationRatio: db.cfg.ratio,
 		Seed:             db.cfg.seed,
+		Shards:           db.cfg.devices,
 	})
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh replication: %w", err)
 	}
-	var st *store.Store
-	if db.syn != nil {
-		st, err = store.Build(lay, db.syn, db.cfg.pageSize)
-		if err != nil {
-			return fmt.Errorf("maxembed: refresh store: %w", err)
-		}
+	src, err := db.buildStore(lay)
+	if err != nil {
+		return fmt.Errorf("maxembed: refresh store: %w", err)
 	}
 	cacheEntries := db.cfg.cacheEntries
 	if db.cfg.cacheRatio >= 0 {
@@ -365,7 +418,6 @@ func (db *DB) Refresh(history [][]Key) error {
 	}
 	engCfg := serving.Config{
 		Layout:         lay,
-		Device:         db.device,
 		CacheEntries:   cacheEntries,
 		SegmentedCache: db.cfg.segmented,
 		IndexLimit:     db.cfg.indexLimit,
@@ -373,8 +425,9 @@ func (db *DB) Refresh(history [][]Key) error {
 		Greedy:         db.cfg.greedy,
 		Recorder:       db.recorder,
 	}
-	if st != nil {
-		engCfg.Store = st
+	db.bindBackend(&engCfg)
+	if src != nil {
+		engCfg.Store = src
 	}
 	eng, err := serving.New(engCfg)
 	if err != nil {
@@ -445,12 +498,31 @@ func (db *DB) LayoutStats() layout.Stats {
 	return lay.ComputeStats()
 }
 
-// DeviceStats returns accumulated simulated-device statistics.
-func (db *DB) DeviceStats() ssd.Stats { return db.device.Stats() }
+// DeviceStats returns accumulated simulated-device statistics, summed over
+// all shards when the DB spans multiple devices.
+func (db *DB) DeviceStats() ssd.Stats { return db.backend.Stats() }
 
-// Device exposes the simulated SSD for harnesses (e.g. the HTTP server's
-// stats endpoint or fault-injection tests).
-func (db *DB) Device() *ssd.Device { return db.device }
+// ShardStats returns per-device statistics, one entry per shard (a single
+// entry on a single-device DB).
+func (db *DB) ShardStats() []ssd.Stats {
+	if arr, ok := db.backend.(*ssd.Array); ok {
+		return arr.ShardStats()
+	}
+	return []ssd.Stats{db.backend.Stats()}
+}
+
+// Device exposes the first simulated SSD shard for harnesses (e.g.
+// fault-injection tests). With multiple devices it returns shard 0; use
+// Backend for the whole array.
+func (db *DB) Device() *ssd.Device { return db.backend.Shard(0) }
+
+// Backend exposes the DB's full read target: the single simulated device,
+// or the striped ssd.Array when opened WithDevices(n > 1).
+func (db *DB) Backend() ssd.Backend { return db.backend }
+
+// NumDevices returns the number of independent simulated devices the DB's
+// pages are striped over.
+func (db *DB) NumDevices() int { return db.backend.NumShards() }
 
 // Engine exposes the current serving engine for benchmarking harnesses.
 // After a Refresh the returned engine is stale; long-lived frontends should
