@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-shard vet staticcheck bench verify experiments
+.PHONY: build test race race-shard race-rebuild vet staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,20 @@ race-shard:
 	$(GO) test -race -count=3 -run 'TestShardFaultIsolation|TestShardQueuePeaksAcrossRun|TestBackendOneShardMatchesDevice' ./internal/serving
 	$(GO) test -race -count=3 -run 'TestMultiDeviceHotSwapUnderLoad|TestMultiDeviceOpenAndLookup' .
 
+# The repair seams under the race detector: scrub + rebuild + admin
+# endpoints, the DB-level fail/rebuild/auto-rebuild paths, and the chaos
+# soak (coalesced HTTP load against concurrent shard failure, live
+# rebuild, layout refreshes, and a scrub sweep).
+race-rebuild:
+	$(GO) test -race -count=3 -run 'Scrub|Rebuild' ./internal/serving ./internal/server
+	$(GO) test -race -count=3 -run 'TestScrubFailRebuildDB|TestAutoRebuild|TestChaosSoak' .
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full pre-merge gate: static checks, build, and the test suite under
 # the race detector (the serving engine and HTTP layer are concurrent).
-verify: vet staticcheck build race race-shard
+verify: vet staticcheck build race race-shard race-rebuild
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -42,6 +42,9 @@ func main() {
 	recordLast := flag.Int("record-last", 65536, "served queries kept as refresh history (0 disables recording and refresh)")
 	refreshInterval := flag.Duration("refresh-interval", 0, "background layout-refresh period (0 disables the loop; POST /v1/refresh still works)")
 	refreshMinQueries := flag.Int64("refresh-min-queries", 1024, "recorded queries required before a background refresh fires")
+	hotSpare := flag.Bool("hot-spare", false, "attach a hot-spare device for shard rebuilds (multi-device only)")
+	autoRebuildRate := flag.Float64("auto-rebuild-rate", 0, "auto-rebuild failed shards onto the spare at this pages/sec (0 = manual rebuild only; implies -hot-spare)")
+	shardTolerance := flag.Float64("shard-tolerance", 0.5, "fraction of shards that may be dead before /healthz reports unhealthy")
 	flag.Parse()
 
 	var history *maxembed.Trace
@@ -79,6 +82,13 @@ func main() {
 	if *devices > 1 {
 		opts = append(opts, maxembed.WithDevices(*devices))
 		log.Printf("striping across %d devices (shard-aware replica placement, per-shard queue pairs)", *devices)
+		if *autoRebuildRate > 0 {
+			opts = append(opts, maxembed.WithAutoRebuild(*autoRebuildRate))
+			log.Printf("hot spare attached; auto-rebuild armed at %.0f pages/sec", *autoRebuildRate)
+		} else if *hotSpare {
+			opts = append(opts, maxembed.WithHotSpare())
+			log.Printf("hot spare attached; rebuild via POST /v1/shards/{i}/rebuild")
+		}
 	}
 	if *recordLast > 0 {
 		opts = append(opts, maxembed.WithHistoryRecording(*recordLast))
@@ -118,6 +128,13 @@ func main() {
 		}
 	} else {
 		log.Printf("history recording disabled; layout refresh unavailable")
+	}
+	if *devices > 1 {
+		srvOpts = append(srvOpts,
+			server.WithShardAdmin(db),
+			server.WithScrub(db),
+			server.WithShardFailTolerance(*shardTolerance))
+		log.Printf("shard admin online: POST /v1/scrub, /v1/shards/{i}/fail, /v1/shards/{i}/rebuild (tolerance %.0f%% dead shards)", *shardTolerance*100)
 	}
 	h := server.NewDynamic(db.Handle(), db.Backend(), srvOpts...)
 	defer h.Close()

@@ -108,6 +108,7 @@ func All() []Experiment {
 		{"faultsweep", "Supplementary: fault injection, recovery, and graceful degradation", FaultSweep},
 		{"batchsweep", "Supplementary: cross-request micro-batching vs batch size", BatchSweep},
 		{"refreshsweep", "Supplementary: online layout refresh and hot swap under drift", RefreshSweep},
+		{"rebuildsweep", "Supplementary: shard failure, live rebuild onto the hot spare, and scrubbing", RebuildSweep},
 	}
 }
 

@@ -40,6 +40,9 @@ const (
 	defaultMinHealthEvents    = 20
 	defaultRetryAfterSec      = 1
 	defaultProbeEvery         = 8
+	// defaultShardFailTolerance is the fraction of dead shards the node
+	// tolerates before reporting unhealthy (multi-shard backends only).
+	defaultShardFailTolerance = 0.5
 )
 
 // Option configures a Handler.
@@ -116,6 +119,20 @@ type Handler struct {
 	lastRefreshNS     atomic.Int64
 	refreshQuit       chan struct{}
 	refreshDone       chan struct{}
+
+	shardAdmin                                    ShardAdmin
+	scrubber                                      Scrubber
+	shardTolerance                                float64    // dead-shard fraction above which the node is unhealthy
+	scrubMu                                       sync.Mutex // serializes admin scrub sweeps
+	rebuildMu                                     sync.Mutex // serializes admin rebuilds
+	adminMu                                       sync.Mutex // guards lastScrub / lastRebuild
+	lastScrub                                     *ScrubResponse
+	lastRebuild                                   *RebuildResponse
+	scrubs, scrubErrors, scrubScanned, scrubTotal atomic.Int64
+	scrubLatent, scrubRepaired, scrubUnrepairable atomic.Int64
+	rebuilds, rebuildErrors                       atomic.Int64
+	rebuildCopied, rebuildTotal, lastMTTRNS       atomic.Int64
+	scrubRunning, rebuildRunning                  atomic.Bool
 }
 
 // New returns a handler over the given engine and its read backend (a
@@ -134,16 +151,17 @@ func New(eng *serving.Engine, backend ssd.Backend, opts ...Option) *Handler {
 // stop the coalescer and refresh-loop goroutines.
 func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) *Handler {
 	h := &Handler{
-		handle:        handle,
-		backend:       backend,
-		mux:           http.NewServeMux(),
-		window:        metrics.NewRateWindow(defaultHealthWindow),
-		threshold:     defaultUnhealthyThreshold,
-		minEvents:     defaultMinHealthEvents,
-		retryAfterSec: defaultRetryAfterSec,
-		maxBatch:      defaultMaxBatch,
-		maxWait:       defaultMaxWait,
-		coalesceQueue: defaultCoalesceQueue,
+		handle:         handle,
+		backend:        backend,
+		mux:            http.NewServeMux(),
+		window:         metrics.NewRateWindow(defaultHealthWindow),
+		threshold:      defaultUnhealthyThreshold,
+		minEvents:      defaultMinHealthEvents,
+		retryAfterSec:  defaultRetryAfterSec,
+		maxBatch:       defaultMaxBatch,
+		maxWait:        defaultMaxWait,
+		coalesceQueue:  defaultCoalesceQueue,
+		shardTolerance: defaultShardFailTolerance,
 	}
 	for _, o := range opts {
 		o(h)
@@ -159,6 +177,9 @@ func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) 
 	}
 	h.mux.HandleFunc("POST /v1/lookup", h.lookup)
 	h.mux.HandleFunc("POST /v1/refresh", h.refresh)
+	h.mux.HandleFunc("POST /v1/scrub", h.scrub)
+	h.mux.HandleFunc("POST /v1/shards/{shard}/fail", h.failShard)
+	h.mux.HandleFunc("POST /v1/shards/{shard}/rebuild", h.rebuildShard)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.health)
@@ -167,6 +188,17 @@ func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) 
 
 // Handle returns the swappable engine handle the handler serves from.
 func (h *Handler) Handle() *serving.Swappable { return h.handle }
+
+// curBackend returns the read backend behind the *current* engine: a
+// shard rebuild swaps in an engine over the repaired array, and the
+// handler's stats, health, and admin surfaces must follow it rather than
+// keep reporting the retired array's (now unobserved) shard state.
+func (h *Handler) curBackend() ssd.Backend {
+	if be := h.handle.Engine().Backend(); be != nil {
+		return be
+	}
+	return h.backend
+}
 
 // Close stops the refresh-loop and coalescer goroutines, serving anything
 // already queued first. The handler keeps working afterwards, falling back
@@ -223,12 +255,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
-// healthy reports the rolling read-fault rate and whether it is below the
-// unhealthy threshold (windows covering fewer than minEvents reads are
-// healthy by definition).
+// healthy reports the rolling read-fault rate and the readiness verdict.
+// On a single-device backend the verdict is the legacy global-window one;
+// with per-shard health it is shard-aware (see nodeHealth).
 func (h *Handler) healthy() (rate float64, events int64, ok bool) {
-	rate, events = h.window.Rate()
-	return rate, events, events < h.minEvents || rate <= h.threshold
+	nh := h.nodeHealth()
+	return nh.rate, nh.events, nh.ready
 }
 
 // LookupRequest is the /v1/lookup request body.
@@ -260,6 +292,8 @@ type LookupStats struct {
 	BatchSize      int     `json:"batch_size"`
 	Retries        int     `json:"retries,omitempty"`
 	ReplicaRescues int     `json:"replica_rescues,omitempty"`
+	ShardReroutes  int     `json:"shard_reroutes,omitempty"`
+	StoreFallbacks int     `json:"store_fallbacks,omitempty"`
 	LatencyNS      int64   `json:"virtual_latency_ns"`
 	// Generation is the layout generation that served the lookup; it
 	// increments when an online refresh swaps a new layout in.
@@ -301,6 +335,8 @@ func buildLookupResponse(res serving.Result) (LookupResponse, *[]float32) {
 			BatchSize:      res.Stats.BatchSize,
 			Retries:        res.Stats.Retries,
 			ReplicaRescues: res.Stats.ReplicaRescues,
+			ShardReroutes:  res.Stats.ShardReroutes,
+			StoreFallbacks: res.Stats.StoreFallbacks,
 			LatencyNS:      res.Stats.LatencyNS(),
 			Generation:     res.Stats.Generation,
 		},
@@ -357,7 +393,7 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 		}
 		// Coalescer shut down mid-request: fall through to isolated serving.
 	}
-	h.lookupIsolated(w, req.Keys)
+	h.lookupIsolated(w, r, req.Keys)
 }
 
 // lookupCoalesced routes the request through the coalescer. It reports
@@ -402,10 +438,12 @@ func (h *Handler) lookupCoalesced(w http.ResponseWriter, keys []uint32) bool {
 }
 
 // lookupIsolated serves one request on a pooled worker with no batching —
-// the path taken when coalescing is disabled.
-func (h *Handler) lookupIsolated(w http.ResponseWriter, keys []uint32) {
+// the path taken when coalescing is disabled. The request context rides
+// into the engine's recovery loop, so a client that hangs up stops the
+// worker from burning retries on its behalf.
+func (h *Handler) lookupIsolated(w http.ResponseWriter, r *http.Request, keys []uint32) {
 	worker, gen := h.getWorker()
-	res, err := worker.Lookup(keys)
+	res, err := worker.LookupCtx(r.Context(), keys)
 	if err != nil {
 		h.putWorker(worker, gen)
 		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", err)
@@ -445,12 +483,41 @@ type StatsResponse struct {
 		RecoveredKeys   int64 `json:"recovered_keys"`
 		DegradedQueries int64 `json:"degraded_queries"`
 		FailedKeys      int64 `json:"failed_keys"`
+		ShardReroutes   int64 `json:"shard_reroutes"`
+		StoreFallbacks  int64 `json:"store_fallbacks"`
 	} `json:"recovery"`
 	Health struct {
 		Ready        bool    `json:"ready"`
 		ErrorRate    float64 `json:"error_rate"`
 		WindowEvents int64   `json:"window_events"`
+		// Shard-aware verdict detail; zero values on single-device
+		// backends, which keep the legacy global-window verdict.
+		DeadShards    int     `json:"dead_shards,omitempty"`
+		LiveErrorRate float64 `json:"live_error_rate,omitempty"`
 	} `json:"health"`
+	// Scrub and Rebuild report admin-triggered repair activity on this
+	// server (409-guarded; progress gauges update while one runs).
+	Scrub struct {
+		Enabled       bool           `json:"enabled"`
+		Running       bool           `json:"running"`
+		Sweeps        int64          `json:"sweeps"`
+		Errors        int64          `json:"errors"`
+		ProgressPages int64          `json:"progress_pages"`
+		ProgressTotal int64          `json:"progress_total"`
+		LatentSlots   int64          `json:"latent_slots_total"`
+		RepairedSlots int64          `json:"repaired_slots_total"`
+		Last          *ScrubResponse `json:"last,omitempty"`
+	} `json:"scrub"`
+	Rebuild struct {
+		Enabled       bool             `json:"enabled"`
+		Running       bool             `json:"running"`
+		Rebuilds      int64            `json:"rebuilds"`
+		Errors        int64            `json:"errors"`
+		ProgressPages int64            `json:"progress_pages"`
+		ProgressTotal int64            `json:"progress_total"`
+		LastMTTRNS    int64            `json:"last_mttr_ns"`
+		Last          *RebuildResponse `json:"last,omitempty"`
+	} `json:"rebuild"`
 	Cache *struct {
 		Hits      int64   `json:"hits"`
 		Misses    int64   `json:"misses"`
@@ -498,16 +565,22 @@ type ShardStatsEntry struct {
 	Timeouts    int64 `json:"timeouts"`
 	Corruptions int64 `json:"corruptions"`
 	QueuePeak   int64 `json:"queue_peak"`
+	// Health state machine detail, present when the backend tracks
+	// per-shard health (a multi-device array).
+	State        string  `json:"state,omitempty"`
+	FaultRate    float64 `json:"fault_rate,omitempty"`
+	LatentErrors int64   `json:"latent_errors,omitempty"`
 }
 
 // shardStats snapshots per-shard device counters and the current engine's
 // per-shard queue-depth peaks.
 func (h *Handler) shardStats(eng *serving.Engine) []ShardStatsEntry {
-	n := h.backend.NumShards()
+	be := h.curBackend()
+	n := be.NumShards()
 	peaks := eng.ShardQueuePeaks()
 	out := make([]ShardStatsEntry, n)
 	for i := 0; i < n; i++ {
-		ds := h.backend.Shard(i).Stats()
+		ds := be.Shard(i).Stats()
 		out[i] = ShardStatsEntry{
 			Shard:       i,
 			Reads:       ds.Reads,
@@ -520,12 +593,20 @@ func (h *Handler) shardStats(eng *serving.Engine) []ShardStatsEntry {
 			out[i].QueuePeak = peaks[i]
 		}
 	}
+	if hr, ok := be.(ssd.HealthReporter); ok {
+		for i := range out {
+			info := hr.ShardHealth(i)
+			out[i].State = info.State.String()
+			out[i].FaultRate = info.FaultRate
+			out[i].LatentErrors = info.LatentErrors
+		}
+	}
 	return out
 }
 
 func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	var resp StatsResponse
-	ds := h.backend.Stats()
+	ds := h.curBackend().Stats()
 	resp.Device.Reads = ds.Reads
 	resp.Device.BytesRead = ds.BytesRead
 	resp.Device.Errors = ds.Errors
@@ -543,10 +624,33 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Recovery.RecoveredKeys = rec.RecoveredKeys
 	resp.Recovery.DegradedQueries = rec.DegradedQueries
 	resp.Recovery.FailedKeys = rec.FailedKeys
-	rate, events, ready := h.healthy()
-	resp.Health.Ready = ready
-	resp.Health.ErrorRate = rate
-	resp.Health.WindowEvents = events
+	resp.Recovery.ShardReroutes = rec.ShardReroutes
+	resp.Recovery.StoreFallbacks = rec.StoreFallbacks
+	nh := h.nodeHealth()
+	resp.Health.Ready = nh.ready
+	resp.Health.ErrorRate = nh.rate
+	resp.Health.WindowEvents = nh.events
+	resp.Health.DeadShards = nh.deadShards
+	resp.Health.LiveErrorRate = nh.liveRate
+	resp.Scrub.Enabled = h.scrubber != nil
+	resp.Scrub.Running = h.scrubRunning.Load()
+	resp.Scrub.Sweeps = h.scrubs.Load()
+	resp.Scrub.Errors = h.scrubErrors.Load()
+	resp.Scrub.ProgressPages = h.scrubScanned.Load()
+	resp.Scrub.ProgressTotal = h.scrubTotal.Load()
+	resp.Scrub.LatentSlots = h.scrubLatent.Load()
+	resp.Scrub.RepairedSlots = h.scrubRepaired.Load()
+	resp.Rebuild.Enabled = h.shardAdmin != nil
+	resp.Rebuild.Running = h.rebuildRunning.Load()
+	resp.Rebuild.Rebuilds = h.rebuilds.Load()
+	resp.Rebuild.Errors = h.rebuildErrors.Load()
+	resp.Rebuild.ProgressPages = h.rebuildCopied.Load()
+	resp.Rebuild.ProgressTotal = h.rebuildTotal.Load()
+	resp.Rebuild.LastMTTRNS = h.lastMTTRNS.Load()
+	h.adminMu.Lock()
+	resp.Scrub.Last = h.lastScrub
+	resp.Rebuild.Last = h.lastRebuild
+	h.adminMu.Unlock()
 	eng := h.handle.Engine()
 	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
@@ -585,7 +689,8 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 // for scrape-based monitoring.
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	ds := h.backend.Stats()
+	be := h.curBackend()
+	ds := be.Stats()
 	fmt.Fprintf(w, "# TYPE maxembed_device_reads_total counter\nmaxembed_device_reads_total %d\n", ds.Reads)
 	fmt.Fprintf(w, "# TYPE maxembed_device_bytes_read_total counter\nmaxembed_device_bytes_read_total %d\n", ds.BytesRead)
 	fmt.Fprintf(w, "# TYPE maxembed_device_errors_total counter\nmaxembed_device_errors_total %d\n", ds.Errors)
@@ -612,6 +717,23 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range shards {
 		fmt.Fprintf(w, "maxembed_shard_queue_peak{shard=\"%d\"} %d\n", s.Shard, s.QueuePeak)
 	}
+	if hr, ok := be.(ssd.HealthReporter); ok {
+		n := be.NumShards()
+		// Shard state machine position: 0 healthy, 1 suspect, 2 failed,
+		// 3 rebuilding.
+		fmt.Fprintf(w, "# TYPE maxembed_shard_state gauge\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "maxembed_shard_state{shard=\"%d\"} %d\n", i, int(hr.ShardState(i)))
+		}
+		fmt.Fprintf(w, "# TYPE maxembed_shard_fault_rate gauge\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "maxembed_shard_fault_rate{shard=\"%d\"} %g\n", i, hr.ShardHealth(i).FaultRate)
+		}
+		fmt.Fprintf(w, "# TYPE maxembed_shard_latent_errors_total counter\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "maxembed_shard_latent_errors_total{shard=\"%d\"} %d\n", i, hr.ShardHealth(i).LatentErrors)
+		}
+	}
 	rec := h.handle.Totals()
 	fmt.Fprintf(w, "# TYPE maxembed_read_errors_total counter\nmaxembed_read_errors_total %d\n", rec.ReadErrors)
 	fmt.Fprintf(w, "# TYPE maxembed_corruptions_detected_total counter\nmaxembed_corruptions_detected_total %d\n", rec.Corruptions)
@@ -620,9 +742,27 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE maxembed_recovered_keys_total counter\nmaxembed_recovered_keys_total %d\n", rec.RecoveredKeys)
 	fmt.Fprintf(w, "# TYPE maxembed_degraded_queries_total counter\nmaxembed_degraded_queries_total %d\n", rec.DegradedQueries)
 	fmt.Fprintf(w, "# TYPE maxembed_failed_keys_total counter\nmaxembed_failed_keys_total %d\n", rec.FailedKeys)
-	rate, _, ready := h.healthy()
-	fmt.Fprintf(w, "# TYPE maxembed_read_error_rate gauge\nmaxembed_read_error_rate %g\n", rate)
-	fmt.Fprintf(w, "# TYPE maxembed_ready gauge\nmaxembed_ready %d\n", b2i(ready))
+	fmt.Fprintf(w, "# TYPE maxembed_shard_reroutes_total counter\nmaxembed_shard_reroutes_total %d\n", rec.ShardReroutes)
+	fmt.Fprintf(w, "# TYPE maxembed_store_fallbacks_total counter\nmaxembed_store_fallbacks_total %d\n", rec.StoreFallbacks)
+	nh := h.nodeHealth()
+	fmt.Fprintf(w, "# TYPE maxembed_read_error_rate gauge\nmaxembed_read_error_rate %g\n", nh.rate)
+	fmt.Fprintf(w, "# TYPE maxembed_ready gauge\nmaxembed_ready %d\n", b2i(nh.ready))
+	if nh.shards != nil {
+		fmt.Fprintf(w, "# TYPE maxembed_dead_shards gauge\nmaxembed_dead_shards %d\n", nh.deadShards)
+		fmt.Fprintf(w, "# TYPE maxembed_live_error_rate gauge\nmaxembed_live_error_rate %g\n", nh.liveRate)
+	}
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_sweeps_total counter\nmaxembed_scrub_sweeps_total %d\n", h.scrubs.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_errors_total counter\nmaxembed_scrub_errors_total %d\n", h.scrubErrors.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_running gauge\nmaxembed_scrub_running %d\n", b2i(h.scrubRunning.Load()))
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_pages_scanned gauge\nmaxembed_scrub_pages_scanned %d\n", h.scrubScanned.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_latent_slots_total counter\nmaxembed_scrub_latent_slots_total %d\n", h.scrubLatent.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_repaired_slots_total counter\nmaxembed_scrub_repaired_slots_total %d\n", h.scrubRepaired.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_scrub_unrepairable_slots_total counter\nmaxembed_scrub_unrepairable_slots_total %d\n", h.scrubUnrepairable.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_rebuild_total counter\nmaxembed_rebuild_total %d\n", h.rebuilds.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_rebuild_errors_total counter\nmaxembed_rebuild_errors_total %d\n", h.rebuildErrors.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_rebuild_running gauge\nmaxembed_rebuild_running %d\n", b2i(h.rebuildRunning.Load()))
+	fmt.Fprintf(w, "# TYPE maxembed_rebuild_pages_copied gauge\nmaxembed_rebuild_pages_copied %d\n", h.rebuildCopied.Load())
+	fmt.Fprintf(w, "# TYPE maxembed_rebuild_last_mttr_ns gauge\nmaxembed_rebuild_last_mttr_ns %d\n", h.lastMTTRNS.Load())
 	eng := h.handle.Engine()
 	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
@@ -660,19 +800,37 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// health is a real readiness probe: it reports 503 while the rolling
-// read-fault rate says the device is unhealthy, so load balancers rotate
-// the instance out until the window clears.
+// health is a real readiness probe: it reports 503 while the node is
+// unhealthy, so load balancers rotate the instance out until it clears.
+// With a multi-shard backend the verdict is shard-aware — a minority of
+// dead shards (the engine routes around them) does not flip the node —
+// and the body carries per-shard fault fractions beside the global
+// window so an operator can tell a sick drive from a sick node.
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
-	rate, events, ready := h.healthy()
-	if !ready {
+	nh := h.nodeHealth()
+	if !nh.ready {
 		w.Header().Set("Retry-After", fmt.Sprint(h.retryAfterSec))
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{
+		body := map[string]any{
 			"status":        "unhealthy",
-			"error_rate":    rate,
-			"window_events": events,
+			"error_rate":    nh.rate,
+			"window_events": nh.events,
+		}
+		if nh.shards != nil {
+			body["shards"] = shardHealthEntries(nh.shards)
+			body["dead_shards"] = nh.deadShards
+			body["live_error_rate"] = nh.liveRate
+		}
+		writeJSONStatus(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	if nh.shards != nil {
+		writeJSON(w, map[string]any{
+			"status":          "ok",
+			"error_rate":      nh.rate,
+			"window_events":   nh.events,
+			"shards":          shardHealthEntries(nh.shards),
+			"dead_shards":     nh.deadShards,
+			"live_error_rate": nh.liveRate,
 		})
 		return
 	}

@@ -14,6 +14,7 @@
 package serving
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -141,6 +142,15 @@ type RecoveryCounters struct {
 	// FailedKeys the keys those results were missing.
 	DegradedQueries metrics.Counter
 	FailedKeys      metrics.Counter
+	// ShardReroutes counts keys moved off failed/rebuilding shards by the
+	// pre-submit plan reroute — proactive avoidance driven by shard
+	// health, before any read is issued (ReplicaRescues, by contrast,
+	// counts reactive recovery after a read already failed).
+	ShardReroutes metrics.Counter
+	// StoreFallbacks counts keys served by host-store read-through
+	// because no live shard held any replica of them — the last line of
+	// defence that keeps lookups from hard-failing during a rebuild.
+	StoreFallbacks metrics.Counter
 }
 
 // Reset zeroes all counters.
@@ -153,14 +163,20 @@ func (r *RecoveryCounters) Reset() {
 	r.RecoveredKeys.Reset()
 	r.DegradedQueries.Reset()
 	r.FailedKeys.Reset()
+	r.ShardReroutes.Reset()
+	r.StoreFallbacks.Reset()
 }
 
 // Engine is the shared, immutable part of a serving deployment. Workers
 // created by NewWorker do the per-goroutine work.
 type Engine struct {
-	cfg        Config
-	be         ssd.Backend
-	numShards  int
+	cfg       Config
+	be        ssd.Backend
+	numShards int
+	// health is the backend's per-shard health view when it reports one
+	// (an ssd.Array); nil on single-device backends. Selection tie-breaks,
+	// the pre-submit plan reroute, and recovery targeting all consult it.
+	health     ssd.HealthReporter
 	idx        *selection.Index
 	cache      *cache.Cache[Key, []float32]
 	costs      CostModel
@@ -240,6 +256,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.MaxRetries != nil {
 		e.maxRetries = max(*cfg.MaxRetries, 0)
+	}
+	if hr, ok := be.(ssd.HealthReporter); ok {
+		e.health = hr
 	}
 	switch {
 	case cfg.Store != nil:
@@ -330,6 +349,12 @@ type QueryStats struct {
 	ReadFaults int
 	// ReplicaRescues counts keys recovered from an alternate replica page.
 	ReplicaRescues int
+	// ShardReroutes counts keys this query's plan moved off
+	// failed/rebuilding shards before any read was issued.
+	ShardReroutes int
+	// StoreFallbacks counts keys served by host-store read-through
+	// because no live shard held a replica of them.
+	StoreFallbacks int
 	// Corruptions counts corrupt page payloads detected by checksum.
 	Corruptions int
 	// FailedKeys counts keys the query could not serve; Degraded is set
@@ -411,9 +436,17 @@ type Worker struct {
 	// backends (no tie-breaker installed).
 	shardLoad []int
 
+	// ctx, when non-nil, cancels the recovery retry loop of the query in
+	// flight: an abandoned request degrades immediately instead of
+	// burning retries and queue slots. Set by LookupCtx per query.
+	ctx context.Context
+
 	// Per-query scratch.
 	plan        []planEntry
 	coveredFlat []Key
+	plan2       []planEntry // reroute scratch: rebuilt plan
+	flat2       []Key       // reroute scratch: rebuilt coveredFlat
+	fbKeys      []Key       // keys with no live replica, for store fallback
 	distinct    []Key
 	batchBuf    []Key
 	hitKeys     []Key
@@ -457,6 +490,14 @@ func (e *Engine) NewWorker() *Worker {
 		w.sel.SetTieBreak(func(cand, best selection.PageID) bool {
 			cs, _ := e.be.ShardOf(cand)
 			bs, _ := e.be.ShardOf(best)
+			// A live shard beats a failed/rebuilding one outright; among
+			// equals, prefer the shard this plan has loaded least.
+			if e.health != nil {
+				cl, bl := e.health.ShardState(cs).Live(), e.health.ShardState(bs).Live()
+				if cl != bl {
+					return cl
+				}
+			}
 			return w.shardLoad[cs] < w.shardLoad[bs]
 		})
 	}
@@ -609,6 +650,10 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 		return Result{}, selErr
 	}
 
+	// On a health-reporting backend, move reads planned onto
+	// failed/rebuilding shards to live replicas before submitting anything.
+	w.reroutePlan(&st)
+
 	// Submit per the pipeline mode, charging selection cost as it accrues.
 	if e.cfg.Pipeline {
 		for i := range w.plan {
@@ -664,6 +709,9 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 		t = w.recover(&st, t)
 	}
 	st.UsefulFromSSD = len(w.coveredFlat) - len(w.failedKeys)
+	if len(w.fbKeys) > 0 {
+		t = w.serveFromStore(&st, t)
+	}
 
 	// Assemble the result and fill the cache.
 	res := Result{}
@@ -819,6 +867,12 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 			w.failedKeys = append(w.failedKeys, f.keys...)
 			continue
 		}
+		if w.ctx != nil && w.ctx.Err() != nil {
+			// The request was abandoned: degrade the rest of the queue
+			// instead of spending retries nobody is waiting for.
+			w.failedKeys = append(w.failedKeys, f.keys...)
+			continue
+		}
 		issueAt := t + e.backoffDelay(f.attempt)
 
 		// Pick each key's recovery target: the first candidate page not
@@ -837,7 +891,11 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 					if cand == f.page || containsPage(f.tried, cand) {
 						continue
 					}
-					if cs, _ := e.be.ShardOf(cand); cs != failShard {
+					cs, _ := e.be.ShardOf(cand)
+					if e.health != nil && !e.health.ShardState(cs).Live() {
+						continue // never retry into a declared-dead shard
+					}
+					if cs != failShard {
 						target = cand
 						break
 					}
@@ -846,6 +904,9 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 			if target == f.page {
 				for _, cand := range e.idx.Candidates(k) {
 					if cand == f.page || containsPage(f.tried, cand) {
+						continue
+					}
+					if cs, _ := e.be.ShardOf(cand); e.health != nil && !e.health.ShardState(cs).Live() {
 						continue
 					}
 					target = cand
@@ -914,6 +975,163 @@ func (w *Worker) recover(st *QueryStats, t int64) int64 {
 	w.failures = w.failures[:0]
 	st.RecoveryNS = t - start
 	return t
+}
+
+// LookupCtx is Lookup with cancellation: when ctx is cancelled, the
+// recovery retry loop stops immediately and any keys still pending
+// recovery degrade to FailedKeys instead of burning further retries and
+// queue slots — the serving path for requests whose HTTP client has gone
+// away. The initial read wave is not interrupted (it is a single
+// submit/drain on the virtual clock); cancellation takes effect at retry
+// boundaries, where the real time is spent under faults.
+func (w *Worker) LookupCtx(ctx context.Context, query []Key) (Result, error) {
+	w.ctx = ctx
+	defer func() { w.ctx = nil }()
+	return w.Lookup(query)
+}
+
+// reroutePlan runs between selection and submission on health-reporting
+// backends: pages planned on failed or rebuilding shards are replaced by
+// replica candidates on live shards before any read is issued, so a
+// declared-dead drive costs zero wasted reads per query instead of one
+// fault-plus-recovery per touched page. Keys with no live replica are set
+// aside for host-store read-through (serveFromStore). The plan and its
+// covered-keys arena are rebuilt into fresh scratch and swapped — never
+// appended to in place — so per-key accounting (UsefulFromSSD, batch
+// scatter) keeps seeing each key exactly once.
+func (w *Worker) reroutePlan(st *QueryStats) {
+	e := w.eng
+	w.fbKeys = w.fbKeys[:0]
+	if e.health == nil || len(w.plan) == 0 {
+		return
+	}
+	anyDead := false
+	for _, pe := range w.plan {
+		s, _ := e.be.ShardOf(pe.page)
+		if !e.health.ShardState(s).Live() {
+			anyDead = true
+			break
+		}
+	}
+	if !anyDead {
+		return
+	}
+
+	var extra []recoveryGroup
+	w.plan2 = w.plan2[:0]
+	w.flat2 = w.flat2[:0]
+	for _, pe := range w.plan {
+		keys := w.coveredFlat[pe.from:pe.to]
+		if s, _ := e.be.ShardOf(pe.page); e.health.ShardState(s).Live() {
+			pe.from = len(w.flat2)
+			w.flat2 = append(w.flat2, keys...)
+			pe.to = len(w.flat2)
+			w.plan2 = append(w.plan2, pe)
+			continue
+		}
+		for _, k := range keys {
+			target, ok := w.liveCandidate(k, pe.page, extra)
+			if !ok {
+				w.fbKeys = append(w.fbKeys, k)
+				continue
+			}
+			gi := -1
+			for i := range extra {
+				if extra[i].page == target {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				extra = append(extra, recoveryGroup{page: target})
+				gi = len(extra) - 1
+			}
+			extra[gi].keys = append(extra[gi].keys, k)
+		}
+	}
+	rerouted := 0
+	for _, g := range extra {
+		from := len(w.flat2)
+		w.flat2 = append(w.flat2, g.keys...)
+		w.plan2 = append(w.plan2, planEntry{
+			page: g.page, from: from, to: len(w.flat2),
+			// The reroute's own cost is one extra submit per target page;
+			// the original entries' selection cost was already charged.
+			selectCost: e.costs.Submit(),
+		})
+		rerouted += len(g.keys)
+	}
+	st.ShardReroutes = rerouted
+	e.Recovery.ShardReroutes.Add(int64(rerouted))
+	w.plan, w.plan2 = w.plan2, w.plan
+	w.coveredFlat, w.flat2 = w.flat2, w.coveredFlat
+}
+
+// liveCandidate picks key k's reroute target: a candidate page on a live
+// shard, preferring one this reroute is already reading (so shared pages
+// cost one read, not one per key), excluding the dead page being replaced.
+func (w *Worker) liveCandidate(k Key, avoid layout.PageID, extra []recoveryGroup) (layout.PageID, bool) {
+	e := w.eng
+	var first layout.PageID
+	found := false
+	for _, cand := range e.idx.Candidates(k) {
+		if cand == avoid {
+			continue
+		}
+		if s, _ := e.be.ShardOf(cand); !e.health.ShardState(s).Live() {
+			continue
+		}
+		for i := range extra {
+			if extra[i].page == cand {
+				return cand, true
+			}
+		}
+		if !found {
+			first, found = cand, true
+		}
+	}
+	return first, found
+}
+
+// serveFromStore serves the keys reroutePlan found no live replica for by
+// reading their home pages from the host's store image — the pristine
+// copy the offline build left behind. No device read is charged (the data
+// never touches the dead drive); the work is host software time, counted
+// with the extract cost. Keys the store cannot produce (timing-only
+// engines, or a corrupt host image) degrade to FailedKeys.
+func (w *Worker) serveFromStore(st *QueryStats, t int64) int64 {
+	e := w.eng
+	if e.cfg.Store == nil {
+		w.failedKeys = append(w.failedKeys, w.fbKeys...)
+		return t
+	}
+	served := 0
+	lay := e.cfg.Layout
+	for _, k := range w.fbKeys {
+		p := lay.Home[k]
+		if err := e.cfg.Store.ReadPage(p, w.pageBuf); err != nil {
+			w.failedKeys = append(w.failedKeys, k)
+			continue
+		}
+		off := len(w.vecArena)
+		var ok bool
+		var err error
+		w.vecArena, ok, err = store.ExtractFromImage(w.pageBuf, e.dim, k, len(lay.Pages[p]), w.vecArena)
+		if err != nil || !ok {
+			w.vecArena = w.vecArena[:off]
+			w.failedKeys = append(w.failedKeys, k)
+			continue
+		}
+		w.out = append(w.out, extracted{key: k, off: off})
+		served++
+	}
+	st.StoreFallbacks = served
+	e.Recovery.StoreFallbacks.Add(int64(served))
+	// The host-side page read and decode costs software time over and
+	// above the shared extract pass these vectors also go through.
+	c := e.costs.Extract(served)
+	st.OtherSoftNS += c
+	return t + c
 }
 
 // containsPage reports whether pages contains p.

@@ -1,0 +1,156 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"maxembed/internal/layout"
+	"maxembed/internal/ssd"
+)
+
+// TestScrubDetectsAndRepairsLatentCorruption injects at-rest bit rot into
+// the sharded store and checks one sweep finds every bad slot and repairs
+// them all from cross-shard replicas.
+func TestScrubDetectsAndRepairsLatentCorruption(t *testing.T) {
+	lay, sh, _ := shardedFixture(t)
+	arr := mustTestArray(t, ssd.P5800X, 2)
+	e, err := New(Config{Layout: lay, Backend: arr, Store: sh, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot one slot on every page: each key of shardedFixture also lives on
+	// a page of the opposite shard, so every slot is repairable.
+	type hit struct {
+		p layout.PageID
+		i int
+	}
+	var rotted []hit
+	for p := range lay.Pages {
+		i := p // distinct slot per page, so no key loses both of its copies
+		if err := sh.CorruptSlot(layout.PageID(p), i); err != nil {
+			t.Fatal(err)
+		}
+		rotted = append(rotted, hit{layout.PageID(p), i})
+	}
+
+	var lastScanned int
+	rep, err := Scrub(context.Background(), e, ScrubConfig{
+		PagesPerSec: 1000,
+		Progress:    func(scanned, total int) { lastScanned = scanned },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesScanned != lay.NumPages() || rep.PagesSkipped != 0 || rep.PagesUnread != 0 {
+		t.Fatalf("scanned/skipped/unread = %d/%d/%d, want %d/0/0",
+			rep.PagesScanned, rep.PagesSkipped, rep.PagesUnread, lay.NumPages())
+	}
+	if lastScanned != lay.NumPages() {
+		t.Fatalf("progress reported %d pages, want %d", lastScanned, lay.NumPages())
+	}
+	if rep.LatentSlots != len(rotted) {
+		t.Fatalf("LatentSlots = %d, want %d (100%% detection)", rep.LatentSlots, len(rotted))
+	}
+	if rep.RepairedSlots != len(rotted) || rep.UnrepairableSlots != 0 {
+		t.Fatalf("repaired/unrepairable = %d/%d, want %d/0",
+			rep.RepairedSlots, rep.UnrepairableSlots, len(rotted))
+	}
+	sum := 0
+	for _, n := range rep.PerShardLatent {
+		sum += n
+	}
+	if sum != rep.LatentSlots {
+		t.Fatalf("PerShardLatent sums to %d, want %d", sum, rep.LatentSlots)
+	}
+	// The repairs took: every rotted slot verifies again.
+	for _, h := range rotted {
+		if _, err := sh.VerifySlot(h.p, h.i); err != nil {
+			t.Fatalf("slot (%d, %d) still corrupt after repair: %v", h.p, h.i, err)
+		}
+	}
+	// Latent errors are credited to shard health.
+	var latent int64
+	for _, info := range arr.ShardHealths() {
+		latent += info.LatentErrors
+	}
+	if latent != int64(len(rotted)) {
+		t.Fatalf("health accounts %d latent errors, want %d", latent, len(rotted))
+	}
+	// The token bucket paced the sweep: at 1000 pages/s the last page may
+	// not be read before (pages-1) ms of virtual time.
+	if minDur := int64(lay.NumPages()-1) * int64(1e6); rep.DurationNS() < minDur {
+		t.Fatalf("sweep took %d ns, want ≥ %d (rate limit ignored)", rep.DurationNS(), minDur)
+	}
+	// A second sweep is clean.
+	rep2, err := Scrub(context.Background(), e, ScrubConfig{PagesPerSec: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.LatentSlots != 0 {
+		t.Fatalf("second sweep found %d latent slots, want 0", rep2.LatentSlots)
+	}
+}
+
+// TestScrubDetectOnlyAndUnrepairable: with every copy of a key rotten the
+// slot is unrepairable, and DetectOnly never writes.
+func TestScrubDetectOnlyAndUnrepairable(t *testing.T) {
+	lay, sh, _ := shardedFixture(t)
+	arr := mustTestArray(t, ssd.P5800X, 2)
+	e, err := New(Config{Layout: lay, Backend: arr, Store: sh, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot BOTH copies of key 0 (home page slot and its replica slot).
+	k := Key(0)
+	var pages []layout.PageID
+	pages = lay.PagesOf(k, pages)
+	if len(pages) != 2 {
+		t.Fatalf("key 0 on %d pages, want 2", len(pages))
+	}
+	for _, p := range pages {
+		if err := sh.CorruptSlot(p, slotIndexOf(lay.Pages[p], k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	det, err := Scrub(context.Background(), e, ScrubConfig{DetectOnly: true, PagesPerSec: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.LatentSlots != 2 || det.RepairedSlots != 0 {
+		t.Fatalf("DetectOnly latent/repaired = %d/%d, want 2/0", det.LatentSlots, det.RepairedSlots)
+	}
+
+	rep, err := Scrub(context.Background(), e, ScrubConfig{PagesPerSec: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatentSlots != 2 || rep.UnrepairableSlots != 2 || rep.RepairedSlots != 0 {
+		t.Fatalf("latent/unrepairable/repaired = %d/%d/%d, want 2/2/0",
+			rep.LatentSlots, rep.UnrepairableSlots, rep.RepairedSlots)
+	}
+}
+
+// TestScrubSkipsDeadShards: pages on a failed shard are skipped, not read.
+func TestScrubSkipsDeadShards(t *testing.T) {
+	lay, sh, _ := shardedFixture(t)
+	arr := mustTestArray(t, ssd.P5800X, 2)
+	e, err := New(Config{Layout: lay, Backend: arr, Store: sh, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.FailShard(0)
+	rep, err := Scrub(context.Background(), e, ScrubConfig{PagesPerSec: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lay.NumPages() / 2 // p mod 2 striping: half the pages on shard 0
+	if rep.PagesSkipped != want {
+		t.Fatalf("PagesSkipped = %d, want %d", rep.PagesSkipped, want)
+	}
+	if got := arr.Shard(0).Stats().Reads; got != 0 {
+		t.Fatalf("dead shard saw %d scrub reads, want 0", got)
+	}
+}

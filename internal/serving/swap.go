@@ -35,6 +35,11 @@ type RecoveryTotals struct {
 	RecoveredKeys   int64
 	DegradedQueries int64
 	FailedKeys      int64
+	// ShardReroutes counts keys proactively moved off failed/rebuilding
+	// shards before submit; StoreFallbacks counts keys served by
+	// host-store read-through because no live replica covered them.
+	ShardReroutes  int64
+	StoreFallbacks int64
 	// Lookups counts queries served (latency samples recorded).
 	Lookups int64
 }
@@ -50,6 +55,8 @@ func (t *RecoveryTotals) add(e *Engine) {
 	t.RecoveredKeys += r.RecoveredKeys.Load()
 	t.DegradedQueries += r.DegradedQueries.Load()
 	t.FailedKeys += r.FailedKeys.Load()
+	t.ShardReroutes += r.ShardReroutes.Load()
+	t.StoreFallbacks += r.StoreFallbacks.Load()
 	t.Lookups += int64(e.Latency.Count())
 }
 

@@ -3,6 +3,7 @@ package ssd
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Backend is a read target the serving layer submits page reads to: a
@@ -73,8 +74,12 @@ func (d *Device) Shard(i int) *Device {
 // mutex, so queues on different shards never contend on a shared lock —
 // exactly the hardware arbitration structure of separate drives.
 type Array struct {
-	devs []*Device
-	prof Profile
+	devs   []*Device
+	prof   Profile
+	health *HealthTracker
+
+	spareMu sync.Mutex
+	spare   *Device // optional hot spare a rebuild streams onto
 }
 
 // NewArray returns an array of n identical devices with the given profile.
@@ -105,7 +110,9 @@ func NewArrayOf(devs []*Device) (*Array, error) {
 	}
 	base := devs[0].Profile()
 	if len(devs) == 1 {
-		return &Array{devs: devs, prof: base}, nil
+		a := &Array{devs: devs, prof: base}
+		a.initHealth(HealthConfig{})
+		return a, nil
 	}
 	agg := base
 	agg.Name = fmt.Sprintf("Array-%dx%s", len(devs), base.Name)
@@ -119,8 +126,28 @@ func NewArrayOf(devs []*Device) (*Array, error) {
 		agg.QueueDepth += p.QueueDepth
 		agg.WriteBandwidth += p.writeBandwidth()
 	}
-	return &Array{devs: devs, prof: agg}, nil
+	a := &Array{devs: devs, prof: agg}
+	a.initHealth(HealthConfig{})
+	return a, nil
 }
+
+// initHealth (re)builds the array's health tracker with cfg and taps every
+// member device's read path into its shard's window. Devices report to the
+// tracker of the array that wired them most recently, so after a SwapShard
+// the surviving members feed the replacement array and the old one goes
+// stale — by design, since the old stripe must not be served anymore.
+func (a *Array) initHealth(cfg HealthConfig) {
+	a.health = newHealthTracker(len(a.devs), cfg)
+	for i, d := range a.devs {
+		i := i
+		d.setReadObserver(func(faulted bool) { a.health.observe(i, faulted) })
+	}
+}
+
+// ConfigureHealth replaces the health tracker with one using cfg (for
+// tighter windows in tests or deployments); accumulated health history is
+// discarded and every shard restarts healthy.
+func (a *Array) ConfigureHealth(cfg HealthConfig) { a.initHealth(cfg) }
 
 // Profile implements Backend.
 func (a *Array) Profile() Profile { return a.prof }
@@ -202,6 +229,130 @@ func (a *Array) SetFaultModel(m FaultModel) {
 // single shard — the lever for single-drive failure scenarios.
 func (a *Array) SetShardFaultModel(shard int, m FaultModel) {
 	a.devs[shard].SetFaultModel(m)
+}
+
+// ShardState implements HealthReporter.
+func (a *Array) ShardState(i int) ShardState {
+	return ShardState(a.health.shards[i].state.Load())
+}
+
+// ShardHealth implements HealthReporter.
+func (a *Array) ShardHealth(i int) ShardHealthInfo { return a.health.Info(i) }
+
+// ShardHealths returns every shard's health snapshot, indexed by shard.
+func (a *Array) ShardHealths() []ShardHealthInfo {
+	out := make([]ShardHealthInfo, len(a.devs))
+	for i := range out {
+		out[i] = a.health.Info(i)
+	}
+	return out
+}
+
+// LiveShards returns how many shards are currently serving reads.
+func (a *Array) LiveShards() int {
+	n := 0
+	for i := range a.devs {
+		if a.ShardState(i).Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// FailShard declares shard i failed regardless of its window — the chaos /
+// operator hook. The OnFail callback fires as for an automatic failure.
+func (a *Array) FailShard(i int) { a.health.setState(i, ShardFailed) }
+
+// MarkRebuilding transitions shard i to rebuilding (a rebuilder claiming
+// the shard). Returns false when the shard was already rebuilding, so two
+// rebuilders cannot both claim it.
+func (a *Array) MarkRebuilding(i int) bool {
+	h := &a.health.shards[i]
+	if !h.state.CompareAndSwap(int32(ShardFailed), int32(ShardRebuilding)) &&
+		!h.state.CompareAndSwap(int32(ShardHealthy), int32(ShardRebuilding)) &&
+		!h.state.CompareAndSwap(int32(ShardSuspect), int32(ShardRebuilding)) {
+		return false
+	}
+	h.transitions.Add(1)
+	return true
+}
+
+// MarkHealthy returns shard i to service with a cleared fault window (so
+// faults from before the repair don't instantly re-fail it).
+func (a *Array) MarkHealthy(i int) {
+	a.health.shards[i].resetWindow()
+	a.health.setState(i, ShardHealthy)
+}
+
+// NoteLatent adds n latent (at-rest corruption) errors to shard i's
+// account; the scrubber calls this for every bad slot it finds.
+func (a *Array) NoteLatent(i int, n int64) { a.health.shards[i].latent.Add(n) }
+
+// OnFail registers a hook invoked on its own goroutine whenever a shard
+// transitions into ShardFailed — the attachment point for an automatic
+// rebuilder. At most one hook; nil clears it.
+func (a *Array) OnFail(fn func(shard int)) { a.health.OnFail(fn) }
+
+// AttachSpare installs a hot spare the rebuilder may stream a failed
+// shard onto. At most one spare; its page size must match the stripe's.
+func (a *Array) AttachSpare(d *Device) error {
+	if d == nil {
+		return fmt.Errorf("ssd: nil spare")
+	}
+	if d.Profile().PageSize != a.prof.PageSize {
+		return fmt.Errorf("ssd: spare page size %d differs from array's %d",
+			d.Profile().PageSize, a.prof.PageSize)
+	}
+	a.spareMu.Lock()
+	defer a.spareMu.Unlock()
+	if a.spare != nil {
+		return fmt.Errorf("ssd: spare already attached")
+	}
+	a.spare = d
+	return nil
+}
+
+// Spare returns the attached hot spare, or nil.
+func (a *Array) Spare() *Device {
+	a.spareMu.Lock()
+	defer a.spareMu.Unlock()
+	return a.spare
+}
+
+// SwapShard returns a NEW array in which shard i is the replacement
+// device and every other slot is the same *Device as in the receiver —
+// surviving members keep their virtual-time frontiers, statistics, and
+// fault models across the swap. Passing a nil replacement consumes the
+// attached spare. The new array starts with fresh, all-healthy shard
+// windows (the replacement has just been rebuilt; the survivors' read
+// outcomes re-accumulate immediately since their observers are re-wired
+// here) and inherits the OnFail hook; it has no spare. The receiver must
+// not be used for reads afterwards.
+func (a *Array) SwapShard(i int, replacement *Device) (*Array, error) {
+	if i < 0 || i >= len(a.devs) {
+		return nil, fmt.Errorf("ssd: SwapShard(%d) on a %d-shard array", i, len(a.devs))
+	}
+	if replacement == nil {
+		a.spareMu.Lock()
+		replacement = a.spare
+		a.spare = nil
+		a.spareMu.Unlock()
+		if replacement == nil {
+			return nil, fmt.Errorf("ssd: SwapShard(%d): no spare attached", i)
+		}
+	}
+	devs := make([]*Device, len(a.devs))
+	copy(devs, a.devs)
+	devs[i] = replacement
+	nb, err := NewArrayOf(devs)
+	if err != nil {
+		return nil, err
+	}
+	a.health.mu.Lock()
+	fn := a.health.onFail
+	a.health.mu.Unlock()
+	nb.OnFail(fn)
+	return nb, nil
 }
 
 // MultiQueue is the per-worker set of per-shard queue pairs over a

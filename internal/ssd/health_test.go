@@ -1,0 +1,180 @@
+package ssd
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardHealthTransitions drives one shard of an array through the
+// automatic healthy → suspect → failed progression by injecting faults,
+// and checks the sibling shard stays healthy.
+func TestShardHealthTransitions(t *testing.T) {
+	arr, err := NewArray(P5800X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.ConfigureHealth(HealthConfig{Window: 32, MinEvents: 8})
+
+	var clock int64
+	readShard := func(shard int, n int) {
+		for i := 0; i < n; i++ {
+			c, _ := arr.Shard(shard).Read(PageID(i), clock)
+			clock = c
+		}
+	}
+
+	// Clean reads on both shards: healthy.
+	readShard(0, 16)
+	readShard(1, 16)
+	if got := arr.ShardState(0); got != ShardHealthy {
+		t.Fatalf("shard 0 state = %v, want healthy", got)
+	}
+
+	// Shard 0 starts failing every read; it must pass through suspect and
+	// land failed, while shard 1 is untouched.
+	arr.SetShardFaultModel(0, AlwaysFail{})
+	sawSuspect := false
+	for i := 0; i < 40 && arr.ShardState(0) != ShardFailed; i++ {
+		readShard(0, 1)
+		if arr.ShardState(0) == ShardSuspect {
+			sawSuspect = true
+		}
+	}
+	if got := arr.ShardState(0); got != ShardFailed {
+		t.Fatalf("shard 0 state = %v, want failed", got)
+	}
+	if !sawSuspect {
+		t.Fatalf("shard 0 never passed through suspect")
+	}
+	if got := arr.ShardState(1); got != ShardHealthy {
+		t.Fatalf("shard 1 state = %v, want healthy", got)
+	}
+	if live := arr.LiveShards(); live != 1 {
+		t.Fatalf("LiveShards = %d, want 1", live)
+	}
+
+	// Failed is sticky: even clean reads (model removed) don't revive it.
+	arr.SetShardFaultModel(0, nil)
+	readShard(0, 64)
+	if got := arr.ShardState(0); got != ShardFailed {
+		t.Fatalf("shard 0 revived to %v without a rebuild", got)
+	}
+
+	// The rebuild path does revive it, with a cleared window.
+	if !arr.MarkRebuilding(0) {
+		t.Fatalf("MarkRebuilding refused a failed shard")
+	}
+	if arr.MarkRebuilding(0) {
+		t.Fatalf("MarkRebuilding claimed a shard twice")
+	}
+	arr.MarkHealthy(0)
+	info := arr.ShardHealth(0)
+	if info.State != ShardHealthy || info.WindowReads != 0 {
+		t.Fatalf("post-rebuild health = %+v, want healthy with empty window", info)
+	}
+	if info.Transitions < 4 {
+		t.Fatalf("transitions = %d, want ≥ 4", info.Transitions)
+	}
+}
+
+// TestOnFailHookFires checks the failure hook fires exactly once for a
+// window-driven failure and once more for an explicit FailShard.
+func TestOnFailHookFires(t *testing.T) {
+	arr, err := NewArray(P5800X, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr.ConfigureHealth(HealthConfig{Window: 16, MinEvents: 4})
+
+	var mu sync.Mutex
+	fired := make(map[int]int)
+	done := make(chan int, 4)
+	arr.OnFail(func(shard int) {
+		mu.Lock()
+		fired[shard]++
+		mu.Unlock()
+		done <- shard
+	})
+
+	arr.SetShardFaultModel(1, AlwaysFail{})
+	var clock int64
+	for i := 0; i < 16; i++ {
+		c, _ := arr.Shard(1).Read(PageID(i), clock)
+		clock = c
+	}
+	if s := <-done; s != 1 {
+		t.Fatalf("hook fired for shard %d, want 1", s)
+	}
+
+	arr.FailShard(0)
+	if s := <-done; s != 0 {
+		t.Fatalf("hook fired for shard %d, want 0", s)
+	}
+	arr.FailShard(0) // already failed: no second fire
+	mu.Lock()
+	defer mu.Unlock()
+	if fired[0] != 1 || fired[1] != 1 {
+		t.Fatalf("fire counts = %v, want one per shard", fired)
+	}
+}
+
+// TestSpareAndSwapShard checks spare attachment rules and that SwapShard
+// consumes the spare, preserves survivors, and installs the replacement.
+func TestSpareAndSwapShard(t *testing.T) {
+	arr, err := NewArray(P5800X, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.SwapShard(1, nil); err == nil {
+		t.Fatalf("SwapShard without a spare succeeded")
+	}
+	spare, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.AttachSpare(spare); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.AttachSpare(spare); err == nil {
+		t.Fatalf("second AttachSpare succeeded")
+	}
+
+	// Put some traffic on shard 2 so its stats survive the swap.
+	var clock int64
+	for i := 0; i < 8; i++ {
+		c, _ := arr.Shard(2).Read(PageID(i), clock)
+		clock = c
+	}
+	pre := arr.Shard(2).Stats()
+
+	arr.FailShard(1)
+	nb, err := arr.SwapShard(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Shard(1) != spare {
+		t.Fatalf("shard 1 of the new array is not the spare")
+	}
+	if nb.Shard(2) != arr.Shard(2) {
+		t.Fatalf("shard 2 was not shared across the swap")
+	}
+	if got := nb.Shard(2).Stats(); got != pre {
+		t.Fatalf("shard 2 stats changed across swap: %+v vs %+v", got, pre)
+	}
+	if got := nb.ShardState(1); got != ShardHealthy {
+		t.Fatalf("new array shard 1 state = %v, want healthy", got)
+	}
+	if arr.Spare() != nil {
+		t.Fatalf("spare not consumed by SwapShard")
+	}
+
+	// Reads on a shared device now feed the NEW array's tracker.
+	nb.SetShardFaultModel(2, AlwaysFail{})
+	for i := 0; i < 32; i++ {
+		c, _ := nb.Shard(2).Read(PageID(i), clock)
+		clock = c
+	}
+	if got := nb.ShardState(2); got != ShardFailed {
+		t.Fatalf("new array shard 2 state = %v, want failed", got)
+	}
+}

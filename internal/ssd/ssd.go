@@ -186,6 +186,16 @@ type Device struct {
 	stats       Stats
 	readSeq     int64
 	faults      FaultModel
+	observer    func(faulted bool) // read-outcome tap feeding shard health
+}
+
+// setReadObserver installs (or clears, with nil) a per-read outcome tap.
+// An Array wires each member here so every read feeds that shard's health
+// window; re-wiring is how a rebuilt array adopts surviving devices.
+func (d *Device) setReadObserver(fn func(faulted bool)) {
+	d.mu.Lock()
+	d.observer = fn
+	d.mu.Unlock()
 }
 
 // NewDevice returns a device with the given profile.
@@ -272,8 +282,12 @@ func (d *Device) ReadDetailed(page PageID, submitNS int64) (completeNS int64, fa
 	} else if fault.Corrupt {
 		d.stats.Corruptions++
 	}
+	obs := d.observer
 	d.mu.Unlock()
 
+	if obs != nil {
+		obs(fault.Err != nil || fault.Corrupt)
+	}
 	if fault.Err != nil {
 		fault.Err = fmt.Errorf("%w: page %d (read #%d)", fault.Err, page, n)
 	}

@@ -105,3 +105,51 @@ func (s *Sharded) Extract(p layout.PageID, k layout.Key, nSlots int, dst []float
 	n := layout.PageID(len(s.shards))
 	return s.shards[int(p%n)].Extract(p/n, k, nSlots, dst)
 }
+
+// route maps global page p to its owning shard store and local page.
+func (s *Sharded) route(p layout.PageID) (*Store, layout.PageID, error) {
+	if int(p) >= s.numPages {
+		return nil, 0, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	n := layout.PageID(len(s.shards))
+	return s.shards[int(p%n)], p / n, nil
+}
+
+// SlotBytes returns the raw bytes of slot i on global page p; see
+// Store.SlotBytes.
+func (s *Sharded) SlotBytes(p layout.PageID, i int) ([]byte, error) {
+	sh, local, err := s.route(p)
+	if err != nil {
+		return nil, err
+	}
+	return sh.SlotBytes(local, i)
+}
+
+// PutSlotBytes overwrites slot i of global page p; see Store.PutSlotBytes.
+func (s *Sharded) PutSlotBytes(p layout.PageID, i int, src []byte) error {
+	sh, local, err := s.route(p)
+	if err != nil {
+		return err
+	}
+	return sh.PutSlotBytes(local, i, src)
+}
+
+// CorruptSlot injects at-rest bit rot into slot i of global page p; see
+// Store.CorruptSlot.
+func (s *Sharded) CorruptSlot(p layout.PageID, i int) error {
+	sh, local, err := s.route(p)
+	if err != nil {
+		return err
+	}
+	return sh.CorruptSlot(local, i)
+}
+
+// VerifySlot checks slot i of global page p against its stored checksum;
+// see Store.VerifySlot.
+func (s *Sharded) VerifySlot(p layout.PageID, i int) (layout.Key, error) {
+	sh, local, err := s.route(p)
+	if err != nil {
+		return 0, err
+	}
+	return sh.VerifySlot(local, i)
+}

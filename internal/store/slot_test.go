@@ -1,0 +1,105 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
+)
+
+// TestSlotVerifyCorruptRepair exercises the scrubber's primitives: a built
+// slot verifies, CorruptSlot makes it fail, and PutSlotBytes from a donor
+// page holding the same key repairs it.
+func TestSlotVerifyCorruptRepair(t *testing.T) {
+	s, lay, _ := buildTestStore(t)
+
+	// Every occupied slot of every page verifies on a fresh build.
+	for p, keys := range lay.Pages {
+		for i, k := range keys {
+			got, err := s.VerifySlot(layout.PageID(p), i)
+			if err != nil {
+				t.Fatalf("VerifySlot(%d, %d): %v", p, i, err)
+			}
+			if got != k {
+				t.Fatalf("VerifySlot(%d, %d) key = %d, want %d", p, i, got, k)
+			}
+		}
+	}
+
+	// Key 50 lives on its home page and on the replica page added by
+	// buildTestStore. Corrupt the home copy; verification must catch it.
+	k := layout.Key(50)
+	var pages []layout.PageID
+	pages = lay.PagesOf(k, pages)
+	if len(pages) < 2 {
+		t.Fatalf("key %d has %d pages, want ≥ 2", k, len(pages))
+	}
+	home, donor := pages[0], pages[1]
+	slotAt := func(p layout.PageID) int {
+		for i, kk := range lay.Pages[p] {
+			if kk == k {
+				return i
+			}
+		}
+		t.Fatalf("key %d not on page %d", k, p)
+		return -1
+	}
+	hi, di := slotAt(home), slotAt(donor)
+
+	if err := s.CorruptSlot(home, hi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.VerifySlot(home, hi); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifySlot after CorruptSlot = %v, want ErrCorrupt", err)
+	}
+	// The corruption must also be visible through the read path.
+	if _, _, err := s.Extract(home, k, len(lay.Pages[home]), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Extract after CorruptSlot = %v, want ErrCorrupt", err)
+	}
+
+	// Repair from the donor page: slot bytes are position-independent.
+	src, err := s.SlotBytes(donor, di)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSlotBytes(home, hi, src); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.VerifySlot(home, hi); err != nil || got != k {
+		t.Fatalf("VerifySlot after repair = (%d, %v), want (%d, nil)", got, err, k)
+	}
+}
+
+// TestShardedSlotHelpers checks the global-page routing of the slot
+// helpers against a sharded build.
+func TestShardedSlotHelpers(t *testing.T) {
+	syn, err := embedding.NewSynthesizer(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := layout.Vanilla(100, embedding.PageCapacity(4096, 16))
+	s, err := BuildSharded(lay, syn, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, keys := range lay.Pages {
+		for i, k := range keys {
+			got, err := s.VerifySlot(layout.PageID(p), i)
+			if err != nil || got != k {
+				t.Fatalf("VerifySlot(%d, %d) = (%d, %v), want (%d, nil)", p, i, got, err, k)
+			}
+		}
+	}
+	p := layout.PageID(1) // lives on shard 1 of 3
+	if err := s.CorruptSlot(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.VerifySlot(p, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("VerifySlot after CorruptSlot = %v, want ErrCorrupt", err)
+	}
+	// Out-of-range pages error rather than panic.
+	if _, err := s.SlotBytes(layout.PageID(lay.NumPages()), 0); err == nil {
+		t.Fatalf("SlotBytes out of range succeeded")
+	}
+}

@@ -157,6 +157,79 @@ func (s *Store) SlotKey(p layout.PageID, i int) (layout.Key, error) {
 	return binary.LittleEndian.Uint32(img[i*slot:]), nil
 }
 
+// slotRange bounds slot i of page p, returning its byte range within the
+// store's data.
+func (s *Store) slotRange(p layout.PageID, i int) (lo, hi int, err error) {
+	if int(p) >= s.numPages {
+		return 0, 0, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	slot := embedding.SlotSize(s.dim)
+	if i < 0 || (i+1)*slot > s.pageSize {
+		return 0, 0, fmt.Errorf("store: slot %d out of range", i)
+	}
+	lo = int(p)*s.pageSize + i*slot
+	return lo, lo + slot, nil
+}
+
+// SlotBytes returns the raw bytes of slot i on page p ([key | crc | vec]).
+// The slice aliases internal storage and must not be modified; a slot's
+// bytes are position-independent, so they can be installed verbatim at the
+// same key's slot on any other page via PutSlotBytes — the scrubber's
+// repair primitive.
+func (s *Store) SlotBytes(p layout.PageID, i int) ([]byte, error) {
+	lo, hi, err := s.slotRange(p, i)
+	if err != nil {
+		return nil, err
+	}
+	return s.data[lo:hi], nil
+}
+
+// PutSlotBytes overwrites slot i of page p with src, which must be exactly
+// one slot long (typically another page's SlotBytes for the same key).
+func (s *Store) PutSlotBytes(p layout.PageID, i int, src []byte) error {
+	lo, hi, err := s.slotRange(p, i)
+	if err != nil {
+		return err
+	}
+	if len(src) != hi-lo {
+		return fmt.Errorf("store: slot write of %d bytes, want %d", len(src), hi-lo)
+	}
+	copy(s.data[lo:hi], src)
+	return nil
+}
+
+// CorruptSlot flips payload bits of slot i on page p in place — at-rest
+// bit rot the next checksum verification will catch. Unlike the serving
+// engine's injected read corruption (which damages only the host's copy),
+// this damages the image itself, which is what a scrubber must find.
+func (s *Store) CorruptSlot(p layout.PageID, i int) error {
+	lo, _, err := s.slotRange(p, i)
+	if err != nil {
+		return err
+	}
+	s.data[lo+8] ^= 0xA5 // first payload byte, past the key and crc headers
+	return nil
+}
+
+// VerifySlot recomputes slot i of page p's checksum against its stored
+// header, returning the slot's key. Only occupied slots carry a stored
+// checksum (Build leaves the rest of the page zero), so callers must
+// verify exactly the layout's populated slot range of each page.
+func (s *Store) VerifySlot(p layout.PageID, i int) (layout.Key, error) {
+	lo, hi, err := s.slotRange(p, i)
+	if err != nil {
+		return 0, err
+	}
+	b := s.data[lo:hi]
+	k := binary.LittleEndian.Uint32(b)
+	want := binary.LittleEndian.Uint32(b[4:])
+	if got := slotChecksum(b[:4], b[8:]); got != want {
+		return k, fmt.Errorf("%w: key %d page %d slot %d (stored %08x, computed %08x)",
+			ErrCorrupt, k, p, i, want, got)
+	}
+	return k, nil
+}
+
 // storeMagic versions the serialized format; MXST2 added the per-slot
 // checksum (MXST1 stores cannot be verified and are rejected).
 const storeMagic = "MXST2\n"

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"maxembed/internal/embedding"
 	"maxembed/internal/hypergraph"
@@ -67,6 +68,9 @@ type config struct {
 	devices      int
 	timingOnly   bool
 	faults       *FaultConfig
+	hotSpare     bool
+	autoRebuild  bool
+	rebuildRate  float64
 }
 
 // Option customizes Open.
@@ -131,6 +135,25 @@ func WithDevices(n int) Option { return func(c *config) { c.devices = n } }
 // parameter sweeps.
 func TimingOnly() Option { return func(c *config) { c.timingOnly = true } }
 
+// WithHotSpare attaches an idle spare device (same profile as the array
+// members) that a shard rebuild can stream a failed shard onto. Requires
+// WithDevices(n > 1); ignored on a single-device DB.
+func WithHotSpare() Option { return func(c *config) { c.hotSpare = true } }
+
+// WithAutoRebuild arms self-healing: when a shard is declared failed
+// (fault window saturation or FailShard), a background rebuild streams it
+// onto the hot spare and hot-swaps the repaired array into the serving
+// handle with no operator in the loop. pagesPerSec bounds the rebuild
+// rate in pages per virtual second (0 uses the rebuilder's default).
+// Implies WithHotSpare.
+func WithAutoRebuild(pagesPerSec float64) Option {
+	return func(c *config) {
+		c.hotSpare = true
+		c.autoRebuild = true
+		c.rebuildRate = pagesPerSec
+	}
+}
+
 // WithFaultInjection arms the simulated device with a deterministic fault
 // injector: reads fail, time out, spike, or deliver corrupt payloads at
 // the configured rates, and the serving engine's recovery path (retry,
@@ -155,8 +178,14 @@ type DB struct {
 
 	mu               sync.Mutex
 	lay              *layout.Layout
+	src              serving.PageSource // current store image (nil when timing-only)
 	defaultSess      *Session
 	lastRefreshTotal int64 // recorder.Total() at the last successful Refresh
+
+	rebuildMu    sync.Mutex // serializes shard rebuilds (admin- and auto-triggered)
+	scrubMu      sync.Mutex // serializes scrub sweeps
+	autoRebuilds atomic.Int64
+	autoErrors   atomic.Int64
 }
 
 // Open runs the offline phase over the historical queries and returns a
@@ -232,35 +261,46 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
+	db.src = src
 
-	cacheEntries := cfg.cacheEntries
-	if cfg.cacheRatio >= 0 {
-		cacheEntries = int(cfg.cacheRatio * float64(numItems))
+	if cfg.recordLast > 0 {
+		db.recorder = serving.NewHistoryRecorder(cfg.recordLast)
+	}
+	eng, err := serving.New(db.engineConfig(lay, src))
+	if err != nil {
+		return nil, fmt.Errorf("maxembed: engine: %w", err)
+	}
+	db.handle = serving.NewSwappable(eng)
+	if err := db.armSpare(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// engineConfig assembles a serving config over the given layout and page
+// source from the DB's tuning knobs and current backend. The caller must
+// hold db.mu or be inside Open (before the DB escapes).
+func (db *DB) engineConfig(lay *layout.Layout, src serving.PageSource) serving.Config {
+	cacheEntries := db.cfg.cacheEntries
+	if db.cfg.cacheRatio >= 0 {
+		cacheEntries = int(db.cfg.cacheRatio * float64(lay.NumKeys))
 	}
 	engCfg := serving.Config{
 		Layout:         lay,
 		CacheEntries:   cacheEntries,
-		SegmentedCache: cfg.segmented,
-		IndexLimit:     cfg.indexLimit,
-		Pipeline:       cfg.pipeline,
-		Greedy:         cfg.greedy,
+		SegmentedCache: db.cfg.segmented,
+		IndexLimit:     db.cfg.indexLimit,
+		Pipeline:       db.cfg.pipeline,
+		Greedy:         db.cfg.greedy,
+		Recorder:       db.recorder,
 	}
 	db.bindBackend(&engCfg)
-	if cfg.recordLast > 0 {
-		db.recorder = serving.NewHistoryRecorder(cfg.recordLast)
-		engCfg.Recorder = db.recorder
-	}
 	if src != nil {
 		// Assign only when non-nil: a typed-nil store pointer in the
 		// PageSource interface would read as "store present".
 		engCfg.Store = src
 	}
-	eng, err := serving.New(engCfg)
-	if err != nil {
-		return nil, fmt.Errorf("maxembed: engine: %w", err)
-	}
-	db.handle = serving.NewSwappable(eng)
-	return db, nil
+	return engCfg
 }
 
 // buildStore materializes page payloads for the layout: a single Store on
@@ -412,33 +452,17 @@ func (db *DB) Refresh(history [][]Key) error {
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh store: %w", err)
 	}
-	cacheEntries := db.cfg.cacheEntries
-	if db.cfg.cacheRatio >= 0 {
-		cacheEntries = int(db.cfg.cacheRatio * float64(lay.NumKeys))
-	}
-	engCfg := serving.Config{
-		Layout:         lay,
-		CacheEntries:   cacheEntries,
-		SegmentedCache: db.cfg.segmented,
-		IndexLimit:     db.cfg.indexLimit,
-		Pipeline:       db.cfg.pipeline,
-		Greedy:         db.cfg.greedy,
-		Recorder:       db.recorder,
-	}
-	db.bindBackend(&engCfg)
-	if src != nil {
-		engCfg.Store = src
-	}
-	eng, err := serving.New(engCfg)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	eng, err := serving.New(db.engineConfig(lay, src))
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh engine: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, err := db.handle.Swap(eng); err != nil {
 		return fmt.Errorf("maxembed: refresh swap: %w", err)
 	}
 	db.lay = lay
+	db.src = src
 	if db.recorder != nil {
 		db.lastRefreshTotal = db.recorder.Total()
 	}
