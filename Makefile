@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-shard race-rebuild vet staticcheck bench verify experiments
+.PHONY: build test race race-shard race-rebuild vet vet-tool lint staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,20 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Builds the domain-specific analyzer suite (internal/analyzers) into a
+# vettool binary and prints its path; `lint` and CI consume it via
+# `go vet -vettool`.
+vet-tool:
+	@$(GO) build -o bin/maxembed-vet ./cmd/maxembed-vet
+	@echo "$(CURDIR)/bin/maxembed-vet"
+
+# maxembed's own invariants: injected clocks in the deterministic core,
+# typed atomics, pool discipline, no blocking work under mutexes, no
+# fresh root contexts on the request path (see DESIGN.md §14).
+lint:
+	$(GO) build -o bin/maxembed-vet ./cmd/maxembed-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/maxembed-vet ./...
 
 # Runs staticcheck when it is on PATH (CI installs it; local toolchains
 # may not have it) and is a no-op with a notice otherwise.
@@ -43,9 +57,10 @@ race-rebuild:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The full pre-merge gate: static checks, build, and the test suite under
-# the race detector (the serving engine and HTTP layer are concurrent).
-verify: vet staticcheck build race race-shard race-rebuild
+# The full pre-merge gate: static checks (including the repo's own
+# analyzer suite), build, and the test suite under the race detector
+# (the serving engine and HTTP layer are concurrent).
+verify: vet lint staticcheck build race race-shard race-rebuild
 
 experiments:
 	$(GO) run ./cmd/experiments

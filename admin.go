@@ -70,6 +70,10 @@ func (db *DB) armSpare() error {
 // autoRebuildShard is the OnFail hook body: one self-healing rebuild,
 // serialized with admin-triggered rebuilds by RebuildShard itself.
 func (db *DB) autoRebuildShard(shard int) {
+	// Self-healing runs on the OnFail goroutine with no originating
+	// request to inherit a context from; it must outlive whichever
+	// lookup happened to observe the failure.
+	//lint:allow ctxflow background repair owns its own lifetime
 	_, err := db.RebuildShard(context.Background(), shard,
 		RebuildConfig{PagesPerSec: db.cfg.rebuildRate})
 	if err != nil {

@@ -1,0 +1,17 @@
+// Command maxembed-vet is the repo's domain-specific vet tool: five
+// analyzers enforcing the serving engine's concurrency and determinism
+// invariants (injected clocks, uniform atomics, pool hygiene, lock
+// discipline, context threading). It speaks the cmd/go vet-tool protocol:
+//
+//	go build -o bin/maxembed-vet ./cmd/maxembed-vet
+//	go vet -vettool=$PWD/bin/maxembed-vet ./...
+//
+// or simply `make lint`. Run `maxembed-vet help` for the analyzer list
+// and the //lint:allow suppression syntax.
+package main
+
+import "maxembed/internal/analyzers"
+
+func main() {
+	analyzers.Main("maxembed-vet", analyzers.All())
+}

@@ -1,0 +1,292 @@
+// Package analyzers is maxembed's domain-specific static-analysis suite:
+// five analyzers that machine-check the serving engine's concurrency and
+// determinism invariants on every build, compiled into cmd/maxembed-vet
+// and run through `go vet -vettool` (see Main in unitchecker.go).
+//
+// The invariants are the unwritten rules the rest of the tree relies on:
+//
+//   - clockcheck: the deterministic-simulation core (internal/serving,
+//     internal/ssd, internal/placement) and the HTTP layer's measured
+//     durations (internal/server) must take time from the injected clock —
+//     a stray time.Now breaks the rebuildsweep/refreshsweep co-simulations
+//     and every byte-exact determinism claim.
+//   - atomicfield: a struct field touched through sync/atomic anywhere
+//     must be accessed atomically everywhere, and raw int64+atomic.AddInt64
+//     pairs should migrate to typed atomic.Int64/atomic.Uint64 fields.
+//   - poolreturn: a buffer taken from a sync.Pool (response arenas,
+//     per-queue completion buffers) must be returned on every path,
+//     including early error returns.
+//   - lockhold: no channel sends, Queue.Submit calls, or HTTP writes while
+//     a mutex is held — the deadlock/latency shape the race detector
+//     cannot see because it is not a data race.
+//   - ctxflow: no context.Background()/context.TODO() on the request path;
+//     Worker.LookupCtx threads cancellation through the retry loop and
+//     handlers must pass the request context along.
+//
+// Analyzers skip _test.go files (tests legitimately use wall clocks and
+// relaxed locking) and honor suppression comments of the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// placed at the end of the offending line or on the line directly above.
+// The framework mirrors golang.org/x/tools/go/analysis in miniature but
+// is dependency-free: the repo builds offline from the standard library.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position and a message, tagged with the
+// analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Scope reports whether the analyzer applies to a package path (test
+	// variant suffixes like " [pkg.test]" already trimmed). nil means the
+	// whole module.
+	Scope func(pkgPath string) bool
+	// Run inspects the package through pass and reports findings with
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles returns the pass's non-test, non-generated files — the only
+// files maxembed's analyzers inspect. Test files get wall clocks, ad-hoc
+// contexts, and single-goroutine field access by design.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if isGenerated(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// isGenerated reports the standard "Code generated ... DO NOT EDIT."
+// marker in a leading comment.
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") &&
+				strings.HasSuffix(strings.TrimSpace(c.Text), "DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Clockcheck, Atomicfield, Poolreturn, Lockhold, Ctxflow}
+}
+
+// Run drives the given analyzers over one typechecked package, applies
+// //lint:allow suppression, and returns position-sorted diagnostics. It is
+// the shared core of the vettool (unitchecker.go) and the analyzertest
+// harness.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, as []*Analyzer) ([]Diagnostic, error) {
+	pkgPath := TrimTestVariant(pkg.Path())
+	var diags []Diagnostic
+	for _, a := range as {
+		if a.Scope != nil && !a.Scope(pkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	diags = suppress(fset, files, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// TrimTestVariant strips cmd/go's test-variant decoration from an import
+// path: "maxembed/internal/ssd [maxembed/internal/ssd.test]" becomes
+// "maxembed/internal/ssd".
+func TrimTestVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// prefixScope returns a Scope matching any listed package path or its
+// subpackages.
+func prefixScope(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// suppressKey is one (file, line) pair with a suppressed analyzer set.
+type suppressKey struct {
+	file string
+	line int
+}
+
+// suppress drops diagnostics covered by a //lint:allow comment on the same
+// line or the line directly above.
+func suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	allowed := map[suppressKey]map[string]bool{}
+	add := func(file string, line int, names map[string]bool) {
+		k := suppressKey{file, line}
+		if allowed[k] == nil {
+			allowed[k] = map[string]bool{}
+		}
+		for n := range names {
+			allowed[k][n] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// Trailing comment suppresses its own line; a standalone
+				// comment suppresses the line below it. Covering both is
+				// harmless and keeps the parser trivial.
+				add(pos.Filename, pos.Line, names)
+				add(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		set := allowed[suppressKey{pos.Filename, pos.Line}]
+		if set != nil && (set[d.Analyzer] || set["all"]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseAllow recognizes "//lint:allow name1,name2 optional reason".
+func parseAllow(text string) (map[string]bool, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	if rest == "" {
+		return nil, false
+	}
+	list := strings.Fields(rest)[0]
+	names := map[string]bool{}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names, len(names) > 0
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the named package-level function (or
+// method-set member) of the named import path.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// namedType unwraps pointers and aliases down to the *types.Named beneath
+// t, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

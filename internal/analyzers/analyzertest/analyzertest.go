@@ -1,0 +1,180 @@
+// Package analyzertest runs one maxembed analyzer over a fixture
+// directory and checks its diagnostics against expectations written in
+// the fixture source, in the style of x/tools' analysistest but built on
+// the standard library only (the repo typechecks fixtures with the
+// source importer, so no compiled export data is needed).
+//
+// An expectation is a trailing comment of the form
+//
+//	x := time.Now() // want "call to time.Now"
+//
+// where each quoted string must be a substring of a diagnostic reported
+// on that line. Every diagnostic must be wanted and every want must be
+// matched; either mismatch fails the test.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"maxembed/internal/analyzers"
+)
+
+// One fset and one source importer for the whole test binary: the source
+// importer typechecks stdlib imports (sync, net/http, ...) from source,
+// which is slow enough that rebuilding it per fixture would dominate the
+// suite.
+var (
+	fset    = token.NewFileSet()
+	impOnce sync.Once
+	imp     types.Importer
+)
+
+func sharedImporter() types.Importer {
+	impOnce.Do(func() {
+		imp = importer.ForCompiler(fset, "source", nil)
+	})
+	return imp
+}
+
+// Run analyzes dir as a package with import path pkgPath using a, and
+// compares the diagnostics against the fixture's want comments. pkgPath
+// is what the analyzer's Scope sees, so callers pick it to land inside
+// (or outside) the analyzer's jurisdiction.
+func Run(t *testing.T, a *analyzers.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	diags, files := analyze(t, a, dir, pkgPath)
+	wants := collectWants(t, files)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s:%d: want message containing %q",
+				filepath.Base(w.file), w.line, w.substr)
+		}
+	}
+}
+
+// RunExpectNone analyzes dir as pkgPath and requires zero diagnostics,
+// ignoring any want comments. It is how the suite proves scope gating
+// (run a bad fixture under an out-of-scope path) and clean fixtures.
+func RunExpectNone(t *testing.T, a *analyzers.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	diags, _ := analyze(t, a, dir, pkgPath)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+	}
+}
+
+// analyze parses and typechecks every .go file in dir as one package and
+// runs the analyzer through the shared analyzers.Run driver (so scope
+// gating and //lint:allow suppression behave exactly as in the vettool).
+func analyze(t *testing.T, a *analyzers.Analyzer, dir, pkgPath string) ([]analyzers.Diagnostic, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: sharedImporter()}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	diags, err := analyzers.Run(fset, files, pkg, info, []*analyzers.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return diags, files
+}
+
+// want is one expectation: a diagnostic whose message contains substr
+// must be reported at (file, line).
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+var wantRe = regexp.MustCompile(`// want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+// collectWants extracts every `// want "substr" ["substr" ...]` comment.
+func collectWants(t *testing.T, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range regexp.MustCompile(`"(?:[^"\\]|\\.)*"`).FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("bad want string %s at %s: %v", q, fmt.Sprintf("%s:%d", pos.Filename, pos.Line), err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, s})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,130 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomicfield enforces uniform atomicity on shared counter fields.
+//
+// Two diagnostics:
+//
+//  1. Mixed access: a struct field passed by address to a package-level
+//     sync/atomic function anywhere in the package must not also be read
+//     or written with plain loads/stores — that is a data race the race
+//     detector only catches when scheduling cooperates. Composite-literal
+//     initialization is naturally exempt: field keys there are plain
+//     identifiers, not selector accesses.
+//
+//  2. Fix-forward: every raw sync/atomic call on a struct field is
+//     reported with a migration hint — typed atomic.Int64/atomic.Uint64
+//     fields make non-atomic access unrepresentable, which is why the
+//     repo's counters (engine recovery totals, shard health windows,
+//     server admin gauges) are all typed atomics today. This analyzer
+//     keeps raw int64+AddInt64 pairs from creeping back in.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "struct fields used with sync/atomic must be atomic everywhere; prefer typed atomic.Int64/Uint64 fields",
+	Run:  runAtomicfield,
+}
+
+// atomicFuncPrefixes are the package-level sync/atomic operations that
+// take an address argument first (AddInt64, LoadUint32, StoreInt32,
+// SwapInt64, CompareAndSwapUint64, ...).
+var atomicFuncPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicfield(pass *Pass) error {
+	type use struct {
+		pos  token.Pos
+		name string // printable x.f form
+	}
+	atomicFields := map[*types.Var]bool{}
+	plainUses := map[*types.Var][]use{}
+	consumed := map[*ast.SelectorExpr]bool{} // selectors inside &x.f atomic args
+
+	fieldOf := func(sel *ast.SelectorExpr) *types.Var {
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+
+	files := pass.SourceFiles()
+	// Pass 1: atomic call sites.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if !isAtomicOp(fn) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(sel); v != nil {
+				consumed[sel] = true
+				atomicFields[v] = true
+				pass.Reportf(call.Pos(),
+					"raw sync/atomic.%s on field %s: migrate the field to a typed atomic (atomic.Int64/atomic.Uint64) so non-atomic access cannot compile",
+					fn.Name(), types.ExprString(sel))
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain accesses of the same fields.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v := fieldOf(sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			plainUses[v] = append(plainUses[v], use{sel.Pos(), types.ExprString(sel)})
+			return true
+		})
+	}
+	var fields []*types.Var
+	for v := range plainUses {
+		fields = append(fields, v)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, v := range fields {
+		for _, u := range plainUses[v] {
+			pass.Reportf(u.pos,
+				"non-atomic access to %s, which is accessed with sync/atomic elsewhere in %s: this races — use atomic loads/stores everywhere or a typed atomic field",
+				u.name, TrimTestVariant(pass.Pkg.Path()))
+		}
+	}
+	return nil
+}

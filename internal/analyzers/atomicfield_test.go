@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maxembed/internal/analyzers"
+	"maxembed/internal/analyzers/analyzertest"
+)
+
+func TestAtomicfieldBad(t *testing.T) {
+	analyzertest.Run(t, analyzers.Atomicfield, "testdata/atomicfield/bad", "maxembed/internal/metrics")
+}
+
+func TestAtomicfieldGood(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Atomicfield, "testdata/atomicfield/good", "maxembed/internal/metrics")
+}

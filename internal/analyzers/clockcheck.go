@@ -1,0 +1,51 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// Clockcheck forbids wall-clock reads in the deterministic core.
+//
+// The serving engine, SSD simulator, and placement pipeline run on an
+// injected virtual nanosecond clock (the nowNS threaded through
+// Queue.Submit/Drain and Worker); the HTTP layer measures durations
+// through the Handler's injected clock (WithClock). A time.Now or
+// time.Since call in any of these packages silently couples simulated
+// results to the host scheduler, breaking byte-exact replay and the
+// rebuildsweep/refreshsweep co-simulations. Constructing timers and
+// tickers (time.NewTimer, time.NewTicker, time.After) stays legal: those
+// express real waiting, not timestamps that flow into results.
+//
+// The sanctioned escape hatch is referencing time.Now as a value — the
+// single default assignment at a clock's injection point — which this
+// analyzer deliberately does not flag; only calls are diagnosed.
+var Clockcheck = &Analyzer{
+	Name: "clockcheck",
+	Doc:  "forbid time.Now/time.Since calls in deterministic packages; use the injected clock",
+	Scope: prefixScope(
+		"maxembed/internal/serving",
+		"maxembed/internal/ssd",
+		"maxembed/internal/placement",
+		"maxembed/internal/server",
+	),
+	Run: runClockcheck,
+}
+
+func runClockcheck(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
+				pass.Reportf(call.Pos(),
+					"call to time.%s in deterministic package %s: route it through the injected clock (virtual nowNS, or the server's WithClock source)",
+					fn.Name(), TrimTestVariant(pass.Pkg.Path()))
+			}
+			return true
+		})
+	}
+	return nil
+}

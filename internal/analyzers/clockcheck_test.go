@@ -1,0 +1,33 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maxembed/internal/analyzers"
+	"maxembed/internal/analyzers/analyzertest"
+)
+
+func TestClockcheckBad(t *testing.T) {
+	analyzertest.Run(t, analyzers.Clockcheck, "testdata/clockcheck/bad", "maxembed/internal/serving")
+}
+
+func TestClockcheckGood(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Clockcheck, "testdata/clockcheck/good", "maxembed/internal/server")
+}
+
+func TestClockcheckAllow(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Clockcheck, "testdata/clockcheck/allow", "maxembed/internal/ssd")
+}
+
+func TestClockcheckOutOfScope(t *testing.T) {
+	// The same failing fixture produces nothing under a package outside
+	// the deterministic core: scope gating, not luck.
+	analyzertest.RunExpectNone(t, analyzers.Clockcheck, "testdata/clockcheck/bad", "maxembed/internal/store")
+}
+
+func TestClockcheckTestVariantScope(t *testing.T) {
+	// `go vet ./...` analyzes test variants whose package path carries a
+	// " [pkg.test]" suffix; scope must still recognize them.
+	analyzertest.Run(t, analyzers.Clockcheck, "testdata/clockcheck/bad",
+		"maxembed/internal/serving [maxembed/internal/serving.test]")
+}

@@ -1,0 +1,44 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// Ctxflow forbids minting fresh root contexts on the request path.
+//
+// Worker.LookupCtx threads cancellation from the HTTP request through the
+// engine's retry loop, and Scrub/RebuildShard take a caller context; a
+// context.Background() or context.TODO() inside internal/serving,
+// internal/server, or the maxembed root package severs that chain — a
+// departed client keeps burning retries, an aborted admin call keeps
+// copying pages. Genuine background work (the auto-rebuild hook, the
+// refresh loop) is expected to carry a //lint:allow ctxflow comment naming
+// why it outlives any request.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background/context.TODO on the request path; thread the caller's context",
+	Scope: func(path string) bool {
+		return path == "maxembed" ||
+			prefixScope("maxembed/internal/serving", "maxembed/internal/server")(path)
+	},
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+				pass.Reportf(call.Pos(),
+					"context.%s on the request path: thread the caller's context (Worker.LookupCtx does) or mark deliberate background work with //lint:allow ctxflow",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

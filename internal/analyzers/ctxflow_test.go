@@ -1,0 +1,26 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maxembed/internal/analyzers"
+	"maxembed/internal/analyzers/analyzertest"
+)
+
+func TestCtxflowBad(t *testing.T) {
+	analyzertest.Run(t, analyzers.Ctxflow, "testdata/ctxflow/bad", "maxembed/internal/server")
+}
+
+func TestCtxflowGood(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Ctxflow, "testdata/ctxflow/good", "maxembed")
+}
+
+func TestCtxflowAllow(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Ctxflow, "testdata/ctxflow/allow", "maxembed")
+}
+
+func TestCtxflowOutOfScope(t *testing.T) {
+	// Packages off the request path (placement, tools) may mint root
+	// contexts freely.
+	analyzertest.RunExpectNone(t, analyzers.Ctxflow, "testdata/ctxflow/bad", "maxembed/internal/placement")
+}

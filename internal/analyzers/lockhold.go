@@ -1,0 +1,233 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockhold flags blocking or externally visible work done while a mutex
+// is held: channel sends, SSD queue submissions (Queue.Submit /
+// MultiQueue.Submit), and HTTP response writes.
+//
+// These are the deadlock-and-tail-latency shapes the race detector cannot
+// see because they are not data races: a channel send under a lock
+// deadlocks the moment the receiver needs that lock; an HTTP write under
+// an admin mutex stretches the critical section by a client round-trip
+// (the shape the refresh/scrub/rebuild handlers were restructured to
+// avoid); a queue submission under a shared lock serializes the per-worker
+// queue pairs the whole design exists to keep independent.
+//
+// The analysis is per function and lexical: a region is "locked" from a
+// mu.Lock()/mu.RLock() statement (or a successful mu.TryLock() condition)
+// to the matching Unlock statement, or to the function's end when the
+// Unlock is deferred. The `if !mu.TryLock() { ... }` guard shape is
+// understood — its body runs without the lock. Calls are not followed
+// across function boundaries.
+var Lockhold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no channel sends, Queue.Submit, or HTTP writes while holding a mutex",
+	Run:  runLockhold,
+}
+
+func runLockhold(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLockFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mutexMethod classifies a call as a sync.Mutex/sync.RWMutex lock-state
+// transition and returns the receiver expression's printable key.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return "", "", false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || sig.Recv() == nil {
+		return "", "", false
+	}
+	if !isNamed(sig.Recv().Type(), "sync", "Mutex") && !isNamed(sig.Recv().Type(), "sync", "RWMutex") {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, sok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !sok {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+type lockInterval struct {
+	key        string
+	start, end token.Pos
+}
+
+func checkLockFunc(pass *Pass, body *ast.BlockStmt) {
+	type event struct {
+		pos  token.Pos
+		key  string
+		open bool
+	}
+	var events []event              // opens and non-deferred closes
+	deferClose := map[string]bool{} // keys with a deferred Unlock
+	var closed []lockInterval       // fully resolved TryLock-body intervals
+
+	ownInspect(body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := mutexMethod(pass, call)
+		if !ok {
+			return true
+		}
+		stmt, ifStmt := enclosing(stack, call)
+		switch method {
+		case "Lock", "RLock":
+			if stmt != nil {
+				events = append(events, event{stmt.End(), key, true})
+			}
+		case "Unlock", "RUnlock":
+			if isDeferred(stack) {
+				deferClose[key] = true
+			} else if stmt != nil {
+				events = append(events, event{stmt.Pos(), key, false})
+			}
+		case "TryLock", "TryRLock":
+			switch {
+			case ifStmt != nil && condIsNegatedCall(ifStmt.Cond, call):
+				// if !mu.TryLock() { bail }: held only after the if.
+				events = append(events, event{ifStmt.End(), key, true})
+			case ifStmt != nil && containsPos(ifStmt.Cond, call.Pos()):
+				// if mu.TryLock() { ... }: held inside the body.
+				closed = append(closed, lockInterval{key, ifStmt.Body.Lbrace, ifStmt.Body.End()})
+			default:
+				if stmt != nil {
+					events = append(events, event{stmt.End(), key, true})
+				}
+			}
+		}
+		return true
+	})
+
+	// Pair opens with the first later close of the same key; a deferred
+	// or missing Unlock holds to the end of the function.
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	intervals := closed
+	usedClose := make([]bool, len(events))
+	for i, e := range events {
+		if !e.open {
+			continue
+		}
+		end := body.End()
+		for j := i + 1; j < len(events); j++ {
+			if !events[j].open && !usedClose[j] && events[j].key == e.key {
+				end = events[j].pos
+				usedClose[j] = true
+				break
+			}
+		}
+		intervals = append(intervals, lockInterval{e.key, e.pos, end})
+	}
+	if len(intervals) == 0 {
+		return
+	}
+
+	report := func(pos token.Pos, what string) {
+		for _, iv := range intervals {
+			if iv.start <= pos && pos < iv.end {
+				pass.Reportf(pos, "%s while holding %s: move it outside the critical section (a blocked peer that needs %s deadlocks, and -race cannot see it)",
+					what, iv.key, iv.key)
+				return
+			}
+		}
+	}
+
+	ownInspect(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Arrow, "channel send")
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if fn.Name() == "Submit" && queueReceiver(sig.Recv().Type()) {
+						report(n.Pos(), "queue submission ("+fn.Name()+")")
+						return true
+					}
+					if isNamed(sig.Recv().Type(), "net/http", "ResponseWriter") {
+						report(n.Pos(), "HTTP response write ("+fn.Name()+")")
+						return true
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := pass.Info.Types[arg]; ok && isNamed(tv.Type, "net/http", "ResponseWriter") {
+					report(n.Pos(), "HTTP response write (call passing http.ResponseWriter)")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// queueReceiver reports whether a Submit receiver looks like an SSD
+// submission queue: a named type whose name contains "Queue".
+func queueReceiver(t types.Type) bool {
+	n := namedType(t)
+	return n != nil && strings.Contains(n.Obj().Name(), "Queue")
+}
+
+// enclosing returns the innermost statement containing call and the
+// innermost IfStmt whose condition contains it (nil otherwise).
+func enclosing(stack []ast.Node, call *ast.CallExpr) (ast.Stmt, *ast.IfStmt) {
+	var stmt ast.Stmt
+	var ifs *ast.IfStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, ok := stack[i].(ast.Stmt); ok && stmt == nil {
+			stmt = s
+		}
+		if s, ok := stack[i].(*ast.IfStmt); ok && ifs == nil && containsPos(s.Cond, call.Pos()) {
+			ifs = s
+		}
+	}
+	return stmt, ifs
+}
+
+func isDeferred(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// condIsNegatedCall reports whether cond is `!<call>` (possibly
+// parenthesized) for exactly this call expression.
+func condIsNegatedCall(cond ast.Expr, call *ast.CallExpr) bool {
+	u, ok := ast.Unparen(cond).(*ast.UnaryExpr)
+	if !ok || u.Op != token.NOT {
+		return false
+	}
+	return ast.Unparen(u.X) == call
+}

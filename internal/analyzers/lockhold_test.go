@@ -1,0 +1,18 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maxembed/internal/analyzers"
+	"maxembed/internal/analyzers/analyzertest"
+)
+
+func TestLockholdBad(t *testing.T) {
+	analyzertest.Run(t, analyzers.Lockhold, "testdata/lockhold/bad", "maxembed/internal/ssd")
+}
+
+func TestLockholdGood(t *testing.T) {
+	// Includes the `if !mu.TryLock() { 409; return }` guard shape the
+	// admin handlers rely on: the bail path runs unlocked.
+	analyzertest.RunExpectNone(t, analyzers.Lockhold, "testdata/lockhold/good", "maxembed/internal/server")
+}

@@ -1,0 +1,276 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolreturn checks that sync.Pool buffers are returned on every path.
+//
+// The hot path leans on pooled memory — response arenas in
+// internal/server, page buffers in internal/store, per-queue completion
+// buffers in internal/ssd — and a Get without a Put on an early error
+// return silently degrades the pool into an allocator, which the
+// alloc-guard benchmarks only notice long after the offending commit.
+//
+// The analysis is per function and positional, tuned to the repo's pool
+// idioms rather than a general dataflow engine:
+//
+//   - a `defer pool.Put(...)` anywhere discharges every Get of that pool
+//     (the preferred idiom; see store.FileStore.ReadPage);
+//   - a Get whose result is handed off — returned, passed to a non-builtin
+//     call, sent on a channel, or stored into a non-local — is discharged
+//     at the handoff point (see server.buildLookupResponse, whose caller
+//     releases the arena);
+//   - otherwise every return statement after the Get must be preceded by a
+//     Put of the same pool or a handoff on the source path between them,
+//     and a Get with no Put/handoff at all is reported at the Get.
+//
+// Nested function literals are analyzed as their own functions.
+var Poolreturn = &Analyzer{
+	Name: "poolreturn",
+	Doc:  "sync.Pool Get must be matched by Put (or a handoff) on every path, including error returns",
+	Run:  runPoolreturn,
+}
+
+func runPoolreturn(pass *Pass) error {
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPoolFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkPoolFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolMethod reports whether call invokes (*sync.Pool).<name> and, if
+// so, returns a printable key for the receiver expression.
+func isPoolMethod(pass *Pass, call *ast.CallExpr, name string) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != name {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isNamed(sig.Recv().Type(), "sync", "Pool") {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// ownInspect walks body like ast.Inspect but does not descend into nested
+// function literals: their Gets and Puts run on a different activation.
+func ownInspect(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ok := fn(n, stack)
+		stack = append(stack, n)
+		if !ok {
+			stack = stack[:len(stack)-1]
+		}
+		return ok
+	})
+}
+
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	type getSite struct {
+		pos  token.Pos
+		key  string // pool receiver expression
+		v    *types.Var
+		line int
+	}
+	var gets []getSite
+	puts := map[string][]token.Pos{} // non-deferred Put positions per pool
+	deferredPuts := map[string]bool{}
+	var returns []*ast.ReturnStmt
+	escapes := map[*types.Var][]token.Pos{}
+
+	ownInspect(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			rhs := ast.Unparen(n.Rhs[0])
+			if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+				rhs = ast.Unparen(ta.X)
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, ok := isPoolMethod(pass, call, "Get")
+			if !ok {
+				return true
+			}
+			var v *types.Var
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					v, _ = obj.(*types.Var)
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					v, _ = obj.(*types.Var)
+				}
+			}
+			gets = append(gets, getSite{call.Pos(), key, v, pass.Fset.Position(call.Pos()).Line})
+		case *ast.CallExpr:
+			if key, ok := isPoolMethod(pass, n, "Put"); ok {
+				deferred := false
+				for i := len(stack) - 1; i >= 0; i-- {
+					if _, ok := stack[i].(*ast.DeferStmt); ok {
+						deferred = true
+						break
+					}
+				}
+				if deferred {
+					deferredPuts[key] = true
+				} else {
+					puts[key] = append(puts[key], n.Pos())
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			if pos, esc := escapeContext(pass, n, stack); esc {
+				escapes[v] = append(escapes[v], pos)
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if deferredPuts[g.key] {
+			continue
+		}
+		// Discharge events on this pool/value after the Get.
+		var events []token.Pos
+		for _, p := range puts[g.key] {
+			if p > g.pos {
+				events = append(events, p)
+			}
+		}
+		if g.v != nil {
+			for _, p := range escapes[g.v] {
+				if p > g.pos {
+					events = append(events, p)
+				}
+			}
+		}
+		if len(events) == 0 {
+			pass.Reportf(g.pos,
+				"%s.Get result is never returned with %s.Put and never escapes: the pool degrades into an allocator",
+				g.key, g.key)
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() <= g.pos {
+				continue
+			}
+			covered := false
+			for _, e := range events {
+				if e < ret.End() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(ret.Pos(),
+					"return without %s.Put of the buffer taken at line %d: add a Put on this path or defer it",
+					g.key, g.line)
+			}
+		}
+	}
+}
+
+// escapeContext reports whether ident's use hands its value off beyond the
+// current function's control: returned, passed to a non-builtin call, sent
+// on a channel, stored into a non-local, or placed in a composite literal.
+func escapeContext(pass *Pass, id *ast.Ident, stack []ast.Node) (token.Pos, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return id.Pos(), true
+		case *ast.SendStmt:
+			if containsPos(parent.Value, id.Pos()) {
+				return id.Pos(), true
+			}
+		case *ast.CallExpr:
+			// Inside a call's arguments (not its Fun): handed off, unless
+			// the call is the pool's own Put (recorded as a put) or a
+			// builtin/conversion (len, cap, copy, append, []byte(...)).
+			if containsPos(parent.Fun, id.Pos()) {
+				continue
+			}
+			if _, isPut := isPoolMethod(pass, parent, "Put"); isPut {
+				return token.NoPos, false
+			}
+			if calleeFunc(pass.Info, parent) == nil {
+				continue // builtin or conversion: still local
+			}
+			return id.Pos(), true
+		case *ast.CompositeLit:
+			return id.Pos(), true
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if !containsPos(rhs, id.Pos()) {
+					continue
+				}
+				for _, lhs := range parent.Lhs {
+					if !isLocalTarget(pass, lhs) {
+						return id.Pos(), true
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}
+
+// isLocalTarget reports whether an assignment target is a plain local
+// variable (or blank); stores through selectors, indexes, derefs, or to
+// package-level variables publish the value.
+func isLocalTarget(pass *Pass, lhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if id.Name == "_" {
+		return true
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Package-level variables publish to other goroutines.
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"maxembed/internal/analyzers"
+	"maxembed/internal/analyzers/analyzertest"
+)
+
+func TestPoolreturnBad(t *testing.T) {
+	analyzertest.Run(t, analyzers.Poolreturn, "testdata/poolreturn/bad", "maxembed/internal/server")
+}
+
+func TestPoolreturnGood(t *testing.T) {
+	analyzertest.RunExpectNone(t, analyzers.Poolreturn, "testdata/poolreturn/good", "maxembed/internal/store")
+}

@@ -1,0 +1,17 @@
+// Failing fixture: a field updated through sync/atomic in one method and
+// read plainly in another.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1) // want "raw sync/atomic.AddInt64 on field c.hits"
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "non-atomic access to"
+}

@@ -1,0 +1,13 @@
+// Clean fixture: the typed-atomic field the analyzer pushes toward.
+// Non-atomic access to atomic.Int64 cannot compile, so there is nothing
+// left to check.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits atomic.Int64
+}
+
+func (c *counter) inc()        { c.hits.Add(1) }
+func (c *counter) read() int64 { return c.hits.Load() }

@@ -1,0 +1,14 @@
+// Suppression fixture: a deliberate wall-clock read marked with
+// //lint:allow produces no diagnostic.
+package fixture
+
+import "time"
+
+func bootTimestamp() time.Time {
+	//lint:allow clockcheck process start time is genuinely wall-clock
+	return time.Now()
+}
+
+func sinceBoot(start time.Time) time.Duration {
+	return time.Since(start) //lint:allow clockcheck trailing-comment form
+}

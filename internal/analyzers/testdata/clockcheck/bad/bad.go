@@ -1,0 +1,12 @@
+// Failing fixture: wall-clock reads inside the deterministic core.
+package fixture
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // want "call to time.Now in deterministic package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "call to time.Since in deterministic package"
+}

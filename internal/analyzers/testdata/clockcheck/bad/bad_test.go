@@ -1,0 +1,9 @@
+// Test files legitimately read the wall clock; the analyzer must skip
+// this file entirely, so the call below carries no want expectation.
+package fixture
+
+import "time"
+
+func wallClockInTest() time.Time {
+	return time.Now()
+}

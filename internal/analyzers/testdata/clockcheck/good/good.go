@@ -1,0 +1,15 @@
+// Clean fixture: time.Now is referenced as a value (the sanctioned
+// injection point) and only the injected clock is ever called.
+package fixture
+
+import "time"
+
+type handler struct {
+	nowFn func() time.Time
+}
+
+func newHandler() *handler {
+	return &handler{nowFn: time.Now}
+}
+
+func (h *handler) now() time.Time { return h.nowFn() }

@@ -1,0 +1,11 @@
+// Suppression fixture: deliberate background work, marked as such.
+package fixture
+
+import "context"
+
+func selfHeal(repair func(context.Context) error) error {
+	// Background repair owns its own lifetime; there is no request
+	// context to inherit.
+	//lint:allow ctxflow background repair owns its own lifetime
+	return repair(context.Background())
+}

@@ -1,0 +1,19 @@
+// Failing fixture: fresh root contexts minted on the request path.
+package fixture
+
+import "context"
+
+func lookup(keys []uint64) error {
+	ctx := context.Background() // want "context.Background on the request path"
+	return doLookup(ctx, keys)
+}
+
+func lookupTODO(keys []uint64) error {
+	return doLookup(context.TODO(), keys) // want "context.TODO on the request path"
+}
+
+func doLookup(ctx context.Context, keys []uint64) error {
+	_ = ctx
+	_ = keys
+	return nil
+}

@@ -1,0 +1,14 @@
+// Clean fixture: the caller's context is threaded through.
+package fixture
+
+import "context"
+
+func lookup(ctx context.Context, keys []uint64) error {
+	return doLookup(ctx, keys)
+}
+
+func doLookup(ctx context.Context, keys []uint64) error {
+	_ = ctx
+	_ = keys
+	return nil
+}

@@ -1,0 +1,36 @@
+// Failing fixture: channel sends, queue submissions, and HTTP writes
+// inside mutex critical sections.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+)
+
+type WorkQueue struct{}
+
+func (q *WorkQueue) Submit(op int) {}
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+	q  *WorkQueue
+}
+
+func sendUnderLock(s *state) {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func submitUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q.Submit(7) // want "queue submission (Submit) while holding s.mu"
+}
+
+func writeUnderLock(s *state, w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.WriteHeader(http.StatusOK) // want "HTTP response write (WriteHeader) while holding s.mu"
+}

@@ -1,0 +1,30 @@
+// Clean fixture: the restructured handler shapes — the TryLock bail path
+// runs unlocked (the 409 write is legal there), and sends happen after
+// the critical section.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+)
+
+type state struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func guardShape(s *state, w http.ResponseWriter) {
+	if !s.mu.TryLock() {
+		w.WriteHeader(http.StatusConflict)
+		return
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func sendOutside(s *state) {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}

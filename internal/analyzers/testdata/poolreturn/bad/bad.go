@@ -1,0 +1,29 @@
+// Failing fixture: pool buffers leaked on an error path and dropped on
+// the floor entirely.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var errBad = errors.New("bad")
+
+func leakOnError(fail bool) ([]byte, error) {
+	buf := bufs.Get().(*[]byte)
+	if fail {
+		return nil, errBad // want "return without bufs.Put of the buffer taken at line"
+	}
+	out := append([]byte(nil), (*buf)...)
+	bufs.Put(buf)
+	return out, nil
+}
+
+func neverReturned() int {
+	buf := bufs.Get().(*[]byte) // want "bufs.Get result is never returned with bufs.Put"
+	n := len(*buf)
+	_ = buf
+	return n
+}

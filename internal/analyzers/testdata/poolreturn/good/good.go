@@ -1,0 +1,32 @@
+// Clean fixture: the repo's two sanctioned pool idioms — defer the Put,
+// or hand the buffer off so the caller owns the release.
+package fixture
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func deferred(fail bool) int {
+	buf := bufs.Get().(*[]byte)
+	defer bufs.Put(buf)
+	if fail {
+		return 0
+	}
+	return len(*buf)
+}
+
+func handoff() *[]byte {
+	buf := bufs.Get().(*[]byte)
+	return buf
+}
+
+func putOnEveryPath(fail bool) int {
+	buf := bufs.Get().(*[]byte)
+	if fail {
+		bufs.Put(buf)
+		return 0
+	}
+	n := len(*buf)
+	bufs.Put(buf)
+	return n
+}

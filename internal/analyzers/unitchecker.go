@@ -1,0 +1,239 @@
+package analyzers
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+// This file implements the cmd/go vet-tool protocol from the standard
+// library alone, standing in for golang.org/x/tools' unitchecker (which
+// the offline build cannot vendor). `go vet -vettool=maxembed-vet ./...`
+// drives the tool once per package:
+//
+//   - `maxembed-vet -V=full` prints a build-unique version line cmd/go
+//     hashes into its action cache key;
+//   - `maxembed-vet -flags` prints the tool's flag set (none) as JSON;
+//   - `maxembed-vet <pkg>.cfg` analyzes one package: the cfg file is JSON
+//     describing the package's files, import map, and the export-data
+//     files cmd/go already built for every dependency. The tool parses
+//     and typechecks the package against that export data, runs the
+//     suite, prints findings to stderr, and exits 2 if there were any.
+//
+// The tool exports no analysis facts, so the .vetx output cmd/go expects
+// is written as an empty placeholder and dependency facts are ignored.
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg; unknown
+// fields are ignored so newer go releases stay compatible.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of cmd/maxembed-vet.
+func Main(progname string, analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "--V=full":
+			printVersion(progname)
+			return
+		case "-V", "--V":
+			fmt.Printf("%s version devel\n", progname)
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags; cmd/go parses this to validate the
+			// vet command line.
+			fmt.Println("[]")
+			return
+		case "help", "-h", "-help", "--help":
+			printHelp(progname, analyzers)
+			return
+		}
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		log.Fatalf(`this tool runs under go vet: go vet -vettool=$(command -v %s) ./... (or: %s help)`, progname, progname)
+	}
+	diags, fset, err := runConfig(args[len(args)-1], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion implements the -V=full handshake: cmd/go hashes this line
+// into its cache key, so it must change whenever the tool's behavior
+// does — hashing the executable itself guarantees that.
+func printVersion(progname string) {
+	var sum [sha256.Size]byte
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sum)
+}
+
+func printHelp(progname string, analyzers []*Analyzer) {
+	fmt.Printf("%s: maxembed's concurrency & determinism invariant suite\n\n", progname)
+	fmt.Printf("usage: go vet -vettool=$(command -v %s) ./...\n\n", progname)
+	fmt.Println("analyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println("\nsuppress a finding with a trailing or preceding comment:")
+	fmt.Println("  //lint:allow <analyzer>[,<analyzer>] <reason>")
+}
+
+// runConfig analyzes the single package a vet.cfg describes.
+func runConfig(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	// No facts flow between packages, so dependency-only invocations have
+	// nothing to compute.
+	if err := writeVetx(cfg); err != nil {
+		return nil, nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+
+	var tcErrs []error
+	tconf := &types.Config{
+		Importer:  newVetImporter(fset, cfg),
+		Sizes:     types.SizesFor(compilerOf(cfg), build.Default.GOARCH),
+		GoVersion: langVersion(cfg.GoVersion),
+		Error:     func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler already reported these; vet must not fail the
+			// build a second time.
+			os.Exit(0)
+		}
+		for _, e := range tcErrs {
+			log.Print(e)
+		}
+		return nil, nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	return diags, fset, err
+}
+
+func compilerOf(cfg *vetConfig) string {
+	if cfg.Compiler == "" {
+		return "gc"
+	}
+	return cfg.Compiler
+}
+
+// langVersion reduces a toolchain version ("go1.24.0") to the language
+// version go/types accepts ("go1.24"), or "" when unparsable.
+func langVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	return version.Lang(v)
+}
+
+// writeVetx writes the (empty) facts file cmd/go caches for dependents.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// vetImporter resolves imports through the export-data files cmd/go lists
+// in the config, applying the config's import map (vendoring) first.
+type vetImporter struct {
+	cfg  *vetConfig
+	base types.ImporterFrom
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q in vet config %s", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	}
+	imp := &vetImporter{cfg: cfg}
+	imp.base = importer.ForCompiler(fset, compilerOf(cfg), lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (i *vetImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, i.cfg.Dir, 0)
+}
+
+func (i *vetImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if mapped, ok := i.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.ImportFrom(path, dir, 0)
+}

@@ -162,18 +162,16 @@ func scrubResponse(rep serving.ScrubReport) ScrubResponse {
 
 // scrub is the POST /v1/scrub admin endpoint: one synchronous sweep.
 // Query parameters: pages_per_sec (float), detect_only (bool). 501 when
-// no scrubber is configured; 409 while another sweep runs.
+// no scrubber is configured; 409 while another sweep runs. Parameter
+// parsing happens before the scrub mutex is taken and the response is
+// written after it is released, so the critical section covers exactly
+// the sweep (lockhold).
 func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
 	if h.scrubber == nil {
 		httpError(w, http.StatusNotImplemented,
 			"scrub not configured: server started without a scrubber")
 		return
 	}
-	if !h.scrubMu.TryLock() {
-		httpError(w, http.StatusConflict, "scrub already in progress")
-		return
-	}
-	defer h.scrubMu.Unlock()
 	cfg := serving.ScrubConfig{
 		Progress: func(scanned, total int) {
 			h.scrubScanned.Store(int64(scanned))
@@ -196,23 +194,41 @@ func (h *Handler) scrub(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.DetectOnly = b
 	}
-	h.scrubRunning.Store(true)
-	defer h.scrubRunning.Store(false)
-	rep, err := h.scrubber.Scrub(r.Context(), cfg)
+	resp, busy, err := h.runScrub(r.Context(), cfg)
+	if busy {
+		httpError(w, http.StatusConflict, "scrub already in progress")
+		return
+	}
 	if err != nil {
-		h.scrubErrors.Add(1)
 		httpError(w, http.StatusUnprocessableEntity, "scrub: %v", err)
 		return
+	}
+	writeJSON(w, resp)
+}
+
+// runScrub performs one sweep under scrubMu, reporting busy when another
+// sweep holds it, and folds the result into the scrub counters.
+func (h *Handler) runScrub(ctx context.Context, cfg serving.ScrubConfig) (resp ScrubResponse, busy bool, err error) {
+	if !h.scrubMu.TryLock() {
+		return ScrubResponse{}, true, nil
+	}
+	defer h.scrubMu.Unlock()
+	h.scrubRunning.Store(true)
+	defer h.scrubRunning.Store(false)
+	rep, err := h.scrubber.Scrub(ctx, cfg)
+	if err != nil {
+		h.scrubErrors.Add(1)
+		return ScrubResponse{}, false, err
 	}
 	h.scrubs.Add(1)
 	h.scrubLatent.Add(int64(rep.LatentSlots))
 	h.scrubRepaired.Add(int64(rep.RepairedSlots))
 	h.scrubUnrepairable.Add(int64(rep.UnrepairableSlots))
-	resp := scrubResponse(rep)
+	resp = scrubResponse(rep)
 	h.adminMu.Lock()
 	h.lastScrub = &resp
 	h.adminMu.Unlock()
-	writeJSON(w, resp)
+	return resp, false, nil
 }
 
 // shardIndex parses the {shard} path value against the backend's shard
@@ -277,6 +293,8 @@ func rebuildResponse(rep serving.RebuildReport) RebuildResponse {
 // rebuildShard is the POST /v1/shards/{shard}/rebuild admin endpoint:
 // one synchronous rebuild onto the hot spare. Query parameter
 // pages_per_sec bounds the rebuild rate. 409 while another rebuild runs.
+// As with scrub, parsing precedes the rebuild mutex and the response
+// follows its release (lockhold).
 func (h *Handler) rebuildShard(w http.ResponseWriter, r *http.Request) {
 	if h.shardAdmin == nil {
 		httpError(w, http.StatusNotImplemented,
@@ -287,11 +305,6 @@ func (h *Handler) rebuildShard(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if !h.rebuildMu.TryLock() {
-		httpError(w, http.StatusConflict, "rebuild already in progress")
-		return
-	}
-	defer h.rebuildMu.Unlock()
 	cfg := serving.RebuildConfig{
 		Progress: func(copied, total int, _ int64) {
 			h.rebuildCopied.Store(int64(copied))
@@ -306,19 +319,38 @@ func (h *Handler) rebuildShard(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.PagesPerSec = rate
 	}
-	h.rebuildRunning.Store(true)
-	defer h.rebuildRunning.Store(false)
-	rep, err := h.shardAdmin.RebuildShard(r.Context(), i, cfg)
+	resp, busy, err := h.runRebuild(r.Context(), i, cfg)
+	if busy {
+		httpError(w, http.StatusConflict, "rebuild already in progress")
+		return
+	}
 	if err != nil {
-		h.rebuildErrors.Add(1)
 		httpError(w, http.StatusUnprocessableEntity, "rebuild: %v", err)
 		return
 	}
+	writeJSON(w, resp)
+}
+
+// runRebuild performs one rebuild under rebuildMu, reporting busy when
+// another rebuild holds it, and folds the result into the rebuild
+// counters.
+func (h *Handler) runRebuild(ctx context.Context, shard int, cfg serving.RebuildConfig) (resp RebuildResponse, busy bool, err error) {
+	if !h.rebuildMu.TryLock() {
+		return RebuildResponse{}, true, nil
+	}
+	defer h.rebuildMu.Unlock()
+	h.rebuildRunning.Store(true)
+	defer h.rebuildRunning.Store(false)
+	rep, err := h.shardAdmin.RebuildShard(ctx, shard, cfg)
+	if err != nil {
+		h.rebuildErrors.Add(1)
+		return RebuildResponse{}, false, err
+	}
 	h.rebuilds.Add(1)
 	h.lastMTTRNS.Store(rep.DurationNS())
-	resp := rebuildResponse(rep)
+	resp = rebuildResponse(rep)
 	h.adminMu.Lock()
 	h.lastRebuild = &resp
 	h.adminMu.Unlock()
-	writeJSON(w, resp)
+	return resp, false, nil
 }

@@ -1,0 +1,26 @@
+package server
+
+import "time"
+
+// The handler reads time only through its injected clock. The serving
+// engine below runs on virtual nanoseconds; up here the measured
+// quantities — refresh durations, coalescer gather waits — default to the
+// wall clock but accept a test- or simulation-supplied source, so the
+// HTTP layer's observability can be driven deterministically too (and the
+// clockcheck analyzer enforces that no stray time.Now call bypasses it).
+// Timers and tickers (gather windows, the refresh loop) still express
+// real waiting and stay on the runtime clock.
+
+// WithClock sets the handler's time source for measured durations
+// (refresh duration, coalescer gather waits). Defaults to the wall
+// clock; nil is ignored.
+func WithClock(now func() time.Time) Option {
+	return func(h *Handler) {
+		if now != nil {
+			h.nowFn = now
+		}
+	}
+}
+
+// now reads the handler's injected clock.
+func (h *Handler) now() time.Time { return h.nowFn() }

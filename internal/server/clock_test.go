@@ -1,0 +1,62 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxembed/internal/serving"
+)
+
+// TestWithClockDrivesRefreshDuration injects a stepping fake clock and
+// checks the refresh duration is measured on it exactly: the handler's
+// observability runs deterministically when its clock does.
+func TestWithClockDrivesRefreshDuration(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	handle := serving.NewSwappable(s.eng)
+	src := newFakeSource(t, s, handle, 1)
+
+	const step = 250 * time.Millisecond
+	base := time.Unix(1_700_000_000, 0)
+	var ticks atomic.Int64
+	fake := func() time.Time { return base.Add(time.Duration(ticks.Add(1)) * step) }
+
+	h := NewDynamic(handle, s.dev, WithRefresh(src), WithoutCoalescing(), WithClock(fake))
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() { srv.Close(); h.Close() })
+
+	resp, err := http.Post(srv.URL+"/v1/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp.StatusCode)
+	}
+	var rr RefreshResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	// runRefresh reads the clock exactly twice (start, end), so the
+	// measured duration is exactly one step of the fake clock.
+	if rr.DurationNS != step.Nanoseconds() {
+		t.Errorf("DurationNS = %d, want exactly %d (one fake-clock step)", rr.DurationNS, step.Nanoseconds())
+	}
+	if got := ticks.Load(); got != 2 {
+		t.Errorf("clock read %d times during refresh, want 2", got)
+	}
+}
+
+// TestWithClockNilKeepsDefault: a nil source is ignored, the handler
+// keeps the wall clock rather than panicking on first use.
+func TestWithClockNilKeepsDefault(t *testing.T) {
+	s := newTestStack(t, 0.2, nil)
+	h := New(s.eng, s.dev, WithClock(nil))
+	t.Cleanup(func() { h.Close() })
+	if h.now().IsZero() {
+		t.Error("default clock returned the zero time")
+	}
+}

@@ -150,7 +150,7 @@ func (c *coalescer) rebind() {
 // requests rarely queue up behind each other, so "queue momentarily
 // empty" must not be read as "traffic is light".
 func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
-	start := time.Now()
+	start := c.h.now()
 	batch = append(batch, first)
 	for len(batch) < c.maxBatch {
 		select {
@@ -173,7 +173,7 @@ func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
 			case job := <-c.queue:
 				batch = append(batch, job)
 			case <-timer.C:
-				c.waits.Record(time.Since(start).Nanoseconds())
+				c.waits.Record(c.h.now().Sub(start).Nanoseconds())
 				return batch
 			}
 		}
@@ -187,7 +187,7 @@ func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
 			}
 		}
 	}
-	c.waits.Record(time.Since(start).Nanoseconds())
+	c.waits.Record(c.h.now().Sub(start).Nanoseconds())
 	return batch
 }
 

@@ -74,25 +74,39 @@ func (h *Handler) refresh(w http.ResponseWriter, _ *http.Request) {
 			"refresh not configured: server started without a refresh source")
 		return
 	}
-	if !h.refreshMu.TryLock() {
+	resp, busy, err := h.runRefresh()
+	if busy {
 		httpError(w, http.StatusConflict, "refresh already in progress")
 		return
 	}
-	defer h.refreshMu.Unlock()
-	start := time.Now()
-	if err := h.refreshSrc.RefreshNow(); err != nil {
-		h.refreshErrors.Add(1)
+	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "refresh: %v", err)
 		return
 	}
-	dur := time.Since(start)
+	writeJSON(w, resp)
+}
+
+// runRefresh performs one refresh under refreshMu and reports busy when
+// another refresh holds it. The critical section stays free of HTTP
+// writes (lockhold): callers render the result after the mutex is back.
+func (h *Handler) runRefresh() (resp RefreshResponse, busy bool, err error) {
+	if !h.refreshMu.TryLock() {
+		return RefreshResponse{}, true, nil
+	}
+	defer h.refreshMu.Unlock()
+	start := h.now()
+	if err := h.refreshSrc.RefreshNow(); err != nil {
+		h.refreshErrors.Add(1)
+		return RefreshResponse{}, false, err
+	}
+	dur := h.now().Sub(start)
 	h.refreshes.Add(1)
 	h.lastRefreshNS.Store(dur.Nanoseconds())
-	writeJSON(w, RefreshResponse{
+	return RefreshResponse{
 		Generation: h.handle.Generation(),
 		DurationNS: dur.Nanoseconds(),
 		Swaps:      h.handle.Swaps(),
-	})
+	}, false, nil
 }
 
 // refreshLoop periodically refreshes the layout from recorded history,
@@ -112,20 +126,11 @@ func (h *Handler) refreshLoop() {
 }
 
 // tryRefresh runs one gated refresh round: skip when too little history
-// has accumulated or when an admin-triggered refresh is mid-flight.
+// has accumulated or when an admin-triggered refresh is mid-flight (the
+// busy/error outcomes are already counted inside runRefresh).
 func (h *Handler) tryRefresh() {
 	if h.refreshSrc.PendingQueries() < h.refreshMinQueries {
 		return
 	}
-	if !h.refreshMu.TryLock() {
-		return
-	}
-	defer h.refreshMu.Unlock()
-	start := time.Now()
-	if err := h.refreshSrc.RefreshNow(); err != nil {
-		h.refreshErrors.Add(1)
-		return
-	}
-	h.refreshes.Add(1)
-	h.lastRefreshNS.Store(time.Since(start).Nanoseconds())
+	_, _, _ = h.runRefresh()
 }

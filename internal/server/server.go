@@ -110,6 +110,8 @@ type Handler struct {
 	coal          *coalescer // nil when coalescing is disabled
 	closeOnce     sync.Once
 
+	nowFn func() time.Time // injected clock (WithClock); wall clock by default
+
 	refreshSrc        RefreshSource
 	refreshInterval   time.Duration
 	refreshMinQueries int64
@@ -162,6 +164,7 @@ func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) 
 		maxWait:        defaultMaxWait,
 		coalesceQueue:  defaultCoalesceQueue,
 		shardTolerance: defaultShardFailTolerance,
+		nowFn:          time.Now, // the sanctioned injection point (clockcheck)
 	}
 	for _, o := range opts {
 		o(h)
@@ -228,6 +231,9 @@ type poolWorker struct {
 func (h *Handler) getWorker() (*serving.Worker, uint64) {
 	eng, gen := h.handle.Load()
 	for {
+		// Entries are either returned to the pool by putWorker (re-wrapped
+		// with their generation) or deliberately dropped here when stale.
+		//lint:allow poolreturn stale workers are drained, not leaked
 		v := h.workers.Get()
 		if v == nil {
 			return eng.NewWorker(), gen
