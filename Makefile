@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-shard race-rebuild vet vet-tool lint staticcheck bench verify experiments
+.PHONY: build test race race-shard race-rebuild race-tier vet vet-tool lint staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -54,13 +54,21 @@ race-rebuild:
 	$(GO) test -race -count=3 -run 'Scrub|Rebuild' ./internal/serving ./internal/server
 	$(GO) test -race -count=3 -run 'TestScrubFailRebuildDB|TestAutoRebuild|TestChaosSoak' .
 
+# The tiered-hierarchy seams under the race detector: heterogeneous
+# array construction and tier accounting, shadow-cache simulation, the
+# tier-placement pass, and the DB-level re-tier-at-refresh path under
+# concurrent lookups.
+race-tier:
+	$(GO) test -race -count=3 -run 'Tier|Shadow|Retier|Discount' ./internal/ssd ./internal/cache ./internal/placement ./internal/server
+	$(GO) test -race -count=3 -run 'TestTiered|TestRefreshRetier' .
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full pre-merge gate: static checks (including the repo's own
 # analyzer suite), build, and the test suite under the race detector
 # (the serving engine and HTTP layer are concurrent).
-verify: vet lint staticcheck build race race-shard race-rebuild
+verify: vet lint staticcheck build race race-shard race-rebuild race-tier
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -42,6 +42,20 @@ func (db *DB) array() (*ssd.Array, error) {
 	return arr, nil
 }
 
+// spareProfile picks the device profile for a hot spare. Homogeneous
+// arrays get the member profile; tiered arrays get the slowest tier's —
+// the cheapest device that can hold any shard's data. Rebuilding a fast
+// shard onto a dense spare temporarily shrinks the fast tier (SwapShard
+// re-derives tiers from the new member mix); the next Refresh re-tiers
+// pages around the changed geometry.
+func (db *DB) spareProfile() ssd.Profile {
+	if len(db.cfg.tiers) == 0 {
+		return db.cfg.device
+	}
+	tr := db.backend.(ssd.TierReporter)
+	return tr.Tier(tr.NumTiers() - 1).Profile
+}
+
 // armSpare attaches the hot spare and the auto-rebuild hook Open's
 // options asked for. Called once at the end of Open.
 func (db *DB) armSpare() error {
@@ -52,7 +66,7 @@ func (db *DB) armSpare() error {
 	if !ok {
 		return nil // single device: nothing to rebuild onto
 	}
-	spare, err := ssd.NewDevice(db.cfg.device)
+	spare, err := ssd.NewDevice(db.spareProfile())
 	if err != nil {
 		return fmt.Errorf("maxembed: hot spare: %w", err)
 	}
@@ -106,7 +120,7 @@ func (db *DB) AttachSpare() error {
 	if err != nil {
 		return err
 	}
-	spare, err := ssd.NewDevice(db.cfg.device)
+	spare, err := ssd.NewDevice(db.spareProfile())
 	if err != nil {
 		return fmt.Errorf("maxembed: spare: %w", err)
 	}

@@ -32,6 +32,10 @@ func main() {
 	cacheRatio := flag.Float64("cache", 0.1, "DRAM cache fraction")
 	indexLimit := flag.Int("k", 10, "index-shrinking limit")
 	devices := flag.Int("devices", 1, "independent SSDs to stripe the layout over (RAID-0 at page granularity)")
+	tierFast := flag.Int("tier-fast", 0, "fast-tier (P5800X-class) shards of a heterogeneous array (0 disables tiering)")
+	tierDense := flag.Int("tier-dense", 0, "dense-tier (P4510-class) shards backing -tier-fast (required with it)")
+	tierPins := flag.Int("tier-pins", 0, "pin this many hottest keys permanently in DRAM")
+	tierShadow := flag.Bool("tier-shadow", false, "attach shadow (ghost) caches that measure the DRAM miss-rate curve")
 	seed := flag.Int64("seed", 1, "placement seed")
 	faultError := flag.Float64("fault-error", 0, "injected per-read error probability (chaos testing)")
 	faultTimeout := flag.Float64("fault-timeout", 0, "injected per-read stuck-command probability")
@@ -79,9 +83,25 @@ func main() {
 		maxembed.WithIndexLimit(*indexLimit),
 		maxembed.WithSeed(*seed),
 	}
-	if *devices > 1 {
+	tiered := *tierFast > 0
+	if tiered {
+		if *tierDense <= 0 {
+			log.Fatal("-tier-fast requires -tier-dense (the dense shards backing the fast tier)")
+		}
+		if *devices > 1 {
+			log.Fatal("-tier-fast and -devices are mutually exclusive; the tier specs set the stripe width")
+		}
+		opts = append(opts, maxembed.WithTiers(
+			maxembed.TierSpec{Profile: maxembed.DeviceP5800X, Devices: *tierFast},
+			maxembed.TierSpec{Profile: maxembed.DeviceP4510, Devices: *tierDense},
+		))
+		log.Printf("tiered array: %d×%s + %d×%s; hottest pages up-tier, re-tiered at refresh",
+			*tierFast, maxembed.DeviceP5800X.Name, *tierDense, maxembed.DeviceP4510.Name)
+	} else if *devices > 1 {
 		opts = append(opts, maxembed.WithDevices(*devices))
 		log.Printf("striping across %d devices (shard-aware replica placement, per-shard queue pairs)", *devices)
+	}
+	if tiered || *devices > 1 {
 		if *autoRebuildRate > 0 {
 			opts = append(opts, maxembed.WithAutoRebuild(*autoRebuildRate))
 			log.Printf("hot spare attached; auto-rebuild armed at %.0f pages/sec", *autoRebuildRate)
@@ -89,6 +109,14 @@ func main() {
 			opts = append(opts, maxembed.WithHotSpare())
 			log.Printf("hot spare attached; rebuild via POST /v1/shards/{i}/rebuild")
 		}
+	}
+	if *tierPins > 0 {
+		opts = append(opts, maxembed.WithDRAMPins(*tierPins))
+		log.Printf("pinning the %d hottest keys in DRAM", *tierPins)
+	}
+	if *tierShadow {
+		opts = append(opts, maxembed.WithShadowCache())
+		log.Printf("shadow caches attached; miss-rate curve on /v1/stats")
 	}
 	if *recordLast > 0 {
 		opts = append(opts, maxembed.WithHistoryRecording(*recordLast))

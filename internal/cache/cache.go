@@ -20,11 +20,31 @@ import (
 // Hasher maps a key to a shard-selection hash. It must be deterministic.
 type Hasher[K comparable] func(K) uint64
 
-// Stats aggregates cache activity.
+// Stats aggregates cache activity. The per-segment fields are only
+// meaningful under PolicySegmented (probation/protected); a plain LRU
+// reports its whole population as probation. Pinned* cover the immutable
+// pin-set installed with Pin, which lives outside the LRU segments.
 type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+
+	// Segment occupancy at snapshot time.
+	ProbationLen int
+	ProtectedLen int
+	// Per-segment eviction counters (ProbationEvictions + the plain-LRU
+	// evictions sum to Evictions together with ProtectedEvictions).
+	ProbationEvictions int64
+	ProtectedEvictions int64
+	// Promotions counts probation → protected moves (first hit);
+	// Demotions counts protected → probation displacements.
+	Promotions int64
+	Demotions  int64
+
+	// PinnedEntries is the pin-set size; PinnedHits counts Gets served
+	// from it (also included in Hits).
+	PinnedEntries int
+	PinnedHits    int64
 }
 
 // HitRate returns Hits / (Hits+Misses), or 0 with no lookups.
@@ -43,9 +63,16 @@ type Cache[K comparable, V any] struct {
 	mask   uint64
 	hash   Hasher[K]
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	// pinned is the immutable DRAM pin-set: entries that always hit and
+	// are never evicted. It is written only by Pin, which must complete
+	// before the cache is shared between goroutines; afterwards the map
+	// is read-only, so Get can probe it without a lock.
+	pinned map[K]V
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	pinnedHits atomic.Int64
 }
 
 type shard[K comparable, V any] struct {
@@ -58,6 +85,13 @@ type shard[K comparable, V any] struct {
 	policy       Policy
 	protected    *list.List
 	protectedCap int
+
+	// Per-segment activity, guarded by mu (summed into Stats on demand;
+	// plain ints keep the hot path free of extra atomic traffic).
+	probEvictions int64
+	protEvictions int64
+	promotions    int64
+	demotions     int64
 }
 
 type kv[K comparable, V any] struct {
@@ -133,9 +167,28 @@ func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
 	return &c.shards[c.hash(k)&c.mask]
 }
 
+// Pin installs k as a permanent DRAM-resident entry: it always hits and
+// is never evicted, and does not consume LRU capacity. Pin must not be
+// called concurrently with any other method — install the pin-set before
+// the cache is shared (the serving engine pins at construction).
+func (c *Cache[K, V]) Pin(k K, v V) {
+	if c.pinned == nil {
+		c.pinned = make(map[K]V)
+	}
+	c.pinned[k] = v
+}
+
+// PinnedLen returns the number of pinned entries.
+func (c *Cache[K, V]) PinnedLen() int { return len(c.pinned) }
+
 // Get returns the cached value for k, promoting it to most-recently-used
 // (update-on-read). The second result reports whether k was present.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
+	if v, ok := c.pinned[k]; ok {
+		c.pinnedHits.Add(1)
+		c.hits.Add(1)
+		return v, true
+	}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	el, ok := s.entries[k]
@@ -159,6 +212,9 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 // Contains reports whether k is cached without promoting it and without
 // touching hit/miss statistics.
 func (c *Cache[K, V]) Contains(k K) bool {
+	if _, ok := c.pinned[k]; ok {
+		return true
+	}
 	s := c.shardFor(k)
 	s.mu.Lock()
 	_, ok := s.entries[k]
@@ -210,8 +266,9 @@ func (s *shard[K, V]) len() int {
 	return s.order.Len()
 }
 
-// evict removes the shard's eviction victim (caller holds the lock) and
-// reports whether anything was removed.
+// evict removes the shard's eviction victim (caller holds the lock),
+// charges the victim's segment counter, and reports whether anything was
+// removed.
 func (s *shard[K, V]) evict() bool {
 	if s.policy == PolicySegmented {
 		return s.segmentedEvict()
@@ -222,6 +279,7 @@ func (s *shard[K, V]) evict() bool {
 	}
 	delete(s.entries, back.Value.(kv[K, V]).key)
 	s.order.Remove(back)
+	s.probEvictions++
 	return true
 }
 
@@ -246,13 +304,30 @@ func (c *Cache[K, V]) Capacity() int {
 	return n
 }
 
-// Stats returns a snapshot of hit/miss/eviction counters.
+// Stats returns a snapshot of hit/miss/eviction counters, per-segment
+// occupancy and activity, and pin-set accounting.
 func (c *Cache[K, V]) Stats() Stats {
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		PinnedEntries: len(c.pinned),
+		PinnedHits:    c.pinnedHits.Load(),
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.ProbationLen += s.order.Len()
+		if s.protected != nil {
+			st.ProtectedLen += s.protected.Len()
+		}
+		st.ProbationEvictions += s.probEvictions
+		st.ProtectedEvictions += s.protEvictions
+		st.Promotions += s.promotions
+		st.Demotions += s.demotions
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ResetStats zeroes the statistics counters without touching contents.
@@ -260,4 +335,14 @@ func (c *Cache[K, V]) ResetStats() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.pinnedHits.Store(0)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.probEvictions = 0
+		s.protEvictions = 0
+		s.promotions = 0
+		s.demotions = 0
+		s.mu.Unlock()
+	}
 }

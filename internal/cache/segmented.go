@@ -55,6 +55,7 @@ func (s *shard[K, V]) segmentedGet(el *list.Element) {
 	s.order.Remove(el)
 	e.protected = true
 	s.entries[e.key] = s.protected.PushFront(e)
+	s.promotions++
 	// Keep the protected segment within budget by demoting its LRU.
 	for s.protected.Len() > s.protectedCap {
 		back := s.protected.Back()
@@ -62,6 +63,7 @@ func (s *shard[K, V]) segmentedGet(el *list.Element) {
 		s.protected.Remove(back)
 		d.protected = false
 		s.entries[d.key] = s.order.PushFront(d)
+		s.demotions++
 	}
 }
 
@@ -75,16 +77,19 @@ func (s *shard[K, V]) segmentedLen() int {
 }
 
 // segmentedEvict removes the probation LRU, or the protected LRU if
-// probation is empty. Reports whether anything was evicted.
+// probation is empty, charging the victim's segment counter. Reports
+// whether anything was evicted.
 func (s *shard[K, V]) segmentedEvict() bool {
 	if back := s.order.Back(); back != nil {
 		delete(s.entries, back.Value.(kv[K, V]).key)
 		s.order.Remove(back)
+		s.probEvictions++
 		return true
 	}
 	if back := s.protected.Back(); back != nil {
 		delete(s.entries, back.Value.(kv[K, V]).key)
 		s.protected.Remove(back)
+		s.protEvictions++
 		return true
 	}
 	return false

@@ -1,0 +1,270 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestShadowCurveTracksLRUHitRates(t *testing.T) {
+	s := NewShadow[uint32]([]int{2, 4, 0, 4, -1}) // dropped: 0, -1, dup 4
+	// Cyclic scan over 4 keys: an LRU of 2 never hits, an LRU of 4 hits
+	// everything after the first pass.
+	for pass := 0; pass < 10; pass++ {
+		for k := uint32(0); k < 4; k++ {
+			s.Touch(k)
+		}
+	}
+	curve := s.Curve()
+	if len(curve) != 2 || curve[0].Capacity != 2 || curve[1].Capacity != 4 {
+		t.Fatalf("curve capacities = %+v, want [2 4]", curve)
+	}
+	if curve[0].Hits != 0 {
+		t.Errorf("capacity-2 hits = %d on a 4-key cycle, want 0", curve[0].Hits)
+	}
+	if want := int64(36); curve[1].Hits != want { // 40 accesses − 4 cold misses
+		t.Errorf("capacity-4 hits = %d, want %d", curve[1].Hits, want)
+	}
+	if curve[1].Accesses != 40 {
+		t.Errorf("accesses = %d, want 40", curve[1].Accesses)
+	}
+	if got := s.Recommend(0.05); got != 4 {
+		t.Errorf("Recommend = %d, want 4", got)
+	}
+}
+
+func TestShadowRecommendPicksKnee(t *testing.T) {
+	s := NewShadow[uint32]([]int{1, 2, 8})
+	// Two hot keys alternating: capacity 2 captures everything capacity 8
+	// does, so the knee is 2.
+	for i := 0; i < 100; i++ {
+		s.Touch(uint32(i % 2))
+	}
+	if got := s.Recommend(0.05); got != 2 {
+		t.Errorf("Recommend = %d, want 2", got)
+	}
+	if got := NewShadow[uint32]([]int{4}).Recommend(0.05); got != 0 {
+		t.Errorf("Recommend with no accesses = %d, want 0", got)
+	}
+}
+
+func TestShadowTouchAllMatchesTouch(t *testing.T) {
+	a := NewShadow[uint32]([]int{3})
+	b := NewShadow[uint32]([]int{3})
+	stream := []uint32{5, 1, 5, 2, 3, 1, 4, 5, 1, 2}
+	for _, k := range stream {
+		a.Touch(k)
+	}
+	b.TouchAll(stream)
+	ca, cb := a.Curve(), b.Curve()
+	if ca[0] != cb[0] {
+		t.Errorf("Touch curve %+v != TouchAll curve %+v", ca[0], cb[0])
+	}
+}
+
+func TestShadowReset(t *testing.T) {
+	s := NewShadow[uint32]([]int{2})
+	s.Touch(1)
+	s.Touch(1)
+	s.Reset()
+	c := s.Curve()
+	if c[0].Hits != 0 || c[0].Accesses != 0 {
+		t.Errorf("after Reset: %+v, want zeroed", c[0])
+	}
+	s.Touch(1)
+	if s.Curve()[0].Hits != 0 {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestCacheSegmentStats(t *testing.T) {
+	// One shard for deterministic segment accounting: capacity 4,
+	// protected cap 3.
+	c := NewSharded[uint32, int](4, 1, Uint32Hasher)
+	c.enableSegmented()
+	for k := uint32(0); k < 4; k++ {
+		c.Put(k, int(k))
+	}
+	st := c.Stats()
+	if st.ProbationLen != 4 || st.ProtectedLen != 0 {
+		t.Fatalf("after fills: probation/protected = %d/%d, want 4/0", st.ProbationLen, st.ProtectedLen)
+	}
+	c.Get(0) // promote
+	c.Get(1) // promote
+	st = c.Stats()
+	if st.ProbationLen != 2 || st.ProtectedLen != 2 || st.Promotions != 2 {
+		t.Fatalf("after promotions: %+v", st)
+	}
+	// Fill past capacity: victims must come from probation.
+	c.Put(10, 10)
+	c.Put(11, 11)
+	st = c.Stats()
+	if st.ProbationEvictions != 2 || st.ProtectedEvictions != 0 {
+		t.Fatalf("segment evictions = %d/%d, want 2/0", st.ProbationEvictions, st.ProtectedEvictions)
+	}
+	if st.Evictions != st.ProbationEvictions+st.ProtectedEvictions {
+		t.Fatalf("total evictions %d != segment sum %d", st.Evictions, st.ProbationEvictions+st.ProtectedEvictions)
+	}
+	// Promote beyond the protected budget to force a demotion.
+	c.Get(10)
+	c.Get(11)
+	st = c.Stats()
+	if st.Demotions == 0 {
+		t.Fatalf("no demotion after over-budget promotions: %+v", st)
+	}
+	c.ResetStats()
+	st = c.Stats()
+	if st.Promotions != 0 || st.ProbationEvictions != 0 || st.Demotions != 0 {
+		t.Fatalf("ResetStats left counters: %+v", st)
+	}
+	if st.ProbationLen+st.ProtectedLen != 4 {
+		t.Fatalf("ResetStats touched contents: %+v", st)
+	}
+}
+
+func TestCachePlainLRUSegmentStats(t *testing.T) {
+	c := NewSharded[uint32, int](2, 1, Uint32Hasher)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	st := c.Stats()
+	if st.ProbationLen != 2 || st.ProtectedLen != 0 {
+		t.Errorf("plain LRU occupancy = %d/%d, want 2/0", st.ProbationLen, st.ProtectedLen)
+	}
+	if st.ProbationEvictions != 1 || st.Evictions != 1 {
+		t.Errorf("plain LRU evictions = %d (probation %d), want 1", st.Evictions, st.ProbationEvictions)
+	}
+}
+
+func TestCachePin(t *testing.T) {
+	c := NewSegmentedLRU[uint32, int](2, Uint32Hasher)
+	c.Pin(100, -1)
+	c.Pin(101, -2)
+	if v, ok := c.Get(100); !ok || v != -1 {
+		t.Fatalf("Get(pinned) = %v, %v", v, ok)
+	}
+	if !c.Contains(101) {
+		t.Error("Contains(pinned) = false")
+	}
+	// Pins survive arbitrary churn and never consume LRU capacity.
+	for k := uint32(0); k < 50; k++ {
+		c.Put(k, int(k))
+	}
+	if _, ok := c.Get(100); !ok {
+		t.Error("pinned entry evicted by churn")
+	}
+	st := c.Stats()
+	if st.PinnedEntries != 2 {
+		t.Errorf("PinnedEntries = %d, want 2", st.PinnedEntries)
+	}
+	if st.PinnedHits != 2 { // the two Gets; Contains never counts
+		t.Errorf("PinnedHits = %d, want 2", st.PinnedHits)
+	}
+	if c.PinnedLen() != 2 {
+		t.Errorf("PinnedLen = %d, want 2", c.PinnedLen())
+	}
+	if c.Len() > 2 {
+		t.Errorf("Len = %d > capacity 2: pins leaked into the LRU", c.Len())
+	}
+}
+
+// TestCacheHitPathAllocs is the zero-allocation guard for the cache hit
+// path under the segmented policy: steady-state Get hits (protected and
+// pinned), misses, and ghost-cache touches must not allocate — the
+// shadow-cache addition may not put allocations on the hit path.
+func TestCacheHitPathAllocs(t *testing.T) {
+	c := NewSegmentedLRU[uint32, int](1024, Uint32Hasher)
+	c.Pin(1_000_000, 1)
+	for k := uint32(0); k < 512; k++ {
+		c.Put(k, int(k))
+	}
+	// Promote the working set into the protected segment so the measured
+	// hits are steady-state recency bumps, not first-hit promotions.
+	for pass := 0; pass < 2; pass++ {
+		for k := uint32(0); k < 512; k++ {
+			c.Get(k)
+		}
+	}
+	sh := NewShadow[uint32]([]int{64, 256, 1024})
+	keys := []uint32{3, 7, 11, 13, 17, 19, 23, 29}
+	// Warm the shadow past every simulated capacity so its maps stop
+	// growing.
+	for k := uint32(0); k < 4096; k++ {
+		sh.Touch(k)
+	}
+
+	var i uint32
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Get(i % 512)     // protected-segment hit
+		c.Get(1_000_000)   // pinned hit
+		sh.TouchAll(keys)  // ghost-cache batch touch
+		sh.Touch(i % 4096) // ghost-cache single touch
+		c.Get(9_999_999)   // miss
+		i += 37
+	})
+	if allocs > 0 {
+		t.Errorf("cache hit path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestCachePutAllocBudget bounds the full Get/Put mix under the segmented
+// policy, matching the style (and generosity) of serving's per-lookup
+// alloc guards: an evicting insert costs one list.Element plus the kv box,
+// so the budget is small but not zero.
+func TestCachePutAllocBudget(t *testing.T) {
+	c := NewSegmentedLRU[uint32, int](1024, Uint32Hasher)
+	for k := uint32(0); k < 2048; k++ {
+		c.Put(k, int(k))
+	}
+	var i uint32
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Get(i % 4096)  // mix of hits (with promotion churn) and misses
+		c.Put(i%4096, 0) // mix of updates and evicting inserts
+		i += 37
+	})
+	if allocs > 6 {
+		t.Errorf("cache Get/Put mix allocates %.1f times per op, want ≤ 6", allocs)
+	}
+}
+
+func BenchmarkSegmentedGetHit(b *testing.B) {
+	c := NewSegmentedLRU[uint32, []float32](100_000, Uint32Hasher)
+	vec := make([]float32, 64)
+	for k := uint32(0); k < 50_000; k++ {
+		c.Put(k, vec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(uint32(i % 50_000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSegmentedPutEvict(b *testing.B) {
+	c := NewSegmentedLRU[uint32, []float32](100_000, Uint32Hasher)
+	vec := make([]float32, 64)
+	for k := uint32(0); k < 100_000; k++ {
+		c.Put(k, vec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Put(uint32(100_000+i), vec)
+	}
+}
+
+func BenchmarkShadowTouchAll(b *testing.B) {
+	sh := NewShadow[uint32]([]int{1_000, 10_000, 100_000})
+	keys := make([]uint32, 26)
+	for i := range keys {
+		keys[i] = uint32(i * 997)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = uint32((i*31 + j*997) % 200_000)
+		}
+		sh.TouchAll(keys)
+	}
+}

@@ -109,6 +109,7 @@ func All() []Experiment {
 		{"batchsweep", "Supplementary: cross-request micro-batching vs batch size", BatchSweep},
 		{"refreshsweep", "Supplementary: online layout refresh and hot swap under drift", RefreshSweep},
 		{"rebuildsweep", "Supplementary: shard failure, live rebuild onto the hot spare, and scrubbing", RebuildSweep},
+		{"tiersweep", "Supplementary: hotness-tiered memory hierarchy at equal TCO", TierSweep},
 	}
 }
 

@@ -1,0 +1,257 @@
+// Tier placement: assigning the hottest pages of a layout to the fastest
+// device tier of a heterogeneous array.
+//
+// The striped array fixes page → shard as p mod n, so "which tier a page
+// lives on" is entirely a property of its page ID's residue class. Tiering
+// is therefore a page-ID permutation: rank pages by expected access heat
+// and renumber so the hottest pages occupy the IDs whose residues belong
+// to the fast tier's shards. Only pages whose tier actually changes move
+// (minimal swaps), which keeps promotion/demotion counts meaningful and
+// re-tiering at refresh boundaries cheap to reason about.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/layout"
+)
+
+// TierReport summarizes one Retier pass.
+type TierReport struct {
+	// Tiers is the number of device tiers.
+	Tiers int
+	// Moved is the number of pages whose tier changed.
+	Moved int
+	// Promoted is the number of pages that moved to a faster tier.
+	Promoted int
+	// Demoted is the number of pages that moved to a slower tier.
+	Demoted int
+	// TierPages counts the pages resident on each tier after the pass.
+	TierPages []int
+	// TierHeat sums the heat of the pages resident on each tier after
+	// the pass; TierHeat[0]/total is the fraction of expected accesses
+	// the fast tier absorbs.
+	TierHeat []float64
+}
+
+// KeyFreq counts how many queries each key appears in — the per-key
+// expected access frequency the tier pass and the DRAM pin-set consume.
+// Works on any recorded query history (e.g. serving.HistoryRecorder
+// snapshots).
+func KeyFreq(numKeys int, queries [][]layout.Key) []float64 {
+	freq := make([]float64, numKeys)
+	for _, q := range queries {
+		for _, k := range q {
+			if int(k) < numKeys {
+				freq[k]++
+			}
+		}
+	}
+	return freq
+}
+
+// KeyFreqFromGraph derives per-key access frequency from the co-appearance
+// hypergraph built at layout time: a key's vertex degree is the number of
+// history queries containing it.
+func KeyFreqFromGraph(g *hypergraph.Graph, numKeys int) []float64 {
+	freq := make([]float64, numKeys)
+	for k := 0; k < numKeys; k++ {
+		freq[k] = float64(g.Degree(uint32(k)))
+	}
+	return freq
+}
+
+// PageHeat sums per-key frequency over each page's resident keys,
+// producing the per-page expected access heat Retier ranks by. Replica
+// copies count toward every page holding them: a replica page serving hot
+// keys deserves fast-tier residency just as much as a home page.
+func PageHeat(lay *layout.Layout, keyFreq []float64) []float64 {
+	heat := make([]float64, lay.NumPages())
+	for p, keys := range lay.Pages {
+		for _, k := range keys {
+			if int(k) < len(keyFreq) {
+				heat[p] += keyFreq[k]
+			}
+		}
+	}
+	return heat
+}
+
+// TopKeys returns the n hottest keys by frequency (ties broken by key ID
+// for determinism) — the DRAM pin-set. Keys with zero frequency are never
+// pinned.
+func TopKeys(keyFreq []float64, n int) []layout.Key {
+	if n <= 0 {
+		return nil
+	}
+	order := make([]layout.Key, 0, len(keyFreq))
+	for k, f := range keyFreq {
+		if f > 0 {
+			order = append(order, layout.Key(k))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if keyFreq[order[i]] != keyFreq[order[j]] {
+			return keyFreq[order[i]] > keyFreq[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > n {
+		order = order[:n]
+	}
+	return order
+}
+
+// DiscountTop returns a copy of keyFreq with the n hottest keys zeroed.
+// Tier heat should rank pages by the traffic that actually reaches the
+// SSD: the DRAM layer (pin-set plus a warmed LRU of roughly the top keys)
+// absorbs the head of the distribution, so pages holding those keys are
+// shielded and would waste fast-tier slots. Discounting the expected
+// DRAM residents before PageHeat ranks pages by post-cache heat instead.
+func DiscountTop(keyFreq []float64, n int) []float64 {
+	out := append([]float64(nil), keyFreq...)
+	for _, k := range TopKeys(keyFreq, n) {
+		out[k] = 0
+	}
+	return out
+}
+
+// Retier returns a copy of lay renumbered so that the hottest pages occupy
+// the page IDs striped onto the fastest tier. tierOfShard maps each shard
+// of the serving array to its tier rank (0 = fastest; see
+// ssd.Array.TierShardMap), and heat is the per-page expected access
+// frequency (see PageHeat) indexed by lay's current page IDs.
+//
+// The input layout is not modified — re-tiering happens on the
+// freshly-built layout of a refresh while the previous generation keeps
+// serving, so mutating in place would race with in-flight lookups.
+// Pages already on their target tier keep their IDs; the rest are matched
+// promote-to-demote in deterministic order. With a homogeneous array
+// (single tier) the copy is returned unchanged with an all-zero report.
+func Retier(lay *layout.Layout, heat []float64, tierOfShard []int) (*layout.Layout, *TierReport, error) {
+	n := len(tierOfShard)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("placement: Retier needs a shard→tier map")
+	}
+	if len(heat) != lay.NumPages() {
+		return nil, nil, fmt.Errorf("placement: heat has %d entries for %d pages", len(heat), lay.NumPages())
+	}
+	numTiers := 0
+	for s, t := range tierOfShard {
+		if t < 0 {
+			return nil, nil, fmt.Errorf("placement: shard %d has negative tier %d", s, t)
+		}
+		if t+1 > numTiers {
+			numTiers = t + 1
+		}
+	}
+
+	numPages := lay.NumPages()
+	// slotTier[p] is the tier of page ID p, fixed by the striping.
+	slotTier := make([]int, numPages)
+	tierSlots := make([]int, numTiers)
+	for p := 0; p < numPages; p++ {
+		t := tierOfShard[p%n]
+		slotTier[p] = t
+		tierSlots[t]++
+	}
+
+	// Rank pages hottest-first (ties by ID for determinism) and fill tier
+	// quotas in rank order: the hottest tierSlots[0] pages are desired on
+	// tier 0, the next tierSlots[1] on tier 1, and so on.
+	rank := make([]layout.PageID, numPages)
+	for p := range rank {
+		rank[p] = layout.PageID(p)
+	}
+	sort.SliceStable(rank, func(i, j int) bool {
+		if heat[rank[i]] != heat[rank[j]] {
+			return heat[rank[i]] > heat[rank[j]]
+		}
+		return rank[i] < rank[j]
+	})
+	desired := make([]int, numPages)
+	{
+		t, left := 0, tierSlots[0]
+		for _, p := range rank {
+			for left == 0 {
+				t++
+				left = tierSlots[t]
+			}
+			desired[p] = t
+			left--
+		}
+	}
+
+	// Minimal-move matching: pages already on their desired tier keep
+	// their IDs; the rest vacate their slots, and each tier hands its
+	// vacated slot IDs (ascending) to its incoming pages (hottest first,
+	// so hotter pages get lower IDs — earlier residues — within a tier).
+	perm := make([]layout.PageID, numPages) // old page ID → new page ID
+	vacated := make([][]layout.PageID, numTiers)
+	incoming := make([][]layout.PageID, numTiers)
+	rep := &TierReport{
+		Tiers:     numTiers,
+		TierPages: make([]int, numTiers),
+		TierHeat:  make([]float64, numTiers),
+	}
+	for p := 0; p < numPages; p++ {
+		rep.TierPages[desired[p]]++
+		rep.TierHeat[desired[p]] += heat[p]
+		if desired[p] == slotTier[p] {
+			perm[p] = layout.PageID(p)
+			continue
+		}
+		vacated[slotTier[p]] = append(vacated[slotTier[p]], layout.PageID(p))
+		if desired[p] < slotTier[p] {
+			rep.Promoted++
+		} else {
+			rep.Demoted++
+		}
+		rep.Moved++
+	}
+	for _, p := range rank {
+		if d := desired[p]; d != slotTier[p] {
+			incoming[d] = append(incoming[d], p)
+		}
+	}
+	for t := 0; t < numTiers; t++ {
+		if len(vacated[t]) != len(incoming[t]) {
+			return nil, nil, fmt.Errorf("placement: tier %d vacates %d slots but receives %d pages",
+				t, len(vacated[t]), len(incoming[t]))
+		}
+		for i, p := range incoming[t] {
+			perm[p] = vacated[t][i]
+		}
+	}
+
+	// Apply the permutation to a fresh layout. Page key slices are
+	// immutable under renumbering and safely shared with the input.
+	out := &layout.Layout{
+		NumKeys:  lay.NumKeys,
+		Capacity: lay.Capacity,
+		Pages:    make([][]layout.Key, numPages),
+		Home:     make([]layout.PageID, len(lay.Home)),
+	}
+	for p, keys := range lay.Pages {
+		out.Pages[perm[p]] = keys
+	}
+	for k, h := range lay.Home {
+		out.Home[k] = perm[h]
+	}
+	if lay.Replicas != nil {
+		out.Replicas = make([][]layout.PageID, len(lay.Replicas))
+		for k, reps := range lay.Replicas {
+			if len(reps) == 0 {
+				continue
+			}
+			nr := make([]layout.PageID, len(reps))
+			for i, r := range reps {
+				nr[i] = perm[r]
+			}
+			out.Replicas[k] = nr
+		}
+	}
+	return out, rep, nil
+}

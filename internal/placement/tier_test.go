@@ -1,0 +1,221 @@
+package placement
+
+import (
+	"testing"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/layout"
+)
+
+// tierLayout builds a small replicated layout striped over 4 shards for
+// the Retier tests: 16 keys, capacity 2, 8 home pages.
+func tierLayout(t *testing.T) *layout.Layout {
+	t.Helper()
+	assign := make([]int32, 16)
+	for k := range assign {
+		assign[k] = int32(k / 2)
+	}
+	lay, err := layout.FromAssignment(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+func TestRetierMovesHotPagesToFastTier(t *testing.T) {
+	lay := tierLayout(t)
+	// Shard 0 fast (tier 0), shards 1-3 dense: fast slots are page IDs
+	// ≡ 0 mod 4, i.e. pages 0 and 4 of the 8.
+	tierOf := []int{0, 1, 1, 1}
+	heat := make([]float64, lay.NumPages())
+	// Hottest pages are 3 and 5 — both currently on dense slots.
+	heat[3], heat[5] = 100, 90
+	heat[0], heat[4] = 1, 2 // current fast residents are cold
+
+	out, rep, err := Retier(lay, heat, tierOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("re-tiered layout invalid: %v", err)
+	}
+	if rep.Tiers != 2 {
+		t.Fatalf("Tiers = %d, want 2", rep.Tiers)
+	}
+	if rep.Promoted != 2 || rep.Demoted != 2 || rep.Moved != 4 {
+		t.Fatalf("promoted/demoted/moved = %d/%d/%d, want 2/2/4", rep.Promoted, rep.Demoted, rep.Moved)
+	}
+	if rep.TierPages[0] != 2 || rep.TierPages[1] != 6 {
+		t.Fatalf("TierPages = %v, want [2 6]", rep.TierPages)
+	}
+	if rep.TierHeat[0] != 190 {
+		t.Fatalf("TierHeat[0] = %v, want 190 (heat of pages 3 and 5)", rep.TierHeat[0])
+	}
+
+	// The keys of old pages 3 and 5 must now live on fast-tier page IDs
+	// (≡ 0 mod 4), hottest (old 3) on the lower ID.
+	for _, k := range lay.Pages[3] {
+		if out.Home[k] != 0 {
+			t.Errorf("hot key %d home = %d, want 0", k, out.Home[k])
+		}
+	}
+	for _, k := range lay.Pages[5] {
+		if out.Home[k] != 4 {
+			t.Errorf("hot key %d home = %d, want 4", k, out.Home[k])
+		}
+	}
+	// Input layout untouched.
+	if lay.Home[lay.Pages[3][0]] != 3 {
+		t.Error("Retier mutated the input layout")
+	}
+}
+
+func TestRetierIsMinimal(t *testing.T) {
+	lay := tierLayout(t)
+	tierOf := []int{0, 1, 1, 1}
+	heat := make([]float64, lay.NumPages())
+	// Pages 0 and 4 (the fast slots) are already the hottest: nothing
+	// should move.
+	heat[0], heat[4] = 100, 90
+	out, rep, err := Retier(lay, heat, tierOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 0 || rep.Promoted != 0 || rep.Demoted != 0 {
+		t.Fatalf("moved/promoted/demoted = %d/%d/%d, want 0/0/0", rep.Moved, rep.Promoted, rep.Demoted)
+	}
+	for k := range lay.Home {
+		if out.Home[k] != lay.Home[k] {
+			t.Fatalf("key %d moved from page %d to %d with no tier change", k, lay.Home[k], out.Home[k])
+		}
+	}
+}
+
+func TestRetierSingleTierIsIdentity(t *testing.T) {
+	lay := tierLayout(t)
+	heat := make([]float64, lay.NumPages())
+	heat[7] = 5
+	out, rep, err := Retier(lay, heat, []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Moved != 0 {
+		t.Fatalf("Moved = %d on a single tier, want 0", rep.Moved)
+	}
+	for k := range lay.Home {
+		if out.Home[k] != lay.Home[k] {
+			t.Fatalf("single-tier Retier moved key %d", k)
+		}
+	}
+}
+
+func TestRetierPermutesReplicas(t *testing.T) {
+	lay := tierLayout(t)
+	// Give key 0 (home page 0) a replica page.
+	rp, err := lay.AddReplicaPage([]layout.Key{0, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tierOf := []int{0, 1, 1, 1}
+	heat := make([]float64, lay.NumPages())
+	heat[rp] = 100 // hottest page is the replica page itself
+	out, rep, err := Retier(lay, heat, tierOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("re-tiered layout invalid: %v", err)
+	}
+	if rep.Promoted < 1 {
+		t.Fatalf("Promoted = %d, want ≥ 1 (the replica page)", rep.Promoted)
+	}
+	// Key 0's replica must now sit on a fast slot (≡ 0 mod 4).
+	if got := out.Replicas[0][0] % 4; got != 0 {
+		t.Errorf("replica page ID %d not on the fast tier", out.Replicas[0][0])
+	}
+}
+
+func TestRetierErrors(t *testing.T) {
+	lay := tierLayout(t)
+	heat := make([]float64, lay.NumPages())
+	if _, _, err := Retier(lay, heat, nil); err == nil {
+		t.Error("Retier with no tier map: want error")
+	}
+	if _, _, err := Retier(lay, heat[:1], []int{0, 1, 1, 1}); err == nil {
+		t.Error("Retier with short heat: want error")
+	}
+	if _, _, err := Retier(lay, heat, []int{0, -1, 1, 1}); err == nil {
+		t.Error("Retier with negative tier: want error")
+	}
+}
+
+func TestKeyFreqAndTopKeys(t *testing.T) {
+	queries := [][]layout.Key{{0, 1}, {1, 2}, {1, 3}, {2, 99}}
+	freq := KeyFreq(4, queries)
+	want := []float64{1, 3, 2, 1}
+	for k, w := range want {
+		if freq[k] != w {
+			t.Errorf("freq[%d] = %v, want %v", k, freq[k], w)
+		}
+	}
+	top := TopKeys(freq, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopKeys = %v, want [1 2]", top)
+	}
+	// Zero-frequency keys never pinned even with a generous n.
+	freq2 := []float64{0, 5, 0}
+	if top := TopKeys(freq2, 3); len(top) != 1 || top[0] != 1 {
+		t.Errorf("TopKeys over sparse freq = %v, want [1]", top)
+	}
+
+	g, err := hypergraph.FromQueries(4, queries[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := KeyFreqFromGraph(g, 4)
+	if gf[1] != 3 {
+		t.Errorf("graph freq[1] = %v, want 3", gf[1])
+	}
+}
+
+func TestPageHeatCountsReplicas(t *testing.T) {
+	lay := tierLayout(t)
+	rp, err := lay.AddReplicaPage([]layout.Key{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]float64, lay.NumKeys)
+	freq[0] = 7
+	heat := PageHeat(lay, freq)
+	if heat[lay.Home[0]] != 7 {
+		t.Errorf("home page heat = %v, want 7", heat[lay.Home[0]])
+	}
+	if heat[rp] != 7 {
+		t.Errorf("replica page heat = %v, want 7", heat[rp])
+	}
+}
+
+func TestDiscountTopZeroesDRAMResidents(t *testing.T) {
+	freq := []float64{1, 5, 3, 0, 2}
+	got := DiscountTop(freq, 2)
+	want := []float64{1, 0, 0, 0, 2}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("DiscountTop[%d] = %v, want %v", k, got[k], w)
+		}
+	}
+	// The input is untouched — callers reuse the raw frequency for pins.
+	if freq[1] != 5 || freq[2] != 3 {
+		t.Errorf("DiscountTop mutated its input: %v", freq)
+	}
+	// n = 0 is the identity; n past the hot set only zeroes nonzero keys.
+	if got := DiscountTop(freq, 0); got[1] != 5 {
+		t.Errorf("DiscountTop(freq, 0) changed freq: %v", got)
+	}
+	got = DiscountTop(freq, 10)
+	for k, f := range got {
+		if f != 0 {
+			t.Errorf("DiscountTop(freq, 10)[%d] = %v, want all zero", k, f)
+		}
+	}
+}

@@ -479,7 +479,10 @@ type StatsResponse struct {
 	// Shards breaks Device down per member drive of a multi-device
 	// backend (one entry on a single device), with each shard's peak
 	// observed queue depth.
-	Shards   []ShardStatsEntry `json:"shards"`
+	Shards []ShardStatsEntry `json:"shards"`
+	// Tiers aggregates shard activity per device tier (fastest first) on a
+	// heterogeneous backend; omitted when the backend has a single tier.
+	Tiers    []TierStatsEntry `json:"tiers,omitempty"`
 	Recovery struct {
 		ReadErrors      int64 `json:"read_errors"`
 		Timeouts        int64 `json:"timeouts"`
@@ -524,13 +527,10 @@ type StatsResponse struct {
 		LastMTTRNS    int64            `json:"last_mttr_ns"`
 		Last          *RebuildResponse `json:"last,omitempty"`
 	} `json:"rebuild"`
-	Cache *struct {
-		Hits      int64   `json:"hits"`
-		Misses    int64   `json:"misses"`
-		Evictions int64   `json:"evictions"`
-		HitRate   float64 `json:"hit_rate"`
-		Entries   int     `json:"entries"`
-	} `json:"cache,omitempty"`
+	Cache *CacheStatsEntry `json:"cache,omitempty"`
+	// Shadow is the ghost-cache miss-rate curve (one point per simulated
+	// DRAM capacity); present only when the engine runs shadow caches.
+	Shadow  []ShadowPointEntry `json:"shadow,omitempty"`
 	Latency struct {
 		Count  int     `json:"count"`
 		MeanNS float64 `json:"mean_ns"`
@@ -564,18 +564,68 @@ type StatsResponse struct {
 // the read/fault activity plus the highest per-worker queue depth any
 // serving worker observed on its queue pair to that shard.
 type ShardStatsEntry struct {
-	Shard       int   `json:"shard"`
-	Reads       int64 `json:"reads"`
-	BytesRead   int64 `json:"bytes_read"`
-	Errors      int64 `json:"errors"`
-	Timeouts    int64 `json:"timeouts"`
-	Corruptions int64 `json:"corruptions"`
-	QueuePeak   int64 `json:"queue_peak"`
+	Shard int `json:"shard"`
+	// Profile names the shard's device model; Tier is its tier rank
+	// (0 = fastest) on a tiered backend, 0 otherwise.
+	Profile     string `json:"profile,omitempty"`
+	Tier        int    `json:"tier"`
+	Reads       int64  `json:"reads"`
+	BytesRead   int64  `json:"bytes_read"`
+	Errors      int64  `json:"errors"`
+	Timeouts    int64  `json:"timeouts"`
+	Corruptions int64  `json:"corruptions"`
+	QueuePeak   int64  `json:"queue_peak"`
 	// Health state machine detail, present when the backend tracks
 	// per-shard health (a multi-device array).
 	State        string  `json:"state,omitempty"`
 	FaultRate    float64 `json:"fault_rate,omitempty"`
 	LatentErrors int64   `json:"latent_errors,omitempty"`
+}
+
+// TierStatsEntry is one device tier's aggregate slice of /v1/stats.
+type TierStatsEntry struct {
+	Tier    int    `json:"tier"`
+	Profile string `json:"profile"`
+	Shards  []int  `json:"shards"`
+	// Pages is how many of the current layout's pages live on this tier.
+	Pages     int   `json:"pages"`
+	Reads     int64 `json:"reads"`
+	BytesRead int64 `json:"bytes_read"`
+	// ReadShare is this tier's fraction of all backend reads.
+	ReadShare float64 `json:"read_share"`
+	// RatedBandwidth sums the member shards' rated bandwidth (bytes/s).
+	RatedBandwidth float64 `json:"rated_bandwidth"`
+}
+
+// ShadowPointEntry is one simulated capacity of the ghost-cache
+// miss-rate curve on /v1/stats.
+type ShadowPointEntry struct {
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Accesses int64   `json:"accesses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// CacheStatsEntry is the DRAM cache's slice of /v1/stats, including
+// per-segment occupancy and churn under the segmented policy and the
+// pin-set counters.
+type CacheStatsEntry struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	// Segment detail: probation/protected occupancy and eviction split,
+	// with promotion/demotion churn (zero protected under plain LRU).
+	ProbationEntries   int   `json:"probation_entries"`
+	ProtectedEntries   int   `json:"protected_entries"`
+	ProbationEvictions int64 `json:"probation_evictions"`
+	ProtectedEvictions int64 `json:"protected_evictions"`
+	Promotions         int64 `json:"promotions"`
+	Demotions          int64 `json:"demotions"`
+	// Pin-set detail: permanently resident entries above the LRU.
+	PinnedEntries int   `json:"pinned_entries"`
+	PinnedHits    int64 `json:"pinned_hits"`
 }
 
 // shardStats snapshots per-shard device counters and the current engine's
@@ -584,16 +634,22 @@ func (h *Handler) shardStats(eng *serving.Engine) []ShardStatsEntry {
 	be := h.curBackend()
 	n := be.NumShards()
 	peaks := eng.ShardQueuePeaks()
+	tr, _ := be.(ssd.TierReporter)
 	out := make([]ShardStatsEntry, n)
 	for i := 0; i < n; i++ {
-		ds := be.Shard(i).Stats()
+		sh := be.Shard(i)
+		ds := sh.Stats()
 		out[i] = ShardStatsEntry{
 			Shard:       i,
+			Profile:     sh.Profile().Name,
 			Reads:       ds.Reads,
 			BytesRead:   ds.BytesRead,
 			Errors:      ds.Errors,
 			Timeouts:    ds.Timeouts,
 			Corruptions: ds.Corruptions,
+		}
+		if tr != nil {
+			out[i].Tier = tr.TierOf(i)
 		}
 		if i < len(peaks) {
 			out[i].QueuePeak = peaks[i]
@@ -610,6 +666,40 @@ func (h *Handler) shardStats(eng *serving.Engine) []ShardStatsEntry {
 	return out
 }
 
+// tierStats aggregates shard activity per device tier of a heterogeneous
+// backend, nil when the backend has a single tier. Page occupancy comes
+// from the engine's current layout: page p stripes to shard p mod n.
+func (h *Handler) tierStats(eng *serving.Engine) []TierStatsEntry {
+	be := h.curBackend()
+	tr, ok := be.(ssd.TierReporter)
+	if !ok || tr.NumTiers() < 2 {
+		return nil
+	}
+	n := be.NumShards()
+	out := make([]TierStatsEntry, tr.NumTiers())
+	var totalReads int64
+	for t := range out {
+		info := tr.Tier(t)
+		out[t] = TierStatsEntry{Tier: t, Profile: info.Profile.Name, Shards: info.Shards}
+		for _, s := range info.Shards {
+			ds := be.Shard(s).Stats()
+			out[t].Reads += ds.Reads
+			out[t].BytesRead += ds.BytesRead
+			out[t].RatedBandwidth += be.Shard(s).Profile().Bandwidth
+			totalReads += ds.Reads
+		}
+	}
+	for p := range eng.Layout().Pages {
+		out[tr.TierOf(p%n)].Pages++
+	}
+	if totalReads > 0 {
+		for t := range out {
+			out[t].ReadShare = float64(out[t].Reads) / float64(totalReads)
+		}
+	}
+	return out
+}
+
 func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	var resp StatsResponse
 	ds := h.curBackend().Stats()
@@ -619,6 +709,7 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Device.Timeouts = ds.Timeouts
 	resp.Device.Corruptions = ds.Corruptions
 	resp.Shards = h.shardStats(h.handle.Engine())
+	resp.Tiers = h.tierStats(h.handle.Engine())
 	// Recovery counters aggregate across engine swaps (retired engines'
 	// totals are folded in) so they stay monotonic for pollers.
 	rec := h.handle.Totals()
@@ -660,13 +751,28 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	eng := h.handle.Engine()
 	if c := eng.Cache(); c != nil {
 		cs := c.Stats()
-		resp.Cache = &struct {
-			Hits      int64   `json:"hits"`
-			Misses    int64   `json:"misses"`
-			Evictions int64   `json:"evictions"`
-			HitRate   float64 `json:"hit_rate"`
-			Entries   int     `json:"entries"`
-		}{cs.Hits, cs.Misses, cs.Evictions, cs.HitRate(), c.Len()}
+		resp.Cache = &CacheStatsEntry{
+			Hits:               cs.Hits,
+			Misses:             cs.Misses,
+			Evictions:          cs.Evictions,
+			HitRate:            cs.HitRate(),
+			Entries:            c.Len(),
+			ProbationEntries:   cs.ProbationLen,
+			ProtectedEntries:   cs.ProtectedLen,
+			ProbationEvictions: cs.ProbationEvictions,
+			ProtectedEvictions: cs.ProtectedEvictions,
+			Promotions:         cs.Promotions,
+			Demotions:          cs.Demotions,
+			PinnedEntries:      cs.PinnedEntries,
+			PinnedHits:         cs.PinnedHits,
+		}
+	}
+	if sh := eng.Shadow(); sh != nil {
+		for _, p := range sh.Curve() {
+			resp.Shadow = append(resp.Shadow, ShadowPointEntry{
+				Capacity: p.Capacity, Hits: p.Hits, Accesses: p.Accesses, HitRate: p.HitRate,
+			})
+		}
 	}
 	ls := eng.Latency.Snapshot()
 	resp.Latency.Count = ls.Count
@@ -723,6 +829,24 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range shards {
 		fmt.Fprintf(w, "maxembed_shard_queue_peak{shard=\"%d\"} %d\n", s.Shard, s.QueuePeak)
 	}
+	if tiers := h.tierStats(h.handle.Engine()); tiers != nil {
+		fmt.Fprintf(w, "# TYPE maxembed_tier_reads_total counter\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "maxembed_tier_reads_total{tier=\"%d\",profile=%q} %d\n", t.Tier, t.Profile, t.Reads)
+		}
+		fmt.Fprintf(w, "# TYPE maxembed_tier_bytes_read_total counter\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "maxembed_tier_bytes_read_total{tier=\"%d\",profile=%q} %d\n", t.Tier, t.Profile, t.BytesRead)
+		}
+		fmt.Fprintf(w, "# TYPE maxembed_tier_pages gauge\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "maxembed_tier_pages{tier=\"%d\",profile=%q} %d\n", t.Tier, t.Profile, t.Pages)
+		}
+		fmt.Fprintf(w, "# TYPE maxembed_tier_read_share gauge\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "maxembed_tier_read_share{tier=\"%d\",profile=%q} %g\n", t.Tier, t.Profile, t.ReadShare)
+		}
+	}
 	if hr, ok := be.(ssd.HealthReporter); ok {
 		n := be.NumShards()
 		// Shard state machine position: 0 healthy, 1 suspect, 2 failed,
@@ -775,6 +899,14 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# TYPE maxembed_cache_hits_total counter\nmaxembed_cache_hits_total %d\n", cs.Hits)
 		fmt.Fprintf(w, "# TYPE maxembed_cache_misses_total counter\nmaxembed_cache_misses_total %d\n", cs.Misses)
 		fmt.Fprintf(w, "# TYPE maxembed_cache_entries gauge\nmaxembed_cache_entries %d\n", c.Len())
+		fmt.Fprintf(w, "# TYPE maxembed_cache_probation_entries gauge\nmaxembed_cache_probation_entries %d\n", cs.ProbationLen)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_protected_entries gauge\nmaxembed_cache_protected_entries %d\n", cs.ProtectedLen)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_probation_evictions_total counter\nmaxembed_cache_probation_evictions_total %d\n", cs.ProbationEvictions)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_protected_evictions_total counter\nmaxembed_cache_protected_evictions_total %d\n", cs.ProtectedEvictions)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_promotions_total counter\nmaxembed_cache_promotions_total %d\n", cs.Promotions)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_demotions_total counter\nmaxembed_cache_demotions_total %d\n", cs.Demotions)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_pinned_entries gauge\nmaxembed_cache_pinned_entries %d\n", cs.PinnedEntries)
+		fmt.Fprintf(w, "# TYPE maxembed_cache_pinned_hits_total counter\nmaxembed_cache_pinned_hits_total %d\n", cs.PinnedHits)
 	}
 	ls := eng.Latency.Snapshot()
 	fmt.Fprintf(w, "# TYPE maxembed_lookups_total counter\nmaxembed_lookups_total %d\n", rec.Lookups)

@@ -109,6 +109,21 @@ type Config struct {
 	// Recorder, when set, receives every served query's distinct keys so
 	// the offline phase can later be refreshed from live traffic.
 	Recorder *HistoryRecorder
+	// PinnedKeys lists embeddings pinned permanently in DRAM — the very
+	// top of the hotness hierarchy, above the LRU cache. Pinned entries
+	// always hit, are never evicted, and live outside CacheEntries (the
+	// caller splits its DRAM budget between the two). With a Store the
+	// pinned vectors are extracted at construction; timing-only engines
+	// pin placeholders, which time identically. Pinning keys makes the
+	// cache exist even when CacheEntries is 0.
+	PinnedKeys []Key
+	// ShadowSizes, when non-empty, attaches a bank of keys-only ghost
+	// caches simulating LRUs of the given entry capacities over the
+	// engine's distinct-key stream (see cache.Shadow). The measured
+	// hit-rate curve — read via Engine.Shadow — is how DRAM size and the
+	// fast-tier cut are chosen from data rather than guesses. Ghost
+	// touches are host bookkeeping and charge no virtual time.
+	ShadowSizes []int
 }
 
 // DefaultMaxRetries is the recovery-attempt cap applied when
@@ -179,6 +194,7 @@ type Engine struct {
 	health     ssd.HealthReporter
 	idx        *selection.Index
 	cache      *cache.Cache[Key, []float32]
+	shadow     *cache.Shadow[Key]
 	costs      CostModel
 	dim        int
 	vecSize    int
@@ -187,6 +203,11 @@ type Engine struct {
 	// worker has observed on its shard-s queue pair — the per-shard
 	// queue-depth gauge /metrics exports. Updated lock-free by workers.
 	shardQueuePeak []atomic.Int64
+	// shardLat[s] is shard s's profile read latency in ns — non-nil only
+	// when the backend mixes device classes (a tiered array), where
+	// selection tie-breaks prefer the faster tier. Homogeneous backends
+	// leave it nil so their tie-break behaviour is unchanged.
+	shardLat []int64
 	// gen is the layout generation stamped by a Swappable before the
 	// engine is published (0 for engines never held by one). Immutable
 	// once workers exist.
@@ -260,6 +281,19 @@ func New(cfg Config) (*Engine, error) {
 	if hr, ok := be.(ssd.HealthReporter); ok {
 		e.health = hr
 	}
+	if e.numShards > 1 {
+		lats := make([]int64, e.numShards)
+		mixed := false
+		for s := 0; s < e.numShards; s++ {
+			lats[s] = int64(be.Shard(s).Profile().ReadLatency)
+			if lats[s] != lats[0] {
+				mixed = true
+			}
+		}
+		if mixed {
+			e.shardLat = lats
+		}
+	}
 	switch {
 	case cfg.Store != nil:
 		e.dim = cfg.Store.Dim()
@@ -280,15 +314,70 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.vecSize = embedding.BytesPerVector(dim)
 	}
-	if cfg.CacheEntries > 0 {
+	if cfg.CacheEntries > 0 || len(cfg.PinnedKeys) > 0 {
 		if cfg.SegmentedCache {
 			e.cache = cache.NewSegmentedLRU[Key, []float32](cfg.CacheEntries, cache.Uint32Hasher)
 		} else {
 			e.cache = cache.New[Key, []float32](cfg.CacheEntries, cache.Uint32Hasher)
 		}
+		if err := e.pinKeys(cfg.PinnedKeys); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.ShadowSizes) > 0 {
+		e.shadow = cache.NewShadow[Key](cfg.ShadowSizes)
 	}
 	return e, nil
 }
+
+// pinKeys installs the DRAM pin-set before the engine is shared: with a
+// Store the real vectors are extracted (one read per distinct home page);
+// timing-only engines pin nil placeholders.
+func (e *Engine) pinKeys(keys []Key) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	lay := e.cfg.Layout
+	if e.cfg.Store == nil {
+		for _, k := range keys {
+			if int(k) >= lay.NumKeys {
+				return fmt.Errorf("serving: pinned key %d out of range (%d keys)", k, lay.NumKeys)
+			}
+			e.cache.Pin(k, nil)
+		}
+		return nil
+	}
+	byPage := make(map[layout.PageID][]Key)
+	for _, k := range keys {
+		if int(k) >= lay.NumKeys {
+			return fmt.Errorf("serving: pinned key %d out of range (%d keys)", k, lay.NumKeys)
+		}
+		home := lay.Home[k]
+		byPage[home] = append(byPage[home], k)
+	}
+	buf := make([]byte, e.cfg.Store.PageSize())
+	for home, ks := range byPage {
+		if err := e.cfg.Store.ReadPage(home, buf); err != nil {
+			return fmt.Errorf("serving: pin page %d: %w", home, err)
+		}
+		nSlots := len(lay.Pages[home])
+		for _, k := range ks {
+			vec, ok, err := store.ExtractFromImage(buf, e.dim, k, nSlots, nil)
+			if err != nil {
+				return fmt.Errorf("serving: pin key %d: %w", k, err)
+			}
+			if !ok {
+				return fmt.Errorf("serving: pin: home page %d missing key %d", home, k)
+			}
+			e.cache.Pin(k, vec)
+		}
+	}
+	return nil
+}
+
+// Shadow returns the engine's ghost-cache bank, or nil when
+// Config.ShadowSizes was empty.
+func (e *Engine) Shadow() *cache.Shadow[Key] { return e.shadow }
 
 // Index exposes the engine's selection index (read-only).
 func (e *Engine) Index() *selection.Index { return e.idx }
@@ -498,6 +587,12 @@ func (e *Engine) NewWorker() *Worker {
 					return cl
 				}
 			}
+			// On a tiered array, an otherwise-equal page on the faster
+			// device class wins: same coverage, cheaper read. Homogeneous
+			// arrays (shardLat nil) skip straight to load balancing.
+			if e.shardLat != nil && e.shardLat[cs] != e.shardLat[bs] {
+				return e.shardLat[cs] < e.shardLat[bs]
+			}
 			return w.shardLoad[cs] < w.shardLoad[bs]
 		})
 	}
@@ -589,6 +684,12 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	st.DistinctKeys = len(w.distinct)
 	if record && e.cfg.Recorder != nil {
 		e.cfg.Recorder.Record(w.distinct)
+	}
+	if e.shadow != nil {
+		// Ghost caches see the pre-cache distinct-key stream, so their
+		// curve predicts the hit rate a real cache of each simulated
+		// capacity would have had. Host bookkeeping: no virtual time.
+		e.shadow.TouchAll(w.distinct)
 	}
 	if e.cache != nil {
 		for _, k := range w.distinct {

@@ -35,6 +35,14 @@ type RunResult struct {
 	UsefulKeys int64
 	// MeanValidPerRead is the Fig 9 average: embeddings per page read.
 	MeanValidPerRead float64
+	// ServiceBandwidth is embedding bytes *delivered to queries* per
+	// virtual second, counting both SSD-served and DRAM-served keys.
+	// Unlike EffectiveBandwidth (which scales read efficiency by the
+	// backend's rated bandwidth and so is incomparable across backends
+	// with different ratings), ServiceBandwidth is the throughput a
+	// client observes, making it the metric for comparing tier mixes at
+	// a fixed TCO budget.
+	ServiceBandwidth float64
 	// CacheHits counts keys served from DRAM.
 	CacheHits int64
 	// Latency summarizes per-query end-to-end latency.
@@ -113,6 +121,9 @@ func (e *Engine) resetRunState() {
 	if e.cache != nil {
 		e.cache.ResetStats()
 	}
+	if e.shadow != nil {
+		e.shadow.Reset()
+	}
 }
 
 // finalizeRun derives the run's rates from its totals and worker clocks.
@@ -129,6 +140,8 @@ func finalizeRun(e *Engine, res *RunResult, ws []*Worker) {
 		float64(res.UsefulKeys*int64(e.vecSize)),
 		float64(res.PagesRead*int64(prof.PageSize)))
 	res.EffectiveBandwidth = res.Utilization * prof.Bandwidth
+	res.ServiceBandwidth = metrics.BytesPerSecond(
+		(res.UsefulKeys+res.CacheHits)*int64(e.vecSize), res.ElapsedNS)
 	res.MeanValidPerRead = e.ValidPerRead.Mean()
 	res.Latency = e.Latency.Snapshot()
 }

@@ -78,6 +78,12 @@ type Array struct {
 	prof   Profile
 	health *HealthTracker
 
+	// Tier structure derived at construction: shards grouped by profile,
+	// groups ranked fastest-first by read latency (see deriveTiers). A
+	// homogeneous array is one tier.
+	tiers  []TierInfo
+	tierOf []int
+
 	spareMu sync.Mutex
 	spare   *Device // optional hot spare a rebuild streams onto
 }
@@ -87,7 +93,10 @@ type Array struct {
 // is identical to a bare Device.
 func NewArray(prof Profile, n int) (*Array, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("ssd: array needs at least 1 device, got %d", n)
+		return nil, &ArrayConfigError{
+			Reason: "no-devices", Shard: -1,
+			Detail: fmt.Sprintf("array needs at least 1 device, got %d", n),
+		}
 	}
 	devs := make([]*Device, n)
 	for i := range devs {
@@ -101,25 +110,33 @@ func NewArray(prof Profile, n int) (*Array, error) {
 }
 
 // NewArrayOf assembles an array from pre-built devices (e.g. devices armed
-// with per-shard fault models). All members must share a page size; the
-// aggregate profile takes its latency from the first device and sums
-// bandwidth, channels, and queue depth.
+// with per-shard fault models). Profiles may differ per member — that is
+// how tiered arrays are built (see NewTieredArray) — but all members must
+// share a page size; violations return an *ArrayConfigError. The aggregate
+// profile takes its latency from the first device and sums bandwidth,
+// channels, and queue depth. Tier structure (shards grouped by profile,
+// ranked fastest-first) is derived here, so a SwapShard-rebuilt array stays
+// tier-correct without extra bookkeeping.
 func NewArrayOf(devs []*Device) (*Array, error) {
 	if len(devs) == 0 {
-		return nil, fmt.Errorf("ssd: array needs at least 1 device")
+		return nil, &ArrayConfigError{Reason: "no-devices", Shard: -1, Detail: "array needs at least 1 device"}
 	}
 	base := devs[0].Profile()
 	if len(devs) == 1 {
 		a := &Array{devs: devs, prof: base}
+		a.tiers, a.tierOf = deriveTiers(devs)
 		a.initHealth(HealthConfig{})
 		return a, nil
 	}
 	agg := base
-	agg.Name = fmt.Sprintf("Array-%dx%s", len(devs), base.Name)
-	for _, d := range devs[1:] {
+	for i, d := range devs[1:] {
 		p := d.Profile()
 		if p.PageSize != base.PageSize {
-			return nil, fmt.Errorf("ssd: array page sizes differ: %d vs %d", p.PageSize, base.PageSize)
+			return nil, &ArrayConfigError{
+				Reason: "page-size-mismatch", Shard: i + 1,
+				Detail: fmt.Sprintf("page size %d (%s) differs from shard 0's %d (%s)",
+					p.PageSize, p.Name, base.PageSize, base.Name),
+			}
 		}
 		agg.Bandwidth += p.Bandwidth
 		agg.Channels += p.Channels
@@ -127,6 +144,16 @@ func NewArrayOf(devs []*Device) (*Array, error) {
 		agg.WriteBandwidth += p.writeBandwidth()
 	}
 	a := &Array{devs: devs, prof: agg}
+	a.tiers, a.tierOf = deriveTiers(devs)
+	if len(a.tiers) == 1 {
+		a.prof.Name = fmt.Sprintf("Array-%dx%s", len(devs), base.Name)
+	} else {
+		a.prof.Name = tieredName(a.tiers)
+		// A mixed array's per-read latency is not one number; report the
+		// fastest class's (tier 0) as the aggregate's, matching how the
+		// aggregate is used (headline profile, not per-read simulation).
+		a.prof.ReadLatency = a.tiers[0].Profile.ReadLatency
+	}
 	a.initHealth(HealthConfig{})
 	return a, nil
 }

@@ -1,0 +1,174 @@
+package ssd
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewTieredArrayDerivesTiers(t *testing.T) {
+	// Spec order dense-first on purpose: tier ranks must follow read
+	// latency (P5800X fastest → tier 0), not spec order.
+	arr, err := NewTieredArray([]TierSpec{
+		{Profile: P4510, Devices: 3},
+		{Profile: P5800X, Devices: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arr.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+	if got := arr.NumTiers(); got != 2 {
+		t.Fatalf("NumTiers = %d, want 2", got)
+	}
+	if name := arr.Tier(0).Profile.Name; name != P5800X.Name {
+		t.Errorf("tier 0 profile = %s, want %s (fastest first)", name, P5800X.Name)
+	}
+	if name := arr.Tier(1).Profile.Name; name != P4510.Name {
+		t.Errorf("tier 1 profile = %s, want %s", name, P4510.Name)
+	}
+	// Shards 0..2 are the dense spec's devices, shard 3 the fast one.
+	wantTier := []int{1, 1, 1, 0}
+	for s, want := range wantTier {
+		if got := arr.TierOf(s); got != want {
+			t.Errorf("TierOf(%d) = %d, want %d", s, got, want)
+		}
+	}
+	m := arr.TierShardMap()
+	for s, want := range wantTier {
+		if m[s] != want {
+			t.Errorf("TierShardMap()[%d] = %d, want %d", s, m[s], want)
+		}
+	}
+	if got, want := arr.Profile().Name, "Array-1xP5800X+3xP4510"; got != want {
+		t.Errorf("aggregate name = %q, want %q", got, want)
+	}
+	if got, want := arr.Profile().ReadLatency, P5800X.ReadLatency; got != want {
+		t.Errorf("aggregate read latency = %v, want fastest tier's %v", got, want)
+	}
+	if got, want := arr.Profile().Bandwidth, P5800X.Bandwidth+3*P4510.Bandwidth; got != want {
+		t.Errorf("aggregate bandwidth = %v, want %v", got, want)
+	}
+}
+
+func TestHomogeneousArrayIsOneTier(t *testing.T) {
+	arr, err := NewArray(P4510, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arr.NumTiers(); got != 1 {
+		t.Fatalf("NumTiers = %d, want 1", got)
+	}
+	for s := 0; s < 4; s++ {
+		if got := arr.TierOf(s); got != 0 {
+			t.Errorf("TierOf(%d) = %d, want 0", s, got)
+		}
+	}
+	if got, want := arr.Profile().Name, "Array-4xP4510"; got != want {
+		t.Errorf("aggregate name = %q, want %q", got, want)
+	}
+}
+
+func TestDeviceIsOneTier(t *testing.T) {
+	d, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr TierReporter = d
+	if tr.NumTiers() != 1 || tr.TierOf(0) != 0 {
+		t.Fatalf("device tier reporting: NumTiers=%d TierOf(0)=%d", tr.NumTiers(), tr.TierOf(0))
+	}
+	if got := tr.Tier(0).Profile.Name; got != P5800X.Name {
+		t.Errorf("Tier(0).Profile.Name = %s, want %s", got, P5800X.Name)
+	}
+}
+
+func TestArrayConfigErrors(t *testing.T) {
+	var cfgErr *ArrayConfigError
+
+	if _, err := NewArray(P5800X, 0); !errors.As(err, &cfgErr) || cfgErr.Reason != "no-devices" {
+		t.Errorf("NewArray(_, 0) = %v, want ArrayConfigError{no-devices}", err)
+	}
+	if _, err := NewArrayOf(nil); !errors.As(err, &cfgErr) || cfgErr.Reason != "no-devices" {
+		t.Errorf("NewArrayOf(nil) = %v, want ArrayConfigError{no-devices}", err)
+	}
+	if _, err := NewTieredArray(nil); !errors.As(err, &cfgErr) || cfgErr.Reason != "bad-tier-spec" {
+		t.Errorf("NewTieredArray(nil) = %v, want ArrayConfigError{bad-tier-spec}", err)
+	}
+	if _, err := NewTieredArray([]TierSpec{{Profile: P5800X, Devices: 0}}); !errors.As(err, &cfgErr) ||
+		cfgErr.Reason != "bad-tier-spec" {
+		t.Errorf("zero-device tier spec = %v, want ArrayConfigError{bad-tier-spec}", err)
+	}
+
+	small := P5800X
+	small.PageSize = 512
+	a, err := NewDevice(P5800X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDevice(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewArrayOf([]*Device{a, b}); !errors.As(err, &cfgErr) ||
+		cfgErr.Reason != "page-size-mismatch" || cfgErr.Shard != 1 {
+		t.Errorf("mixed page sizes = %v, want ArrayConfigError{page-size-mismatch, shard 1}", err)
+	}
+}
+
+func TestTieredSwapShardKeepsTierStructure(t *testing.T) {
+	arr, err := NewTieredArray([]TierSpec{
+		{Profile: P5800X, Devices: 1},
+		{Profile: P4510, Devices: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spare, err := NewDevice(P4510)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.AttachSpare(spare); err != nil {
+		t.Fatal(err)
+	}
+	arr.FailShard(2)
+	nb, err := arr.SwapShard(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nb.NumTiers(); got != 2 {
+		t.Fatalf("NumTiers after swap = %d, want 2", got)
+	}
+	want := []int{0, 1, 1, 1}
+	for s, w := range want {
+		if got := nb.TierOf(s); got != w {
+			t.Errorf("TierOf(%d) after swap = %d, want %d", s, got, w)
+		}
+	}
+	if got := nb.Profile().Name; got != "Array-1xP5800X+3xP4510" {
+		t.Errorf("aggregate name after swap = %q", got)
+	}
+}
+
+func TestTierStatsSumShardActivity(t *testing.T) {
+	arr, err := NewTieredArray([]TierSpec{
+		{Profile: P5800X, Devices: 1},
+		{Profile: P4510, Devices: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 → shard 0 (fast tier); pages 1..3 → shards 1..3 (dense).
+	mq := NewMultiQueue(arr)
+	for p := PageID(0); p < 4; p++ {
+		mq.Submit(p, 0)
+	}
+	mq.Drain(0)
+	ts := arr.TierStats()
+	if len(ts) != 2 {
+		t.Fatalf("TierStats len = %d, want 2", len(ts))
+	}
+	if ts[0].Reads != 1 || ts[1].Reads != 3 {
+		t.Errorf("tier reads = %d/%d, want 1/3", ts[0].Reads, ts[1].Reads)
+	}
+}

@@ -1,0 +1,106 @@
+package tco
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tier-mix costing: the hotness-tiered hierarchy stores different slices
+// of the table on different drive classes plus a DRAM layer, so cost is a
+// weighted sum rather than one drive price. Comparing mixes at equal
+// budget needs a throughput-normalized figure; CostPerKQPS is the monthly
+// dollars per thousand queries per second a mix delivers.
+
+// P4510 prices the dense QLC-era capacity class used as the cold tier
+// (an 8 TB Intel P4510 at ~$1,200).
+var P4510 = DrivePricing{Name: "P4510", DollarsPerGB: 0.15}
+
+// DRAMDollarsPerGB is the amortized server-DRAM capacity cost, on the
+// same amortization basis as DrivePricing (DDR4 RDIMM street price).
+const DRAMDollarsPerGB = 4.0
+
+// TierShare is one tier's slice of the table: a drive class and the
+// fraction of table bytes (including that tier's replicas) stored on it.
+type TierShare struct {
+	Drive DrivePricing
+	// Fraction of StorageGB on this tier, in [0, 1]; fractions of a mix
+	// must sum to 1.
+	Fraction float64
+}
+
+// MixConfig describes one tiered deployment being costed.
+type MixConfig struct {
+	// TableGB is the base embedding table size in GB.
+	TableGB float64
+	// ReplicationRatio r inflates SSD capacity to (1+r)·TableGB.
+	ReplicationRatio float64
+	// Tiers split the SSD capacity across drive classes.
+	Tiers []TierShare
+	// DRAMGB is the embedding cache plus pin-set size.
+	DRAMGB float64
+	// QPS is the throughput the mix delivers (measured or simulated).
+	QPS float64
+	// InstanceMonthlyUSD is the compute cost; zero uses the paper's value,
+	// negative excludes compute entirely (hardware-only comparisons, where
+	// a shared instance price would wash out the storage differences).
+	InstanceMonthlyUSD float64
+}
+
+// MixEstimate is the costed outcome of a tier mix.
+type MixEstimate struct {
+	// StorageGB is SSD capacity including replicas, split by Tiers.
+	StorageGB float64
+	// StorageUSD, DRAMUSD, TotalUSD are the component and total monthly
+	// costs (instance included in TotalUSD).
+	StorageUSD, DRAMUSD, TotalUSD float64
+	// CostPerKQPS is TotalUSD per 1000 QPS delivered — the figure that
+	// compares mixes with different performance at different prices.
+	CostPerKQPS float64
+}
+
+// Estimate costs the tier mix.
+func (c MixConfig) Estimate() (MixEstimate, error) {
+	if c.TableGB <= 0 {
+		return MixEstimate{}, fmt.Errorf("tco: TableGB must be positive, got %v", c.TableGB)
+	}
+	if c.ReplicationRatio < 0 {
+		return MixEstimate{}, fmt.Errorf("tco: ReplicationRatio must be non-negative, got %v", c.ReplicationRatio)
+	}
+	if c.DRAMGB < 0 {
+		return MixEstimate{}, fmt.Errorf("tco: DRAMGB must be non-negative, got %v", c.DRAMGB)
+	}
+	if c.QPS <= 0 {
+		return MixEstimate{}, fmt.Errorf("tco: QPS must be positive, got %v", c.QPS)
+	}
+	if len(c.Tiers) == 0 {
+		return MixEstimate{}, fmt.Errorf("tco: mix has no tiers")
+	}
+	sum := 0.0
+	for _, t := range c.Tiers {
+		if t.Fraction < 0 || t.Fraction > 1 {
+			return MixEstimate{}, fmt.Errorf("tco: tier %q fraction %v outside [0, 1]", t.Drive.Name, t.Fraction)
+		}
+		if t.Fraction > 0 && t.Drive.DollarsPerGB <= 0 {
+			return MixEstimate{}, fmt.Errorf("tco: drive %q has no price", t.Drive.Name)
+		}
+		sum += t.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return MixEstimate{}, fmt.Errorf("tco: tier fractions sum to %v, want 1", sum)
+	}
+	instance := c.InstanceMonthlyUSD
+	if instance == 0 {
+		instance = InstanceMonthlyUSD
+	} else if instance < 0 {
+		instance = 0
+	}
+	var e MixEstimate
+	e.StorageGB = c.TableGB * (1 + c.ReplicationRatio)
+	for _, t := range c.Tiers {
+		e.StorageUSD += e.StorageGB * t.Fraction * t.Drive.DollarsPerGB
+	}
+	e.DRAMUSD = c.DRAMGB * DRAMDollarsPerGB
+	e.TotalUSD = e.StorageUSD + e.DRAMUSD + instance
+	e.CostPerKQPS = e.TotalUSD / (c.QPS / 1000)
+	return e, nil
+}

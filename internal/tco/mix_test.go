@@ -1,0 +1,141 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixEstimateComponents(t *testing.T) {
+	// 100 GB table, no replicas: 25% on P5800X, 75% on P4510, 4 GB DRAM.
+	e, err := MixConfig{
+		TableGB: 100,
+		Tiers: []TierShare{
+			{Drive: P5800X, Fraction: 0.25},
+			{Drive: P4510, Fraction: 0.75},
+		},
+		DRAMGB: 4,
+		QPS:    2000,
+	}.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStorage := 100*0.25*1.25 + 100*0.75*0.15 // 31.25 + 11.25
+	if math.Abs(e.StorageUSD-wantStorage) > 1e-9 {
+		t.Errorf("StorageUSD = %v, want %v", e.StorageUSD, wantStorage)
+	}
+	if math.Abs(e.DRAMUSD-16) > 1e-9 {
+		t.Errorf("DRAMUSD = %v, want 16", e.DRAMUSD)
+	}
+	wantTotal := wantStorage + 16 + InstanceMonthlyUSD
+	if math.Abs(e.TotalUSD-wantTotal) > 1e-9 {
+		t.Errorf("TotalUSD = %v, want %v", e.TotalUSD, wantTotal)
+	}
+	if math.Abs(e.CostPerKQPS-wantTotal/2) > 1e-9 {
+		t.Errorf("CostPerKQPS = %v, want %v", e.CostPerKQPS, wantTotal/2)
+	}
+}
+
+func TestMixReplicationInflatesStorage(t *testing.T) {
+	mk := func(r float64) MixEstimate {
+		e, err := MixConfig{
+			TableGB:          200,
+			ReplicationRatio: r,
+			Tiers:            []TierShare{{Drive: P4510, Fraction: 1}},
+			QPS:              1000,
+		}.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plain, repl := mk(0), mk(0.1)
+	if math.Abs(repl.StorageGB-220) > 1e-9 || math.Abs(plain.StorageGB-200) > 1e-9 {
+		t.Errorf("StorageGB = %v/%v, want 200/220", plain.StorageGB, repl.StorageGB)
+	}
+	if repl.StorageUSD <= plain.StorageUSD {
+		t.Error("replication should cost storage")
+	}
+}
+
+func TestMixSingleTierMatchesConfig(t *testing.T) {
+	// A one-tier mix with no DRAM must agree with the flat Config model.
+	flat, err := Config{
+		TableGB: CriteoTBTableGB, ReplicationRatio: 0.8,
+		RelativePerformance: 1, Drive: P5800X,
+	}.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := MixConfig{
+		TableGB: CriteoTBTableGB, ReplicationRatio: 0.8,
+		Tiers: []TierShare{{Drive: P5800X, Fraction: 1}},
+		QPS:   1000,
+	}.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mix.TotalUSD-flat.TotalUSD) > 1e-9 {
+		t.Errorf("mix total %v != flat total %v", mix.TotalUSD, flat.TotalUSD)
+	}
+	if math.Abs(mix.CostPerKQPS-mix.TotalUSD) > 1e-9 {
+		t.Errorf("at 1000 QPS, CostPerKQPS = %v, want TotalUSD %v", mix.CostPerKQPS, mix.TotalUSD)
+	}
+}
+
+func TestMixNegativeInstanceExcludesCompute(t *testing.T) {
+	e, err := MixConfig{
+		TableGB:            100,
+		Tiers:              []TierShare{{Drive: P4510, Fraction: 1}},
+		QPS:                1000,
+		InstanceMonthlyUSD: -1,
+	}.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.TotalUSD-15) > 1e-9 { // storage only: 100 × $0.15
+		t.Errorf("hardware-only total = %v, want 15", e.TotalUSD)
+	}
+}
+
+func TestMixTieredCheaperThanAllFast(t *testing.T) {
+	mk := func(tiers []TierShare) MixEstimate {
+		e, err := MixConfig{TableGB: CriteoTBTableGB, Tiers: tiers, QPS: 1000}.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	tiered := mk([]TierShare{{Drive: P5800X, Fraction: 0.25}, {Drive: P4510, Fraction: 0.75}})
+	allFast := mk([]TierShare{{Drive: P5800X, Fraction: 1}})
+	allDense := mk([]TierShare{{Drive: P4510, Fraction: 1}})
+	if !(allDense.StorageUSD < tiered.StorageUSD && tiered.StorageUSD < allFast.StorageUSD) {
+		t.Errorf("storage ordering broken: dense %v, tiered %v, fast %v",
+			allDense.StorageUSD, tiered.StorageUSD, allFast.StorageUSD)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	good := MixConfig{
+		TableGB: 100,
+		Tiers:   []TierShare{{Drive: P5800X, Fraction: 0.5}, {Drive: P4510, Fraction: 0.5}},
+		QPS:     1,
+	}
+	if _, err := good.Estimate(); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+	bad := []MixConfig{
+		{TableGB: 0, Tiers: good.Tiers, QPS: 1},
+		{TableGB: 100, ReplicationRatio: -1, Tiers: good.Tiers, QPS: 1},
+		{TableGB: 100, Tiers: good.Tiers, QPS: 0},
+		{TableGB: 100, Tiers: good.Tiers, DRAMGB: -1, QPS: 1},
+		{TableGB: 100, Tiers: nil, QPS: 1},
+		{TableGB: 100, Tiers: []TierShare{{Drive: P5800X, Fraction: 0.7}}, QPS: 1},
+		{TableGB: 100, Tiers: []TierShare{{Drive: P5800X, Fraction: 1.5}, {Drive: P4510, Fraction: -0.5}}, QPS: 1},
+		{TableGB: 100, Tiers: []TierShare{{Drive: DrivePricing{Name: "free"}, Fraction: 1}}, QPS: 1},
+	}
+	for i, c := range bad {
+		if _, err := c.Estimate(); err == nil {
+			t.Errorf("case %d: invalid mix accepted", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"maxembed/internal/cache"
 	"maxembed/internal/embedding"
 	"maxembed/internal/hypergraph"
 	"maxembed/internal/layout"
@@ -66,6 +67,10 @@ type config struct {
 	seed         int64
 	device       DeviceProfile
 	devices      int
+	tiers        []ssd.TierSpec
+	pinTop       int
+	shadowSizes  []int
+	shadow       bool
 	timingOnly   bool
 	faults       *FaultConfig
 	hotSpare     bool
@@ -130,6 +135,41 @@ func WithDevice(p DeviceProfile) Option { return func(c *config) { c.device = p 
 // stats. n <= 1 keeps the historical single-device deployment.
 func WithDevices(n int) Option { return func(c *config) { c.devices = n } }
 
+// TierSpec describes one tier of a heterogeneous device array: a device
+// profile and how many array shards use it.
+type TierSpec = ssd.TierSpec
+
+// WithTiers stripes the layout across a heterogeneous device array mixing
+// the given device classes — e.g. one P5800X-class shard fronting three
+// P4510-class shards. Tier ranks follow read latency (fastest = tier 0)
+// regardless of spec order. At Open, pages are assigned to tiers by
+// expected access heat from the build history (hottest pages on the fast
+// tier); each Refresh re-tiers from the recorder's observed counts,
+// promoting and demoting pages at that refresh boundary only. Overrides
+// WithDevice/WithDevices.
+func WithTiers(specs ...TierSpec) Option {
+	return func(c *config) { c.tiers = append([]ssd.TierSpec(nil), specs...) }
+}
+
+// WithDRAMPins pins the n hottest keys (by build-history frequency,
+// re-ranked at each Refresh) permanently in DRAM, above the LRU cache:
+// they always hit and are never evicted. The pin-set is additional DRAM
+// on top of the cache budget.
+func WithDRAMPins(n int) Option { return func(c *config) { c.pinTop = n } }
+
+// WithShadowCache attaches keys-only ghost caches simulating LRUs of the
+// given entry capacities over the live distinct-key stream; their measured
+// hit-rate curve (DB.ShadowCurve) is how the DRAM cache size is chosen
+// from data. With no explicit capacities a geometric grid over the key
+// space (1%–32%) is simulated. Ghost caches cost host memory proportional
+// to the largest simulated capacity but charge no virtual time.
+func WithShadowCache(capacities ...int) Option {
+	return func(c *config) {
+		c.shadow = true
+		c.shadowSizes = append([]int(nil), capacities...)
+	}
+}
+
 // TimingOnly skips materializing page payloads: lookups return no vectors
 // but all timing and page-read accounting is exact. Useful for large
 // parameter sweeps.
@@ -181,6 +221,8 @@ type DB struct {
 	src              serving.PageSource // current store image (nil when timing-only)
 	defaultSess      *Session
 	lastRefreshTotal int64 // recorder.Total() at the last successful Refresh
+	pins             []Key // current DRAM pin-set (hottest keys), re-ranked per Refresh
+	lastRetier       *placement.TierReport
 
 	rebuildMu    sync.Mutex // serializes shard rebuilds (admin- and auto-triggered)
 	scrubMu      sync.Mutex // serializes scrub sweeps
@@ -206,6 +248,12 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if len(cfg.tiers) > 0 {
+		cfg.devices = 0
+		for _, t := range cfg.tiers {
+			cfg.devices += t.Devices
+		}
+	}
 	if cfg.devices < 1 {
 		cfg.devices = 1
 	}
@@ -229,7 +277,16 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	}
 
 	var backend ssd.Backend
-	if cfg.devices > 1 {
+	if len(cfg.tiers) > 0 {
+		arr, err := ssd.NewTieredArray(cfg.tiers)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: tiered array: %w", err)
+		}
+		if cfg.faults != nil {
+			arr.SetFaultModel(ssd.NewInjector(*cfg.faults))
+		}
+		backend = arr
+	} else if cfg.devices > 1 {
 		arr, err := ssd.NewArray(cfg.device, cfg.devices)
 		if err != nil {
 			return nil, fmt.Errorf("maxembed: device array: %w", err)
@@ -249,7 +306,24 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		backend = device
 	}
 
-	db := &DB{cfg: cfg, lay: lay, backend: backend}
+	// Hotness pass: per-key frequency from the build history drives the
+	// initial tier placement (hottest pages up-tier) and the DRAM pin-set.
+	db := &DB{cfg: cfg, backend: backend}
+	var retierRep *placement.TierReport
+	tm := tierMapOf(backend)
+	if tm != nil || cfg.pinTop > 0 {
+		freq := placement.KeyFreqFromGraph(g, numItems)
+		if tm != nil {
+			heat := placement.PageHeat(lay, placement.DiscountTop(freq, cfg.dramResidents(lay.NumKeys)))
+			lay, retierRep, err = placement.Retier(lay, heat, tm)
+			if err != nil {
+				return nil, fmt.Errorf("maxembed: tier placement: %w", err)
+			}
+		}
+		db.pins = placement.TopKeys(freq, cfg.pinTop)
+	}
+	db.lay = lay
+	db.lastRetier = retierRep
 	var src serving.PageSource
 	if !cfg.timingOnly {
 		db.syn, err = embedding.NewSynthesizer(cfg.dim, cfg.seed)
@@ -277,14 +351,28 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	return db, nil
 }
 
+// cacheEntriesFor resolves the configured DRAM cache capacity for a key
+// count (WithCacheEntries wins over WithCacheRatio).
+func (c config) cacheEntriesFor(numKeys int) int {
+	if c.cacheRatio >= 0 {
+		return int(c.cacheRatio * float64(numKeys))
+	}
+	return c.cacheEntries
+}
+
+// dramResidents is the number of keys the DRAM layer is expected to hold:
+// the pin-set plus the steady-state cache. Tier heat discounts these keys
+// (placement.DiscountTop) so the fast tier captures the traffic DRAM lets
+// through rather than re-hosting pages DRAM already shields.
+func (c config) dramResidents(numKeys int) int {
+	return c.pinTop + c.cacheEntriesFor(numKeys)
+}
+
 // engineConfig assembles a serving config over the given layout and page
 // source from the DB's tuning knobs and current backend. The caller must
 // hold db.mu or be inside Open (before the DB escapes).
 func (db *DB) engineConfig(lay *layout.Layout, src serving.PageSource) serving.Config {
-	cacheEntries := db.cfg.cacheEntries
-	if db.cfg.cacheRatio >= 0 {
-		cacheEntries = int(db.cfg.cacheRatio * float64(lay.NumKeys))
-	}
+	cacheEntries := db.cfg.cacheEntriesFor(lay.NumKeys)
 	engCfg := serving.Config{
 		Layout:         lay,
 		CacheEntries:   cacheEntries,
@@ -293,6 +381,19 @@ func (db *DB) engineConfig(lay *layout.Layout, src serving.PageSource) serving.C
 		Pipeline:       db.cfg.pipeline,
 		Greedy:         db.cfg.greedy,
 		Recorder:       db.recorder,
+		PinnedKeys:     db.pins,
+	}
+	if db.cfg.shadow {
+		engCfg.ShadowSizes = db.cfg.shadowSizes
+		if len(engCfg.ShadowSizes) == 0 {
+			// Default grid: a geometric sweep over the key space wide
+			// enough to bracket any sensible DRAM budget.
+			for _, f := range []float64{0.01, 0.02, 0.04, 0.08, 0.16, 0.32} {
+				if n := int(f * float64(lay.NumKeys)); n > 0 {
+					engCfg.ShadowSizes = append(engCfg.ShadowSizes, n)
+				}
+			}
+		}
 	}
 	db.bindBackend(&engCfg)
 	if src != nil {
@@ -322,6 +423,18 @@ func (db *DB) buildStore(lay *layout.Layout) (serving.PageSource, error) {
 		return nil, fmt.Errorf("maxembed: store: %w", err)
 	}
 	return st, nil
+}
+
+// tierMapOf returns the shard→tier map of a multi-tier backend, nil for
+// single-tier (homogeneous) backends — the signal that tier placement is
+// a no-op.
+func tierMapOf(be ssd.Backend) []int {
+	if tr, ok := be.(ssd.TierReporter); ok && tr.NumTiers() > 1 {
+		if arr, ok := be.(*ssd.Array); ok {
+			return arr.TierShardMap()
+		}
+	}
+	return nil
 }
 
 // bindBackend points the engine config at the DB's read target through
@@ -418,6 +531,13 @@ func (db *DB) Lookup(query []Key) (Result, error) {
 // rewritten, only the (much smaller) replica region and the DRAM indexes.
 // Only meaningful for StrategyMaxEmbed-style layouts.
 //
+// On a tiered DB (WithTiers) a refresh is also the promotion/demotion
+// boundary: page heat is recomputed from the new history and pages are
+// re-assigned to tiers (hottest up), permuting page IDs so that each
+// page's stripe shard lands on its assigned tier. WithDRAMPins re-ranks
+// the pin-set from the same frequencies. Tier moves happen only here —
+// never mid-serving — so reads observe one consistent generation.
+//
 // The rebuild runs entirely off the serving path: placement, store, and
 // engine are constructed and validated first, then swapped in atomically.
 // Live Sessions (and the HTTP server's pooled and coalescer workers) pick
@@ -430,6 +550,7 @@ func (db *DB) Refresh(history [][]Key) error {
 	}
 	db.mu.Lock()
 	cur := db.lay
+	tm := tierMapOf(db.backend)
 	db.mu.Unlock()
 	g, err := hypergraph.FromQueries(cur.NumKeys, history)
 	if err != nil {
@@ -448,12 +569,28 @@ func (db *DB) Refresh(history [][]Key) error {
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh replication: %w", err)
 	}
+	var (
+		retierRep *placement.TierReport
+		pins      []Key
+	)
+	if tm != nil || db.cfg.pinTop > 0 {
+		freq := placement.KeyFreq(cur.NumKeys, history)
+		if tm != nil {
+			heat := placement.PageHeat(lay, placement.DiscountTop(freq, db.cfg.dramResidents(lay.NumKeys)))
+			lay, retierRep, err = placement.Retier(lay, heat, tm)
+			if err != nil {
+				return fmt.Errorf("maxembed: refresh re-tier: %w", err)
+			}
+		}
+		pins = placement.TopKeys(freq, db.cfg.pinTop)
+	}
 	src, err := db.buildStore(lay)
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh store: %w", err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.pins = pins
 	eng, err := serving.New(db.engineConfig(lay, src))
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh engine: %w", err)
@@ -463,6 +600,7 @@ func (db *DB) Refresh(history [][]Key) error {
 	}
 	db.lay = lay
 	db.src = src
+	db.lastRetier = retierRep
 	if db.recorder != nil {
 		db.lastRefreshTotal = db.recorder.Total()
 	}
@@ -547,6 +685,70 @@ func (db *DB) Backend() ssd.Backend { return db.backend }
 // NumDevices returns the number of independent simulated devices the DB's
 // pages are striped over.
 func (db *DB) NumDevices() int { return db.backend.NumShards() }
+
+// Tiers describes the backend's device tiers, fastest first: which shards
+// each tier owns and the device profile they share. A homogeneous DB
+// reports a single tier; see ssd.TierInfo.
+func (db *DB) Tiers() []ssd.TierInfo {
+	tr, ok := db.backend.(ssd.TierReporter)
+	if !ok {
+		return nil
+	}
+	out := make([]ssd.TierInfo, tr.NumTiers())
+	for t := range out {
+		out[t] = tr.Tier(t)
+	}
+	return out
+}
+
+// TierStats returns accumulated device statistics aggregated per tier
+// (fastest first). A homogeneous DB reports a single entry equal to
+// DeviceStats.
+func (db *DB) TierStats() []ssd.Stats {
+	if arr, ok := db.backend.(*ssd.Array); ok {
+		return arr.TierStats()
+	}
+	return []ssd.Stats{db.backend.Stats()}
+}
+
+// LastRetier reports the most recent tier-placement pass (at Open or the
+// last Refresh): pages promoted to a faster tier, demoted to a slower one,
+// and the per-tier heat distribution. Nil on non-tiered DBs.
+func (db *DB) LastRetier() *placement.TierReport {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastRetier
+}
+
+// PinnedKeys returns the current DRAM pin-set, hottest first (empty
+// without WithDRAMPins).
+func (db *DB) PinnedKeys() []Key {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]Key(nil), db.pins...)
+}
+
+// ShadowCurve returns the ghost caches' measured hit-rate curve, ascending
+// by simulated capacity (nil without WithShadowCache). The curve reflects
+// the distinct-key stream served since the current engine generation began.
+func (db *DB) ShadowCurve() []cache.CurvePoint {
+	sh := db.handle.Engine().Shadow()
+	if sh == nil {
+		return nil
+	}
+	return sh.Curve()
+}
+
+// RecommendCacheEntries applies the miss-rate-curve knee rule to the shadow
+// curve: the smallest simulated capacity whose hit rate is within tolerance
+// of the best observed (0 without WithShadowCache or before any traffic).
+func (db *DB) RecommendCacheEntries(tolerance float64) int {
+	sh := db.handle.Engine().Shadow()
+	if sh == nil {
+		return 0
+	}
+	return sh.Recommend(tolerance)
+}
 
 // Engine exposes the current serving engine for benchmarking harnesses.
 // After a Refresh the returned engine is stale; long-lived frontends should
