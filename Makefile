@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-shard race-rebuild race-tier vet vet-tool lint staticcheck bench verify experiments
+.PHONY: build test race race-shard race-rebuild race-tier race-coact vet vet-tool lint staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -62,13 +62,21 @@ race-tier:
 	$(GO) test -race -count=3 -run 'Tier|Shadow|Retier|Discount' ./internal/ssd ./internal/cache ./internal/placement ./internal/server
 	$(GO) test -race -count=3 -run 'TestTiered|TestRefreshRetier' .
 
+# The co-activation-placement seams under the race detector: shard-spread
+# scoring, the despread pass and its composition with Retier, per-query
+# max-shard-depth accounting (single and batched), and the DB-level
+# refresh-during-rebuild hot-swap path.
+race-coact:
+	$(GO) test -race -count=3 -run 'Despread|Spread|TopForSet|MaxShardDepth|LookupBatch' ./internal/placement ./internal/hypergraph ./internal/serving
+	$(GO) test -race -count=3 -run 'TestCoActivationPlacementOption|TestRefreshDuringFastShardRebuild' .
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full pre-merge gate: static checks (including the repo's own
 # analyzer suite), build, and the test suite under the race detector
 # (the serving engine and HTTP layer are concurrent).
-verify: vet lint staticcheck build race race-shard race-rebuild race-tier
+verify: vet lint staticcheck build race race-shard race-rebuild race-tier race-coact
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -34,6 +34,7 @@ func main() {
 	devices := flag.Int("devices", 1, "independent SSDs to stripe the layout over (RAID-0 at page granularity)")
 	tierFast := flag.Int("tier-fast", 0, "fast-tier (P5800X-class) shards of a heterogeneous array (0 disables tiering)")
 	tierDense := flag.Int("tier-dense", 0, "dense-tier (P4510-class) shards backing -tier-fast (required with it)")
+	coact := flag.Bool("coact", false, "co-activation-aware shard placement: despread co-activated pages across SSDs (multi-device only)")
 	tierPins := flag.Int("tier-pins", 0, "pin this many hottest keys permanently in DRAM")
 	tierShadow := flag.Bool("tier-shadow", false, "attach shadow (ghost) caches that measure the DRAM miss-rate curve")
 	seed := flag.Int64("seed", 1, "placement seed")
@@ -101,6 +102,13 @@ func main() {
 		opts = append(opts, maxembed.WithDevices(*devices))
 		log.Printf("striping across %d devices (shard-aware replica placement, per-shard queue pairs)", *devices)
 	}
+	if *coact {
+		if !tiered && *devices <= 1 {
+			log.Fatal("-coact requires a multi-device array (-devices > 1 or -tier-fast/-tier-dense)")
+		}
+		opts = append(opts, maxembed.WithCoActivationPlacement())
+		log.Printf("co-activation-aware shard placement: despread pass at build and every refresh")
+	}
 	if tiered || *devices > 1 {
 		if *autoRebuildRate > 0 {
 			opts = append(opts, maxembed.WithAutoRebuild(*autoRebuildRate))
@@ -163,6 +171,11 @@ func main() {
 			server.WithScrub(db),
 			server.WithShardFailTolerance(*shardTolerance))
 		log.Printf("shard admin online: POST /v1/scrub, /v1/shards/{i}/fail, /v1/shards/{i}/rebuild (tolerance %.0f%% dead shards)", *shardTolerance*100)
+	}
+	if tiered || *devices > 1 {
+		// The spread report is nil until a despread pass runs (it always
+		// does on tiered arrays, and on striped ones with -coact).
+		srvOpts = append(srvOpts, server.WithSpreadReport(db))
 	}
 	h := server.NewDynamic(db.Handle(), db.Backend(), srvOpts...)
 	defer h.Close()

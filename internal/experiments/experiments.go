@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"refreshsweep", "Supplementary: online layout refresh and hot swap under drift", RefreshSweep},
 		{"rebuildsweep", "Supplementary: shard failure, live rebuild onto the hot spare, and scrubbing", RebuildSweep},
 		{"tiersweep", "Supplementary: hotness-tiered memory hierarchy at equal TCO", TierSweep},
+		{"coactsweep", "Supplementary: co-activation-aware cross-SSD placement vs blind striping", CoactSweep},
 	}
 }
 

@@ -86,6 +86,90 @@ func TestTopForSet(t *testing.T) {
 	}
 }
 
+// TopForSet with a set whose members share edges: overlap must not double
+// count, and counts accumulate per (base, edge) incidence exactly as the
+// documented semantics — each set member contributes its own incident
+// edges, so a vertex co-occurring with two members in one edge is counted
+// once per member.
+func TestTopForSetOverlappingSets(t *testing.T) {
+	g := mustGraph(t, 6, [][]Vertex{
+		{0, 1, 4}, // 4 seen from base 0 and from base 1 → counts twice
+		{0, 4},    // 4 from base 0
+		{1, 4},    // 4 from base 1
+		{0, 5},    // 5 from base 0
+		{2, 5},    // outside the set
+	})
+	c := NewCoOccurrence(g)
+	got := c.TopForSet([]Vertex{0, 1}, 3, nil)
+	// Counts: 4 → 4 (edge 0 twice, edges 1 and 2 once each), 5 → 1.
+	want := []Vertex{4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopForSet = %v, want %v", got, want)
+	}
+	// A set with duplicate members double-counts those members' edges but
+	// still never returns a member and stays deterministic.
+	dup := c.TopForSet([]Vertex{0, 0, 1}, 5, nil)
+	for _, v := range dup {
+		if v == 0 || v == 1 {
+			t.Errorf("TopForSet with duplicate members returned member %d", v)
+		}
+	}
+	again := c.TopForSet([]Vertex{0, 0, 1}, 5, nil)
+	if !reflect.DeepEqual(dup, again) {
+		t.Errorf("TopForSet with duplicates not deterministic: %v vs %v", dup, again)
+	}
+}
+
+// TopForSet where exclude rejects every candidate must return an empty
+// slice and leave the scratch state clean for the next call.
+func TestTopForSetExcludeAll(t *testing.T) {
+	g := mustGraph(t, 5, [][]Vertex{
+		{0, 2, 3},
+		{1, 3, 4},
+	})
+	c := NewCoOccurrence(g)
+	got := c.TopForSet([]Vertex{0, 1}, 10, func(Vertex) bool { return true })
+	if len(got) != 0 {
+		t.Fatalf("exclude-all TopForSet = %v, want empty", got)
+	}
+	// Scratch must have been reset: a follow-up unfiltered call sees the
+	// true counts, not leftovers.
+	next := c.TopForSet([]Vertex{0}, 10, nil)
+	want := []Vertex{2, 3}
+	if !reflect.DeepEqual(next, want) {
+		t.Errorf("TopForSet after exclude-all = %v, want %v", next, want)
+	}
+	// A set covering the whole vertex space has no candidates at all.
+	all := c.TopForSet([]Vertex{0, 1, 2, 3, 4}, 10, nil)
+	if len(all) != 0 {
+		t.Errorf("TopForSet over full vertex set = %v, want empty", all)
+	}
+}
+
+// Placement consumes TopForSet output, so equal-weight candidates must come
+// back in a stable order (ascending vertex id) on every call.
+func TestTopForSetEqualWeightDeterminism(t *testing.T) {
+	// Vertices 2..5 each co-occur with the set exactly once.
+	g := mustGraph(t, 7, [][]Vertex{
+		{0, 5},
+		{0, 3},
+		{1, 2},
+		{1, 4},
+	})
+	c := NewCoOccurrence(g)
+	want := []Vertex{2, 3, 4, 5}
+	for i := 0; i < 3; i++ {
+		got := c.TopForSet([]Vertex{0, 1}, 10, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("call %d: TopForSet = %v, want %v (equal weights must tie-break by id)", i, got, want)
+		}
+	}
+	// Truncation under equal weights keeps the same prefix.
+	if got := c.TopForSet([]Vertex{0, 1}, 2, nil); !reflect.DeepEqual(got, []Vertex{2, 3}) {
+		t.Errorf("truncated TopForSet = %v, want [2 3]", got)
+	}
+}
+
 func TestTopZeroN(t *testing.T) {
 	g := mustGraph(t, 2, [][]Vertex{{0, 1}})
 	c := NewCoOccurrence(g)

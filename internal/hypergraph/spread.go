@@ -1,0 +1,104 @@
+package hypergraph
+
+// Per-query-set shard-spread scoring. When edges model queries, vertices
+// model keys, and pages stripe onto shards as p mod shards (ssd.Array's
+// layout), a query's page reads land on the shards of its members' pages.
+// The deepest shard bounds the query's SSD wait: reads on distinct shards
+// proceed in parallel across queue pairs, reads on the same shard queue
+// behind each other. ShardDepth and ShardSpread quantify exactly that —
+// the objective placement.Despread minimizes and the serving engine's
+// per-query MaxShardDepth stat measures online.
+
+// SpreadStats summarizes how an assignment spreads hyperedges across
+// shards: per-edge maximum same-shard page depth (the serial bound) and
+// distinct shards touched (the parallelism achieved).
+type SpreadStats struct {
+	// Edges is the number of non-empty edges scored.
+	Edges int
+	// MeanMaxDepth is the mean over edges of the deepest shard's distinct
+	// page count — 1.0 is a perfect spread (every page of every query on
+	// its own shard).
+	MeanMaxDepth float64
+	// MaxMaxDepth is the worst single-edge depth observed.
+	MaxMaxDepth int
+	// MeanShards is the mean number of distinct shards an edge touches.
+	MeanShards float64
+}
+
+// ShardDepth returns, for edge e, the depth of its deepest shard — the
+// number of distinct pages among its members' pages that stripe onto the
+// single most-loaded shard — and the number of distinct shards touched.
+// pageOf maps each vertex to its page (layout.Layout.Home works directly);
+// a page's shard is page mod shards. Empty edges return (0, 0).
+func (g *Graph) ShardDepth(e EdgeID, pageOf []uint32, shards int) (maxDepth, shardsTouched int) {
+	if shards < 1 {
+		shards = 1
+	}
+	members := g.Edge(e)
+	if len(members) == 0 {
+		return 0, 0
+	}
+	// Distinct pages via a small stack scan: edges are query-sized, so the
+	// quadratic dedup beats allocating a map (same reasoning as
+	// Connectivity).
+	var stack [64]uint32
+	pages := stack[:0]
+	for _, v := range members {
+		if int(v) >= len(pageOf) {
+			continue
+		}
+		p := pageOf[v]
+		dup := false
+		for _, q := range pages {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pages = append(pages, p)
+		}
+	}
+	var depthStack [64]int
+	var depth []int
+	if shards <= len(depthStack) {
+		depth = depthStack[:shards]
+	} else {
+		depth = make([]int, shards)
+	}
+	for _, p := range pages {
+		s := int(p % uint32(shards))
+		depth[s]++
+		if depth[s] == 1 {
+			shardsTouched++
+		}
+		if depth[s] > maxDepth {
+			maxDepth = depth[s]
+		}
+	}
+	return maxDepth, shardsTouched
+}
+
+// ShardSpread scores every edge with ShardDepth and returns the summary.
+// Empty edges are skipped.
+func (g *Graph) ShardSpread(pageOf []uint32, shards int) SpreadStats {
+	var st SpreadStats
+	var sumDepth, sumShards int64
+	for e := 0; e < g.NumEdges(); e++ {
+		d, t := g.ShardDepth(EdgeID(e), pageOf, shards)
+		if t == 0 {
+			continue
+		}
+		st.Edges++
+		sumDepth += int64(d)
+		sumShards += int64(t)
+		if d > st.MaxMaxDepth {
+			st.MaxMaxDepth = d
+		}
+	}
+	if st.Edges > 0 {
+		st.MeanMaxDepth = float64(sumDepth) / float64(st.Edges)
+		st.MeanShards = float64(sumShards) / float64(st.Edges)
+	}
+	return st
+}

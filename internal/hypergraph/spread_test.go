@@ -1,0 +1,114 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShardDepth(t *testing.T) {
+	// Keys 0..7 live on pages 0..3 (two keys per page).
+	pageOf := []uint32{0, 0, 1, 1, 2, 2, 3, 3}
+	g := mustGraph(t, 8, [][]Vertex{
+		{0, 2, 4, 6}, // pages 0,1,2,3
+		{0, 1},       // page 0 only
+		{0, 4},       // pages 0,2 — same residue mod 2
+		{},           // empty
+	})
+
+	// 4 shards: pages 0..3 each on their own shard.
+	if d, s := g.ShardDepth(0, pageOf, 4); d != 1 || s != 4 {
+		t.Errorf("edge 0 on 4 shards: depth=%d shards=%d, want 1,4", d, s)
+	}
+	// 2 shards: pages {0,2} on shard 0, {1,3} on shard 1 — depth 2.
+	if d, s := g.ShardDepth(0, pageOf, 2); d != 2 || s != 2 {
+		t.Errorf("edge 0 on 2 shards: depth=%d shards=%d, want 2,2", d, s)
+	}
+	// One page, even with two member keys, is depth 1.
+	if d, s := g.ShardDepth(1, pageOf, 4); d != 1 || s != 1 {
+		t.Errorf("edge 1: depth=%d shards=%d, want 1,1", d, s)
+	}
+	// Aliasing residues: pages 0 and 2 collide at 2 shards.
+	if d, s := g.ShardDepth(2, pageOf, 2); d != 2 || s != 1 {
+		t.Errorf("edge 2 on 2 shards: depth=%d shards=%d, want 2,1", d, s)
+	}
+	if d, s := g.ShardDepth(3, pageOf, 4); d != 0 || s != 0 {
+		t.Errorf("empty edge: depth=%d shards=%d, want 0,0", d, s)
+	}
+	// One shard degenerates to distinct-page count.
+	if d, s := g.ShardDepth(0, pageOf, 1); d != 4 || s != 1 {
+		t.Errorf("edge 0 on 1 shard: depth=%d shards=%d, want 4,1", d, s)
+	}
+}
+
+func TestShardSpreadSummary(t *testing.T) {
+	pageOf := []uint32{0, 1, 2, 3}
+	g := mustGraph(t, 4, [][]Vertex{
+		{0, 1, 2, 3}, // pages 0..3: depth 1 on 4 shards, 4 shards touched
+		{0, 2},       // pages 0,2: collide mod 2, spread mod 4
+		{},           // skipped
+	})
+	st := g.ShardSpread(pageOf, 4)
+	if st.Edges != 2 {
+		t.Fatalf("Edges = %d, want 2", st.Edges)
+	}
+	if st.MeanMaxDepth != 1 || st.MaxMaxDepth != 1 {
+		t.Errorf("4-shard depth: mean=%v max=%d, want 1,1", st.MeanMaxDepth, st.MaxMaxDepth)
+	}
+	if st.MeanShards != 3 { // (4 + 2) / 2
+		t.Errorf("MeanShards = %v, want 3", st.MeanShards)
+	}
+	st2 := g.ShardSpread(pageOf, 2)
+	if st2.MeanMaxDepth != 2 || st2.MaxMaxDepth != 2 {
+		t.Errorf("2-shard depth: mean=%v max=%d, want 2,2", st2.MeanMaxDepth, st2.MaxMaxDepth)
+	}
+}
+
+// Property: depth ≥ ceil(pages/shards), depth ≤ pages, shardsTouched ≤
+// min(pages, shards), and Σ over shards of per-shard counts equals the
+// distinct-page count (checked against a naive recount).
+func TestShardDepthProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(40)
+		numPages := 1 + rng.Intn(10)
+		shards := 1 + rng.Intn(6)
+		pageOf := make([]uint32, n)
+		for i := range pageOf {
+			pageOf[i] = uint32(rng.Intn(numPages))
+		}
+		queries := make([][]Vertex, 1+rng.Intn(20))
+		for i := range queries {
+			l := 1 + rng.Intn(8)
+			q := make([]Vertex, l)
+			for j := range q {
+				q[j] = Vertex(rng.Intn(n))
+			}
+			queries[i] = q
+		}
+		g := mustGraph(t, n, queries)
+		for e := 0; e < g.NumEdges(); e++ {
+			d, touched := g.ShardDepth(EdgeID(e), pageOf, shards)
+			pages := map[uint32]bool{}
+			perShard := make([]int, shards)
+			for _, v := range g.Edge(EdgeID(e)) {
+				p := pageOf[v]
+				if !pages[p] {
+					pages[p] = true
+					perShard[int(p)%shards]++
+				}
+			}
+			wantDepth, wantTouched := 0, 0
+			for _, c := range perShard {
+				if c > 0 {
+					wantTouched++
+				}
+				if c > wantDepth {
+					wantDepth = c
+				}
+			}
+			if d != wantDepth || touched != wantTouched {
+				t.Fatalf("edge %d: got (%d,%d), naive (%d,%d)", e, d, touched, wantDepth, wantTouched)
+			}
+		}
+	}
+}

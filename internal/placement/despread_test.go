@@ -1,0 +1,279 @@
+package placement
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"maxembed/internal/hypergraph"
+	"maxembed/internal/layout"
+)
+
+// diversityFixture builds an 8-page layout on a 4-shard, 2-tier array
+// where the Options.Shards replica invariant holds: 6 home pages (keys
+// 2p, 2p+1 on page p) plus replica pages 6 (copies of keys 0,1) and 7
+// (copies of keys 4,5), each striped onto a different shard than its keys'
+// home page.
+func diversityFixture(t *testing.T) *layout.Layout {
+	t.Helper()
+	lay := layout.Vanilla(12, 2)
+	if _, err := lay.AddReplicaPage([]layout.Key{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lay.AddReplicaPage([]layout.Key{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+// TestRetierBreaksReplicaDiversityDespreadRepairs is the regression test
+// for the Retier × Options.Shards composition bug: Retier permutes page
+// IDs purely by heat, so a promoted replica page can land on the same
+// shard as its keys' home page, silently undoing the shard-diverse replica
+// placement Build emitted. Despread in diversity-only mode (nil graph)
+// must repair it without disturbing tier membership.
+func TestRetierBreaksReplicaDiversityDespreadRepairs(t *testing.T) {
+	lay := diversityFixture(t)
+	const shards = 4
+	tiers := []int{0, 0, 1, 1} // IDs 0,1,4,5 fast; 2,3,6,7 dense
+
+	if c := ReplicaCollisions(lay, shards); c != 0 {
+		t.Fatalf("fixture starts with %d collisions, want 0", c)
+	}
+
+	// Heat chosen so Retier promotes replica page 6 into the fast slot
+	// vacated by page 4 — ID 4, the same residue (shard 0) as its keys'
+	// home page 0. Desired fast tier: {0, 6, 1, 5}.
+	heat := []float64{100, 80, 10, 9, 8, 70, 90, 7}
+	tlay, _, err := Retier(lay, heat, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := ReplicaCollisions(tlay, shards)
+	if broken == 0 {
+		t.Fatal("Retier did not break replica diversity — fixture no longer exercises the bug")
+	}
+
+	fixed, rep, err := Despread(tlay, nil, shards, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Fatalf("despread layout invalid: %v", err)
+	}
+	if rep.ReplicaCollisionsBefore != broken {
+		t.Errorf("report says %d collisions before, measured %d", rep.ReplicaCollisionsBefore, broken)
+	}
+	if got := ReplicaCollisions(fixed, shards); got != 0 {
+		t.Errorf("despread left %d collisions, want 0", got)
+	}
+	if rep.ReplicaCollisionsAfter != ReplicaCollisions(fixed, shards) {
+		t.Errorf("report after=%d disagrees with measured %d",
+			rep.ReplicaCollisionsAfter, ReplicaCollisions(fixed, shards))
+	}
+
+	// Tier membership must be exactly what Retier decided: track each
+	// page's tier by its key contents across the despread permutation.
+	tierOfPage := func(l *layout.Layout) map[string]int {
+		m := map[string]int{}
+		for p, keys := range l.Pages {
+			ks := append([]layout.Key(nil), keys...)
+			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+			m[keysFingerprint(ks)] = tiers[p%shards]
+		}
+		return m
+	}
+	if !reflect.DeepEqual(tierOfPage(tlay), tierOfPage(fixed)) {
+		t.Error("Despread changed a page's tier — Retier's placement must be preserved")
+	}
+}
+
+func keysFingerprint(keys []layout.Key) string {
+	b := make([]byte, 0, len(keys)*4)
+	for _, k := range keys {
+		b = append(b, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+	}
+	return string(b)
+}
+
+// TestDespreadSpreadsCoActivatedPages: a recurring query set whose home
+// pages all alias onto one shard (residues equal mod n) must be spread
+// across shards, bringing per-query max-shard depth from n to ~1, while
+// per-shard page counts stay balanced.
+func TestDespreadSpreadsCoActivatedPages(t *testing.T) {
+	const (
+		numKeys  = 32
+		capacity = 2
+		shards   = 4
+	)
+	lay := layout.Vanilla(numKeys, capacity) // 16 pages, page p = keys 2p,2p+1
+	// Co-activated group: one key from each of pages 0, 4, 8, 12 — all
+	// residue 0 under blind striping. Recurring edges weight the group.
+	var queries [][]hypergraph.Vertex
+	for i := 0; i < 8; i++ {
+		queries = append(queries, []hypergraph.Vertex{0, 8, 16, 24})
+	}
+	g, err := hypergraph.FromQueries(numKeys, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := Despread(lay, g, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("despread layout invalid: %v", err)
+	}
+	if rep.Edges != len(queries) {
+		t.Errorf("report scored %d edges, want %d", rep.Edges, len(queries))
+	}
+	if rep.MaxDepthBefore != shards {
+		t.Errorf("blind striping depth = %d, want %d (fixture must alias)", rep.MaxDepthBefore, shards)
+	}
+	if rep.MaxDepthAfter != 1 {
+		t.Errorf("despread depth = %d, want 1 (four pages over four shards)", rep.MaxDepthAfter)
+	}
+	if rep.MeanDepthAfter >= rep.MeanDepthBefore {
+		t.Errorf("mean depth did not improve: %v -> %v", rep.MeanDepthBefore, rep.MeanDepthAfter)
+	}
+
+	// The measured spread of the output layout agrees with the report.
+	after := g.ShardSpread(out.Home, shards)
+	if after.MaxMaxDepth != rep.MaxDepthAfter {
+		t.Errorf("layout spread depth %d disagrees with report %d", after.MaxMaxDepth, rep.MaxDepthAfter)
+	}
+
+	// Balance: each shard holds exactly as many pages as before.
+	perShard := make([]int, shards)
+	for p := 0; p < out.NumPages(); p++ {
+		perShard[p%shards]++
+	}
+	for s, n := range perShard {
+		if n != out.NumPages()/shards {
+			t.Errorf("shard %d holds %d pages, want %d", s, n, out.NumPages()/shards)
+		}
+	}
+}
+
+// TestDespreadDeterministic: identical inputs must produce byte-identical
+// layouts and reports — placement output feeds the store build and must be
+// reproducible.
+func TestDespreadDeterministic(t *testing.T) {
+	lay := diversityFixture(t)
+	var queries [][]hypergraph.Vertex
+	for i := 0; i < 4; i++ {
+		queries = append(queries, []hypergraph.Vertex{0, 2, 8, 10})
+		queries = append(queries, []hypergraph.Vertex{1, 5, 9})
+	}
+	g, err := hypergraph.FromQueries(12, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ra, err := Despread(lay, g, 4, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rb, err := Despread(lay, g, 4, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Despread layouts differ across identical runs")
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("Despread reports differ across identical runs")
+	}
+}
+
+// TestDespreadDegenerate: one shard (or an empty co-activation graph on a
+// collision-free layout) must leave the layout semantically unchanged.
+func TestDespreadDegenerate(t *testing.T) {
+	lay := diversityFixture(t)
+	out, rep, err := Despread(lay, nil, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Pages, lay.Pages) || !reflect.DeepEqual(out.Home, lay.Home) {
+		t.Error("one-shard Despread changed the layout")
+	}
+	if rep.Moved != 0 || rep.Edges != 0 {
+		t.Errorf("one-shard report = %+v, want zero movement", rep)
+	}
+	// Input must never be mutated.
+	if _, _, err := Despread(lay, nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := lay.Validate(); err != nil {
+		t.Errorf("input layout mutated: %v", err)
+	}
+
+	// Bad geometry is rejected.
+	if _, _, err := Despread(lay, nil, 0, nil); err == nil {
+		t.Error("Despread accepted zero shards")
+	}
+	if _, _, err := Despread(lay, nil, 4, []int{0, 1}); err == nil {
+		t.Error("Despread accepted a mis-sized tier map")
+	}
+	if _, _, err := Despread(lay, nil, 2, []int{0, -1}); err == nil {
+		t.Error("Despread accepted a negative tier")
+	}
+}
+
+// TestDespreadComposesWithBuild: the full offline chain on a clustered
+// workload — Build(Shards) → Retier → Despread — must restore the replica
+// coverage invariant (every replicated key keeps a shard-diverse copy, up
+// to Build's own best-effort floor), reduce the pairwise collisions Retier
+// introduced, and improve the co-activation spread, all on a valid layout.
+//
+// Note the bar is per-key *coverage*, not Build's raw pairwise-collision
+// count: Despread only permutes within a tier's two shards, so the
+// free-4-shard pairwise optimum Build reaches is structurally out of reach
+// — but coverage is what recovery depends on, and that is restorable.
+func TestDespreadComposesWithBuild(t *testing.T) {
+	g, _ := clusteredGraph(t)
+	const shards = 4
+	lay, err := Build(StrategyMaxEmbed, g, Options{
+		Capacity: 15, ReplicationRatio: 0.4, Seed: 1, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtUncov := UncoveredKeys(lay, shards)
+
+	freq := KeyFreqFromGraph(g, lay.NumKeys)
+	heat := PageHeat(lay, freq)
+	tiers := []int{0, 0, 1, 1}
+	tlay, _, err := Retier(lay, heat, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := ReplicaCollisions(tlay, shards)
+	if UncoveredKeys(tlay, shards) <= builtUncov {
+		t.Fatal("Retier did not strand keys — fixture no longer exercises the repair")
+	}
+	out, rep, err := Despread(tlay, g, shards, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("composed layout invalid: %v", err)
+	}
+	if got := UncoveredKeys(out, shards); got > builtUncov {
+		t.Errorf("composition strands %d keys without a shard-diverse replica, Build stranded %d",
+			got, builtUncov)
+	}
+	if rep.UncoveredKeysAfter != UncoveredKeys(out, shards) {
+		t.Errorf("report uncovered-after=%d disagrees with measured %d",
+			rep.UncoveredKeysAfter, UncoveredKeys(out, shards))
+	}
+	if got := ReplicaCollisions(out, shards); got >= broken {
+		t.Errorf("composition has %d pairwise collisions, no better than Retier's %d", got, broken)
+	}
+	if rep.MeanDepthAfter >= rep.MeanDepthBefore {
+		t.Errorf("co-activation depth did not improve: %v -> %v", rep.MeanDepthBefore, rep.MeanDepthAfter)
+	}
+}

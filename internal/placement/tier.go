@@ -226,32 +226,8 @@ func Retier(lay *layout.Layout, heat []float64, tierOfShard []int) (*layout.Layo
 		}
 	}
 
-	// Apply the permutation to a fresh layout. Page key slices are
-	// immutable under renumbering and safely shared with the input.
-	out := &layout.Layout{
-		NumKeys:  lay.NumKeys,
-		Capacity: lay.Capacity,
-		Pages:    make([][]layout.Key, numPages),
-		Home:     make([]layout.PageID, len(lay.Home)),
-	}
-	for p, keys := range lay.Pages {
-		out.Pages[perm[p]] = keys
-	}
-	for k, h := range lay.Home {
-		out.Home[k] = perm[h]
-	}
-	if lay.Replicas != nil {
-		out.Replicas = make([][]layout.PageID, len(lay.Replicas))
-		for k, reps := range lay.Replicas {
-			if len(reps) == 0 {
-				continue
-			}
-			nr := make([]layout.PageID, len(reps))
-			for i, r := range reps {
-				nr[i] = perm[r]
-			}
-			out.Replicas[k] = nr
-		}
-	}
-	return out, rep, nil
+	// Apply the permutation to a fresh layout (shared with Despread: page
+	// key slices are immutable under renumbering and safely shared with
+	// the input).
+	return applyPagePerm(lay, perm), rep, nil
 }

@@ -112,6 +112,8 @@ type Handler struct {
 
 	nowFn func() time.Time // injected clock (WithClock); wall clock by default
 
+	spreadSrc SpreadReporter // last despread pass for /v1/stats, nil unless wired
+
 	refreshSrc        RefreshSource
 	refreshInterval   time.Duration
 	refreshMinQueries int64
@@ -482,7 +484,10 @@ type StatsResponse struct {
 	Shards []ShardStatsEntry `json:"shards"`
 	// Tiers aggregates shard activity per device tier (fastest first) on a
 	// heterogeneous backend; omitted when the backend has a single tier.
-	Tiers    []TierStatsEntry `json:"tiers,omitempty"`
+	Tiers []TierStatsEntry `json:"tiers,omitempty"`
+	// Coact reports per-query shard-spread depth and the last
+	// co-activation placement pass; omitted on one-shard backends.
+	Coact    *CoactStatsEntry `json:"coact,omitempty"`
 	Recovery struct {
 		ReadErrors      int64 `json:"read_errors"`
 		Timeouts        int64 `json:"timeouts"`
@@ -710,6 +715,7 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	resp.Device.Corruptions = ds.Corruptions
 	resp.Shards = h.shardStats(h.handle.Engine())
 	resp.Tiers = h.tierStats(h.handle.Engine())
+	resp.Coact = h.coactStats(h.handle.Engine())
 	// Recovery counters aggregate across engine swaps (retired engines'
 	// totals are folded in) so they stay monotonic for pollers.
 	rec := h.handle.Totals()
@@ -847,6 +853,7 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(w, "maxembed_tier_read_share{tier=\"%d\",profile=%q} %g\n", t.Tier, t.Profile, t.ReadShare)
 		}
 	}
+	h.coactMetrics(w, h.handle.Engine())
 	if hr, ok := be.(ssd.HealthReporter); ok {
 		n := be.NumShards()
 		// Shard state machine position: 0 healthy, 1 suspect, 2 failed,

@@ -43,9 +43,10 @@ type scatterScratch struct {
 	vecOf     map[Key][]float32
 	failed    map[Key]struct{}
 	hit       map[Key]struct{}
-	distinct  []Key   // per-query distinct keys, flattened
-	bounds    []int   // distinct[bounds[i]:bounds[i+1]] is query i's keys
-	touch     []int32 // queries touched by the page being attributed
+	fallback  map[Key]struct{} // keys served by host-store read-through
+	distinct  []Key            // per-query distinct keys, flattened
+	bounds    []int            // distinct[bounds[i]:bounds[i+1]] is query i's keys
+	touch     []int32          // queries touched by the page being attributed
 	flatKeys  []Key
 	flatVecs  [][]float32
 	flatFail  []Key
@@ -54,6 +55,9 @@ type scatterScratch struct {
 	hitsFor   []int
 	servedFor []int
 	failFor   []int
+	fbFor     []int
+	depthFor  []int // per-query max-shard depth over its touched pages
+	shardCnt  []int // depth scratch: query-major [qi*numShards+s] counts
 }
 
 // LookupBatch serves several queries as one coalesced lookup: a single
@@ -109,6 +113,7 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 		sc.vecOf = make(map[Key][]float32, len(union.Keys))
 		sc.failed = make(map[Key]struct{}, 8)
 		sc.hit = make(map[Key]struct{}, 16)
+		sc.fallback = make(map[Key]struct{}, 8)
 	}
 	clear(sc.owners)
 	sc.distinct = sc.distinct[:0]
@@ -146,12 +151,27 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	for _, k := range w.hitKeys {
 		sc.hit[k] = struct{}{}
 	}
+	clear(sc.fallback)
+	for _, k := range w.fbKeys {
+		// Keys the reroute sent to host-store read-through never touched a
+		// page read; keys the store also failed are in sc.failed already.
+		if _, bad := sc.failed[k]; !bad {
+			sc.fallback[k] = struct{}{}
+		}
+	}
 
 	// Page attribution: each planned read is charged to every query one of
 	// its covered keys belongs to, and apportioned 1/q across those q
-	// queries so shares sum back to the batch total.
+	// queries so shares sum back to the batch total — a shared page that
+	// *failed* is still a read each sharer caused, so it is apportioned the
+	// same way (its keys are attributed through sc.failed, not here).
+	// The same walk accumulates each query's per-shard read counts for its
+	// MaxShardDepth: the depth of a member query is over the pages that
+	// served (or failed) its keys, not the whole batch plan.
 	sc.pagesFor = resizeInts(sc.pagesFor, len(queries))
 	sc.shareFor = resizeFloats(sc.shareFor, len(queries))
+	sc.depthFor = resizeInts(sc.depthFor, len(queries))
+	sc.shardCnt = resizeInts(sc.shardCnt, len(queries)*e.numShards)
 	for _, pe := range w.plan {
 		sc.touch = sc.touch[:0]
 		for _, k := range w.coveredFlat[pe.from:pe.to] {
@@ -168,9 +188,15 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			br.Stats.SharedPageReads++
 		}
 		share := 1 / float64(len(sc.touch))
+		shard, _ := e.be.ShardOf(pe.page)
 		for _, qi := range sc.touch {
 			sc.pagesFor[qi]++
 			sc.shareFor[qi] += share
+			cnt := &sc.shardCnt[int(qi)*e.numShards+shard]
+			*cnt++
+			if *cnt > sc.depthFor[qi] {
+				sc.depthFor[qi] = *cnt
+			}
 		}
 	}
 
@@ -180,6 +206,7 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	sc.hitsFor = resizeInts(sc.hitsFor, len(queries))
 	sc.servedFor = resizeInts(sc.servedFor, len(queries))
 	sc.failFor = resizeInts(sc.failFor, len(queries))
+	sc.fbFor = resizeInts(sc.fbFor, len(queries))
 	totServed, totFailed := 0, 0
 	for qi := range queries {
 		for _, k := range sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]] {
@@ -190,6 +217,9 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			}
 			if _, h := sc.hit[k]; h {
 				sc.hitsFor[qi]++
+			}
+			if _, fb := sc.fallback[k]; fb {
+				sc.fbFor[qi]++
 			}
 			if _, ok := sc.vecOf[k]; ok {
 				sc.servedFor[qi]++
@@ -216,15 +246,20 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			}
 		}
 		st := QueryStats{
-			Keys:          len(queries[qi]),
-			DistinctKeys:  len(d),
-			CacheHits:     sc.hitsFor[qi],
-			PagesRead:     sc.pagesFor[qi],
-			PageShare:     sc.shareFor[qi],
-			BatchSize:     len(queries),
-			FailedKeys:    sc.failFor[qi],
-			Degraded:      sc.failFor[qi] > 0,
-			UsefulFromSSD: len(d) - sc.hitsFor[qi] - sc.failFor[qi],
+			Keys:           len(queries[qi]),
+			DistinctKeys:   len(d),
+			CacheHits:      sc.hitsFor[qi],
+			PagesRead:      sc.pagesFor[qi],
+			PageShare:      sc.shareFor[qi],
+			MaxShardDepth:  sc.depthFor[qi],
+			BatchSize:      len(queries),
+			FailedKeys:     sc.failFor[qi],
+			Degraded:       sc.failFor[qi] > 0,
+			StoreFallbacks: sc.fbFor[qi],
+			// SSD-served keys exclude DRAM hits, failures, and host-store
+			// read-through alike, matching the combined pass's accounting
+			// (fallback vectors never crossed the device).
+			UsefulFromSSD: len(d) - sc.hitsFor[qi] - sc.failFor[qi] - sc.fbFor[qi],
 			Generation:    union.Stats.Generation,
 			StartNS:       union.Stats.StartNS,
 			EndNS:         union.Stats.EndNS,
@@ -233,6 +268,7 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			e.Recovery.DegradedQueries.Inc()
 			e.Recovery.FailedKeys.Add(int64(st.FailedKeys))
 		}
+		e.SpreadDepth.Add(st.MaxShardDepth)
 		e.Latency.Record(st.LatencyNS())
 		r := Result{
 			Stats:   st,

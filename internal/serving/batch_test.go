@@ -3,8 +3,11 @@ package serving
 import (
 	"testing"
 
+	"maxembed/internal/embedding"
+	"maxembed/internal/layout"
 	"maxembed/internal/placement"
 	"maxembed/internal/ssd"
+	"maxembed/internal/store"
 )
 
 // collectQueryResult deep-copies a scattered per-query result out of worker
@@ -209,6 +212,186 @@ func TestLookupBatchFailedKeyAttribution(t *testing.T) {
 	// Engine counters count degraded member queries, not batches.
 	if got := degradedBefore; got != int64(degraded) {
 		t.Errorf("DegradedQueries counter = %d, want %d", got, degraded)
+	}
+}
+
+// TestLookupBatchSharedFailedPageApportionment is the regression test for
+// fault-path scatter accounting on a *shared* failed page (fault-path
+// attribution has regressed before): two of three batched queries share a
+// page whose every read fails, with recovery disabled and no replicas, so
+// the page's keys hard-fail for every sharer. The failed read must still
+// be apportioned once per sharer (PagesRead counts it once each, PageShare
+// splits it), each sharer's FailedKeys must list exactly its own keys of
+// the page, and no count may leak to the query that never touched it.
+func TestLookupBatchSharedFailedPageApportionment(t *testing.T) {
+	f := newFixture(t, placement.StrategySHP, 0)
+	e := f.engine(t, func(c *Config) { c.MaxRetries = Retries(0) })
+
+	// A home page holding at least two keys, plus three private keys on
+	// three further distinct pages.
+	var deadPage layout.PageID
+	found := false
+	for p, keys := range f.lay.Pages {
+		if len(keys) >= 2 {
+			deadPage, found = layout.PageID(p), true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("fixture has no page with two keys")
+	}
+	k1, k2 := Key(f.lay.Pages[deadPage][0]), Key(f.lay.Pages[deadPage][1])
+	taken := map[layout.PageID]bool{deadPage: true}
+	var priv []Key
+	for k := 0; k < f.lay.NumKeys && len(priv) < 3; k++ {
+		if home := f.lay.Home[k]; !taken[home] {
+			taken[home] = true
+			priv = append(priv, Key(k))
+		}
+	}
+	if len(priv) != 3 {
+		t.Fatal("fixture too small for three private pages")
+	}
+	e.cfg.Device.SetFaultModel(pageFaultModel{
+		faults: map[ssd.PageID]ssd.Fault{deadPage: {Err: ssd.ErrReadFailed}},
+	})
+
+	batch := [][]Key{
+		{k1, priv[0]},     // shares the dead page via k1
+		{k1, k2, priv[1]}, // shares it via both keys
+		{priv[2]},         // never touches it
+	}
+	br, err := e.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := br.Stats.Combined.FailedKeys; got != 2 {
+		t.Fatalf("combined FailedKeys = %d, want 2 (k1, k2 once each, not once per sharer)", got)
+	}
+	if got := br.Stats.Combined.PagesRead; got != 4 {
+		t.Fatalf("combined PagesRead = %d, want 4 (dead page + three private pages)", got)
+	}
+
+	type want struct {
+		pages, failed, useful int
+		share                 float64
+		failedKeys            []Key
+	}
+	// The dead page is shared by queries 0 and 1, so each is charged the
+	// read once and half its share; query 2's accounting must be untouched.
+	wants := []want{
+		{pages: 2, failed: 1, useful: 1, share: 1.5, failedKeys: []Key{k1}},
+		{pages: 2, failed: 2, useful: 1, share: 1.5, failedKeys: []Key{k1, k2}},
+		{pages: 1, failed: 0, useful: 1, share: 1.0, failedKeys: nil},
+	}
+	var shareSum float64
+	for qi, r := range br.PerQuery {
+		st, wq := r.Stats, wants[qi]
+		if st.PagesRead != wq.pages {
+			t.Errorf("query %d PagesRead = %d, want %d", qi, st.PagesRead, wq.pages)
+		}
+		if st.FailedKeys != wq.failed || len(r.FailedKeys) != wq.failed {
+			t.Errorf("query %d FailedKeys = %d (slice %d), want %d",
+				qi, st.FailedKeys, len(r.FailedKeys), wq.failed)
+		}
+		for i, k := range wq.failedKeys {
+			if r.FailedKeys[i] != k {
+				t.Errorf("query %d FailedKeys[%d] = %d, want %d", qi, i, r.FailedKeys[i], k)
+			}
+		}
+		if st.UsefulFromSSD != wq.useful {
+			t.Errorf("query %d UsefulFromSSD = %d, want %d", qi, st.UsefulFromSSD, wq.useful)
+		}
+		if st.PageShare < wq.share-1e-9 || st.PageShare > wq.share+1e-9 {
+			t.Errorf("query %d PageShare = %v, want %v", qi, st.PageShare, wq.share)
+		}
+		// One-shard backend: the busiest-shard depth is the page count.
+		if st.MaxShardDepth != st.PagesRead {
+			t.Errorf("query %d MaxShardDepth = %d, want PagesRead %d on one shard",
+				qi, st.MaxShardDepth, st.PagesRead)
+		}
+		shareSum += st.PageShare
+	}
+	if tot := float64(br.Stats.Combined.PagesRead); shareSum < tot-1e-9 || shareSum > tot+1e-9 {
+		t.Errorf("PageShare sum = %v, want combined PagesRead %v", shareSum, tot)
+	}
+	if got := e.SpreadDepth.Count(); got != int64(len(batch)) {
+		t.Errorf("SpreadDepth recorded %d samples, want one per member query (%d)", got, len(batch))
+	}
+}
+
+// TestLookupBatchStoreFallbackAttribution is the regression test for
+// store-fallback scatter accounting: a shared key whose only replica sits
+// on a declared-dead shard is rerouted to host-store read-through, and the
+// per-query stats must account it as a StoreFallback — not as an SSD-served
+// key — exactly as the combined pass does. Before the fix, each sharer's
+// UsefulFromSSD silently counted the fallback key as if it had crossed the
+// device.
+func TestLookupBatchStoreFallbackAttribution(t *testing.T) {
+	capacity := embedding.PageCapacity(4096, testDim)
+	lay := layout.Vanilla(2*capacity, capacity) // page 0 → shard 0, page 1 → shard 1
+	syn, err := embedding.NewSynthesizer(testDim, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := store.BuildSharded(lay, syn, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := mustTestArray(t, ssd.P5800X, 2)
+	arr.SetShardFaultModel(0, deadShardModel{})
+	arr.FailShard(0)
+	e, err := New(Config{Layout: lay, Backend: arr, Store: sh, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Key 0 lives only on dead shard 0 (no replica): both queries need it
+	// and it can only come from the host store. Keys b0/b1 are private and
+	// served by one shared read of live page 1.
+	shared := Key(0)
+	b0, b1 := Key(capacity), Key(capacity+1)
+	batch := [][]Key{{shared, b0}, {shared, b1}}
+	br, err := e.NewWorker().LookupBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := br.Stats.Combined
+	if cb.StoreFallbacks != 1 || cb.UsefulFromSSD != 2 || cb.PagesRead != 1 {
+		t.Fatalf("combined fallbacks/useful/pages = %d/%d/%d, want 1/2/1: %+v",
+			cb.StoreFallbacks, cb.UsefulFromSSD, cb.PagesRead, cb)
+	}
+	var want []float32
+	for qi, r := range br.PerQuery {
+		st := r.Stats
+		if st.Degraded || st.FailedKeys != 0 {
+			t.Fatalf("query %d degraded despite store fallback: %+v", qi, st)
+		}
+		if st.StoreFallbacks != 1 {
+			t.Errorf("query %d StoreFallbacks = %d, want 1", qi, st.StoreFallbacks)
+		}
+		if st.UsefulFromSSD != 1 {
+			t.Errorf("query %d UsefulFromSSD = %d, want 1 (fallback key is not SSD-served)",
+				qi, st.UsefulFromSSD)
+		}
+		if st.PagesRead != 1 || st.MaxShardDepth != 1 {
+			t.Errorf("query %d pages/depth = %d/%d, want 1/1", qi, st.PagesRead, st.MaxShardDepth)
+		}
+		if st.PageShare < 0.5-1e-9 || st.PageShare > 0.5+1e-9 {
+			t.Errorf("query %d PageShare = %v, want 0.5 (page 1 shared)", qi, st.PageShare)
+		}
+		// Both keys still arrive byte-correct.
+		if len(r.Keys) != 2 {
+			t.Fatalf("query %d served %d keys, want 2", qi, len(r.Keys))
+		}
+		for i, k := range r.Keys {
+			want = syn.Vector(k, want[:0])
+			for j := range want {
+				if r.Vectors[i][j] != want[j] {
+					t.Fatalf("query %d key %d: wrong vector via fallback path", qi, k)
+				}
+			}
+		}
 	}
 }
 

@@ -130,6 +130,10 @@ type Config struct {
 // Config.MaxRetries is nil.
 const DefaultMaxRetries = 2
 
+// maxSpreadDepthBucket bounds the SpreadDepth histogram's exact buckets;
+// deeper queries land in the overflow bucket but still shape the mean.
+const maxSpreadDepthBucket = 256
+
 // Retries returns a pointer to n for Config.MaxRetries, distinguishing an
 // explicit cap — including the meaningful zero, "no recovery at all" —
 // from the unset field that takes DefaultMaxRetries.
@@ -217,6 +221,13 @@ type Engine struct {
 	Latency metrics.Recorder
 	// ValidPerRead is the Fig 9 histogram: embeddings served per page read.
 	ValidPerRead *metrics.IntHist
+	// SpreadDepth is the per-query max-shard-depth histogram: each query
+	// contributes the deepest per-shard count of its planned page reads.
+	// On a striped array the busiest shard serializes that many reads, so
+	// this depth — not the plan size — bounds the query's device wait;
+	// co-activation-aware placement (placement.Despread) exists to drive
+	// it toward ceil(plan/shards). Recorded per member query in batches.
+	SpreadDepth *metrics.IntHist
 	// Recovery aggregates fault-recovery counters across workers.
 	Recovery *RecoveryCounters
 }
@@ -273,6 +284,7 @@ func New(cfg Config) (*Engine, error) {
 		maxRetries:     DefaultMaxRetries,
 		shardQueuePeak: make([]atomic.Int64, be.NumShards()),
 		ValidPerRead:   metrics.NewIntHist(cfg.Layout.Capacity),
+		SpreadDepth:    metrics.NewIntHist(maxSpreadDepthBucket),
 		Recovery:       &RecoveryCounters{},
 	}
 	if cfg.MaxRetries != nil {
@@ -419,6 +431,13 @@ type QueryStats struct {
 	CacheHits int
 	// PagesRead is the number of SSD page reads issued (excluding retries).
 	PagesRead int
+	// MaxShardDepth is the deepest per-shard count of the query's planned
+	// reads (post-reroute, excluding recovery reads): the number of reads
+	// the busiest shard serializes for this query, which bounds its device
+	// wait on a striped array. 0 when the query read no pages; equal to
+	// PagesRead on a one-shard backend. For queries served via LookupBatch
+	// it is computed over the pages that served this query's keys.
+	MaxShardDepth int
 	// Retries is the number of recovery reads issued after faults
 	// (replica reads and re-reads alike).
 	Retries int
@@ -525,6 +544,11 @@ type Worker struct {
 	// backends (no tie-breaker installed).
 	shardLoad []int
 
+	// depthBuf is scratch for per-shard depth counting over the final
+	// plan. Distinct from shardLoad, which tracks the plan under
+	// construction and is left stale by reroutePlan on purpose.
+	depthBuf []int
+
 	// ctx, when non-nil, cancels the recovery retry loop of the query in
 	// flight: an abandoned request degrades immediately instead of
 	// burning retries and queue slots. Set by LookupCtx per query.
@@ -599,6 +623,35 @@ func (e *Engine) NewWorker() *Worker {
 	return w
 }
 
+// planMaxShardDepth counts the final plan's reads per shard and returns
+// the deepest count. It recomputes from w.plan rather than reading
+// w.shardLoad: the tie-break counters track the plan as selection built
+// it, and reroutePlan rebuilds the plan without maintaining them.
+func (w *Worker) planMaxShardDepth() int {
+	e := w.eng
+	if len(w.plan) == 0 {
+		return 0
+	}
+	if e.numShards == 1 {
+		return len(w.plan)
+	}
+	if w.depthBuf == nil {
+		w.depthBuf = make([]int, e.numShards)
+	}
+	for i := range w.depthBuf {
+		w.depthBuf[i] = 0
+	}
+	deepest := 0
+	for _, pe := range w.plan {
+		s, _ := e.be.ShardOf(pe.page)
+		w.depthBuf[s]++
+		if w.depthBuf[s] > deepest {
+			deepest = w.depthBuf[s]
+		}
+	}
+	return deepest
+}
+
 // foldQueuePeaks publishes the worker's per-shard queue high-water marks
 // into the engine's gauges with a CAS-max, so concurrent workers never
 // lose a peak.
@@ -644,6 +697,7 @@ func (w *Worker) Lookup(query []Key) (Result, error) {
 		w.eng.Recovery.DegradedQueries.Inc()
 		w.eng.Recovery.FailedKeys.Add(int64(res.Stats.FailedKeys))
 	}
+	w.eng.SpreadDepth.Add(res.Stats.MaxShardDepth)
 	w.eng.Latency.Record(res.Stats.LatencyNS())
 	return res, nil
 }
@@ -754,6 +808,7 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	// On a health-reporting backend, move reads planned onto
 	// failed/rebuilding shards to live replicas before submitting anything.
 	w.reroutePlan(&st)
+	st.MaxShardDepth = w.planMaxShardDepth()
 
 	// Submit per the pipeline mode, charging selection cost as it accrues.
 	if e.cfg.Pipeline {

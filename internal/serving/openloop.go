@@ -18,6 +18,9 @@ type OpenLoopResult struct {
 	Latency metrics.LatencySummary
 	// PagesRead counts SSD reads.
 	PagesRead int64
+	// MeanMaxShardDepth is the mean per-query max-shard read depth over
+	// the run (see RunResult.MeanMaxShardDepth).
+	MeanMaxShardDepth float64
 	// Saturated reports whether the backlog grew monotonically (offered
 	// load above capacity).
 	Saturated bool
@@ -47,6 +50,7 @@ func RunOpenLoop(e *Engine, queries [][]Key, workers int, offeredQPS float64) (O
 	e.be.Reset()
 	e.Latency.Reset()
 	e.ValidPerRead.Reset()
+	e.SpreadDepth.Reset()
 	if e.cache != nil {
 		e.cache.ResetStats()
 	}
@@ -87,6 +91,7 @@ func RunOpenLoop(e *Engine, queries [][]Key, workers int, offeredQPS float64) (O
 	}
 	res.OfferedQPS = offeredQPS
 	res.AchievedQPS = metrics.PerSecond(int64(len(queries)), makespan)
+	res.MeanMaxShardDepth = e.SpreadDepth.Mean()
 	res.Latency = rec.Snapshot()
 	// Saturation heuristic: the queueing delay grew on most dispatches.
 	res.Saturated = backlogGrowth > int64(len(queries))*3/4

@@ -35,6 +35,12 @@ type RunResult struct {
 	UsefulKeys int64
 	// MeanValidPerRead is the Fig 9 average: embeddings per page read.
 	MeanValidPerRead float64
+	// MeanMaxShardDepth is the mean, over queries, of the deepest
+	// per-shard count of each query's planned reads — the per-query
+	// serialization bound co-activation-aware placement minimizes.
+	// Always 0 on runs that read no pages; equals mean pages per query
+	// on a one-shard backend.
+	MeanMaxShardDepth float64
 	// ServiceBandwidth is embedding bytes *delivered to queries* per
 	// virtual second, counting both SSD-served and DRAM-served keys.
 	// Unlike EffectiveBandwidth (which scales read efficiency by the
@@ -114,6 +120,7 @@ func (e *Engine) resetRunState() {
 	e.be.Reset()
 	e.Latency.Reset()
 	e.ValidPerRead.Reset()
+	e.SpreadDepth.Reset()
 	e.Recovery.Reset()
 	for i := range e.shardQueuePeak {
 		e.shardQueuePeak[i].Store(0)
@@ -143,6 +150,7 @@ func finalizeRun(e *Engine, res *RunResult, ws []*Worker) {
 	res.ServiceBandwidth = metrics.BytesPerSecond(
 		(res.UsefulKeys+res.CacheHits)*int64(e.vecSize), res.ElapsedNS)
 	res.MeanValidPerRead = e.ValidPerRead.Mean()
+	res.MeanMaxShardDepth = e.SpreadDepth.Mean()
 	res.Latency = e.Latency.Snapshot()
 }
 

@@ -247,6 +247,48 @@ func TestShardTieBreakSpreadsLoad(t *testing.T) {
 	}
 }
 
+// TestMaxShardDepthCountsBusiestShard: per-query MaxShardDepth is the
+// deepest per-shard count of the final plan — two reads aliasing onto one
+// shard report depth 2, two reads on different shards report depth 1 —
+// and the engine's SpreadDepth histogram accumulates one sample per query.
+func TestMaxShardDepthCountsBusiestShard(t *testing.T) {
+	capacity := embedding.PageCapacity(4096, testDim)
+	lay := layout.Vanilla(4*capacity, capacity) // pages 0..3: shards 0,1,0,1
+	arr := mustTestArray(t, ssd.P5800X, 2)
+	e, err := New(Config{Layout: lay, Backend: arr, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.NewWorker()
+
+	// Keys on pages 0 and 2: both home pages stripe onto shard 0.
+	aliased, err := w.Lookup([]Key{0, Key(2 * capacity)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased.Stats.PagesRead != 2 || aliased.Stats.MaxShardDepth != 2 {
+		t.Errorf("aliased query: pages=%d depth=%d, want 2 reads serialized on one shard",
+			aliased.Stats.PagesRead, aliased.Stats.MaxShardDepth)
+	}
+
+	// Keys on pages 0 and 1: one read per shard.
+	spread, err := w.Lookup([]Key{0, Key(capacity)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.Stats.PagesRead != 2 || spread.Stats.MaxShardDepth != 1 {
+		t.Errorf("spread query: pages=%d depth=%d, want depth 1 across two shards",
+			spread.Stats.PagesRead, spread.Stats.MaxShardDepth)
+	}
+
+	if got := e.SpreadDepth.Count(); got != 2 {
+		t.Errorf("SpreadDepth recorded %d queries, want 2", got)
+	}
+	if got := e.SpreadDepth.Mean(); got != 1.5 {
+		t.Errorf("SpreadDepth mean = %v, want 1.5", got)
+	}
+}
+
 // TestShardQueuePeaksAcrossRun: a multi-shard engine reports a per-shard
 // queue high-water mark after a run, and Run's reset clears it.
 func TestShardQueuePeaksAcrossRun(t *testing.T) {

@@ -2,7 +2,11 @@ package ssd
 
 import (
 	"errors"
+	"reflect"
 	"testing"
+
+	"maxembed/internal/layout"
+	"maxembed/internal/placement"
 )
 
 func TestNewTieredArrayDerivesTiers(t *testing.T) {
@@ -148,6 +152,143 @@ func TestTieredSwapShardKeepsTierStructure(t *testing.T) {
 	if got := nb.Profile().Name; got != "Array-1xP5800X+3xP4510" {
 		t.Errorf("aggregate name after swap = %q", got)
 	}
+}
+
+// TestTierIdentityAfterFastShardSpareSwap is the regression test for tier
+// identity across fail → rebuild-onto-spare → re-tier when the spare is the
+// *slowest* profile (the cheapest device that can hold any shard's data,
+// which is exactly what maxembed's spareProfile provisions). Replacing a
+// fast-tier member with a dense spare changes the tier geometry itself, in
+// two distinct ways, and the swapped array must re-derive both correctly:
+//
+//   - 1×P5800X + 3×P4510, fail the lone fast shard: the fast tier
+//     disappears entirely — the array collapses to a single homogeneous
+//     tier and every shard must report tier 0.
+//   - 2×P5800X + 2×P4510, fail one fast shard: the fast tier shrinks to
+//     one member and the dense tier grows to three.
+//
+// In both cases a subsequent placement.Retier must be driven by the
+// *re-derived* TierShardMap, not the pre-failure one — the stale map ranks
+// the replaced shard fast and would promote hot pages onto the dense spare.
+func TestTierIdentityAfterFastShardSpareSwap(t *testing.T) {
+	t.Run("collapse", func(t *testing.T) {
+		arr, err := NewTieredArray([]TierSpec{
+			{Profile: P5800X, Devices: 1},
+			{Profile: P4510, Devices: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		staleMap := arr.TierShardMap()
+		spare, err := NewDevice(P4510) // slowest tier's profile
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.AttachSpare(spare); err != nil {
+			t.Fatal(err)
+		}
+		arr.FailShard(0) // the lone fast shard
+		nb, err := arr.SwapShard(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nb.NumTiers(); got != 1 {
+			t.Fatalf("NumTiers after fast-shard swap = %d, want 1 (tier collapsed)", got)
+		}
+		for s := 0; s < nb.NumShards(); s++ {
+			if got := nb.TierOf(s); got != 0 {
+				t.Errorf("TierOf(%d) = %d, want 0", s, got)
+			}
+		}
+		if got, want := nb.Profile().Name, "Array-4xP4510"; got != want {
+			t.Errorf("aggregate name = %q, want %q", got, want)
+		}
+		fresh := nb.TierShardMap()
+		for s, tr := range fresh {
+			if tr != 0 {
+				t.Errorf("TierShardMap()[%d] = %d, want 0", s, tr)
+			}
+		}
+		// The stale 2-tier map still ranks shard 0 fast; re-tiering with it
+		// would shuffle hot pages onto an ordinary dense shard. With the
+		// re-derived single-tier map, Retier must keep every page in place.
+		lay := layout.Vanilla(16, 2) // 8 pages over 4 shards
+		heat := make([]float64, lay.NumPages())
+		for p := range heat {
+			heat[p] = float64(lay.NumPages() - p)
+		}
+		staleOut, staleRep, err := placement.Retier(lay, heat, staleMap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staleRep.Moved == 0 {
+			t.Fatal("stale tier map moved nothing — fixture no longer distinguishes stale from fresh")
+		}
+		out, rep, err := placement.Retier(lay, heat, fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Moved != 0 {
+			t.Errorf("re-derived single-tier map moved %d pages, want 0", rep.Moved)
+		}
+		if !reflect.DeepEqual(out.Home, lay.Home) {
+			t.Error("single-tier Retier permuted pages")
+		}
+		if reflect.DeepEqual(staleOut.Home, out.Home) {
+			t.Error("stale and fresh maps agree — fixture no longer exercises the regression")
+		}
+	})
+
+	t.Run("shrink", func(t *testing.T) {
+		arr, err := NewTieredArray([]TierSpec{
+			{Profile: P5800X, Devices: 2},
+			{Profile: P4510, Devices: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spare, err := NewDevice(P4510)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.AttachSpare(spare); err != nil {
+			t.Fatal(err)
+		}
+		arr.FailShard(1) // one of the two fast shards
+		nb, err := arr.SwapShard(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nb.NumTiers(); got != 2 {
+			t.Fatalf("NumTiers after swap = %d, want 2", got)
+		}
+		want := []int{0, 1, 1, 1} // shard 1 is dense now
+		for s, w := range want {
+			if got := nb.TierOf(s); got != w {
+				t.Errorf("TierOf(%d) = %d, want %d", s, got, w)
+			}
+		}
+		if got := nb.Tier(0).Shards; len(got) != 1 || got[0] != 0 {
+			t.Errorf("fast tier shards = %v, want [0]", got)
+		}
+		if got, want := nb.Profile().Name, "Array-1xP5800X+3xP4510"; got != want {
+			t.Errorf("aggregate name = %q, want %q", got, want)
+		}
+		// Retier with the re-derived map must respect the shrunken fast
+		// tier's quota: exactly 1/4 of the pages (residue 0) can be fast.
+		lay := layout.Vanilla(16, 2)
+		heat := make([]float64, lay.NumPages())
+		for p := range heat {
+			heat[p] = float64(p) // hottest pages at the high IDs
+		}
+		_, rep, err := placement.Retier(lay, heat, nb.TierShardMap())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rep.TierPages[0], lay.NumPages()/4; got != want {
+			t.Errorf("fast tier holds %d pages after swap, want %d", got, want)
+		}
+	})
 }
 
 func TestTierStatsSumShardActivity(t *testing.T) {

@@ -76,6 +76,17 @@ type config struct {
 	hotSpare     bool
 	autoRebuild  bool
 	rebuildRate  float64
+	coact        bool
+}
+
+// despreadEnabled reports whether the shard-assignment pass
+// (placement.Despread) runs after placement: it needs multiple shards,
+// and either explicit co-activation placement or a tiered array — whose
+// Retier pass permutes page IDs by heat alone and can break the replica
+// shard diversity Build emitted, which the pass repairs even without
+// co-activation input.
+func (c config) despreadEnabled(tierMap []int) bool {
+	return c.devices > 1 && (c.coact || tierMap != nil)
 }
 
 // Option customizes Open.
@@ -151,6 +162,19 @@ func WithTiers(specs ...TierSpec) Option {
 	return func(c *config) { c.tiers = append([]ssd.TierSpec(nil), specs...) }
 }
 
+// WithCoActivationPlacement feeds the co-appearance hypergraph into shard
+// assignment: within each tier's residue classes, page IDs are permuted so
+// pages serving the same recurring query sets land on different shards
+// (placement.Despread), minimizing the per-query max-shard depth that
+// bounds tail latency at high load. The pass runs at Open from the build
+// history and again at each Refresh from the newer history, emitted as a
+// page-ID permutation that rides the same refresh-boundary atomic hot-swap
+// as re-tiering — replica emission, recovery, scrubbing, and rebuild are
+// untouched. Requires WithDevices(n > 1) or WithTiers; ignored on a
+// single-device DB. On tiered arrays the replica shard-diversity half of
+// the pass runs even without this option.
+func WithCoActivationPlacement() Option { return func(c *config) { c.coact = true } }
+
 // WithDRAMPins pins the n hottest keys (by build-history frequency,
 // re-ranked at each Refresh) permanently in DRAM, above the LRU cache:
 // they always hit and are never evicted. The pin-set is additional DRAM
@@ -223,6 +247,7 @@ type DB struct {
 	lastRefreshTotal int64 // recorder.Total() at the last successful Refresh
 	pins             []Key // current DRAM pin-set (hottest keys), re-ranked per Refresh
 	lastRetier       *placement.TierReport
+	lastDespread     *placement.SpreadReport
 
 	rebuildMu    sync.Mutex // serializes shard rebuilds (admin- and auto-triggered)
 	scrubMu      sync.Mutex // serializes scrub sweeps
@@ -322,8 +347,20 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		}
 		db.pins = placement.TopKeys(freq, cfg.pinTop)
 	}
+	var spreadRep *placement.SpreadReport
+	if cfg.despreadEnabled(tm) {
+		var cg *hypergraph.Graph
+		if cfg.coact {
+			cg = g
+		}
+		lay, spreadRep, err = placement.Despread(lay, cg, cfg.devices, tm)
+		if err != nil {
+			return nil, fmt.Errorf("maxembed: co-activation placement: %w", err)
+		}
+	}
 	db.lay = lay
 	db.lastRetier = retierRep
+	db.lastDespread = spreadRep
 	var src serving.PageSource
 	if !cfg.timingOnly {
 		db.syn, err = embedding.NewSynthesizer(cfg.dim, cfg.seed)
@@ -560,7 +597,7 @@ func (db *DB) Refresh(history [][]Key) error {
 	for k, p := range cur.Home {
 		assign[k] = int32(p)
 	}
-	lay, err := placement.Replicate(g, assign, placement.Options{
+	base, err := placement.Replicate(g, assign, placement.Options{
 		Capacity:         cur.Capacity,
 		ReplicationRatio: db.cfg.ratio,
 		Seed:             db.cfg.seed,
@@ -569,42 +606,84 @@ func (db *DB) Refresh(history [][]Key) error {
 	if err != nil {
 		return fmt.Errorf("maxembed: refresh replication: %w", err)
 	}
-	var (
-		retierRep *placement.TierReport
-		pins      []Key
-	)
-	if tm != nil || db.cfg.pinTop > 0 {
-		freq := placement.KeyFreq(cur.NumKeys, history)
-		if tm != nil {
-			heat := placement.PageHeat(lay, placement.DiscountTop(freq, db.cfg.dramResidents(lay.NumKeys)))
-			lay, retierRep, err = placement.Retier(lay, heat, tm)
+	for attempt := 0; ; attempt++ {
+		lay := base
+		var (
+			retierRep *placement.TierReport
+			spreadRep *placement.SpreadReport
+			pins      []Key
+		)
+		if tm != nil || db.cfg.pinTop > 0 {
+			freq := placement.KeyFreq(cur.NumKeys, history)
+			if tm != nil {
+				heat := placement.PageHeat(lay, placement.DiscountTop(freq, db.cfg.dramResidents(lay.NumKeys)))
+				lay, retierRep, err = placement.Retier(lay, heat, tm)
+				if err != nil {
+					return fmt.Errorf("maxembed: refresh re-tier: %w", err)
+				}
+			}
+			pins = placement.TopKeys(freq, db.cfg.pinTop)
+		}
+		if db.cfg.despreadEnabled(tm) {
+			var cg *hypergraph.Graph
+			if db.cfg.coact {
+				cg = g
+			}
+			lay, spreadRep, err = placement.Despread(lay, cg, db.cfg.devices, tm)
 			if err != nil {
-				return fmt.Errorf("maxembed: refresh re-tier: %w", err)
+				return fmt.Errorf("maxembed: refresh co-activation placement: %w", err)
 			}
 		}
-		pins = placement.TopKeys(freq, db.cfg.pinTop)
+		src, err := db.buildStore(lay)
+		if err != nil {
+			return fmt.Errorf("maxembed: refresh store: %w", err)
+		}
+		db.mu.Lock()
+		// A concurrent shard rebuild may have replaced the backend since
+		// the tier map was sampled — a failed fast shard rebuilt onto a
+		// dense spare collapses or shrinks the fast tier. Re-tiering with
+		// the stale map would promote hot pages onto shards that are no
+		// longer fast, so redo the tier pass against the re-derived map
+		// instead of swapping in a mismatched layout.
+		if fresh := tierMapOf(db.backend); !intSliceEqual(tm, fresh) {
+			db.mu.Unlock()
+			if attempt >= 2 {
+				return fmt.Errorf("maxembed: refresh: backend tier geometry changed %d times mid-refresh; retry", attempt+1)
+			}
+			tm = fresh
+			continue
+		}
+		defer db.mu.Unlock()
+		db.pins = pins
+		eng, err := serving.New(db.engineConfig(lay, src))
+		if err != nil {
+			return fmt.Errorf("maxembed: refresh engine: %w", err)
+		}
+		if _, err := db.handle.Swap(eng); err != nil {
+			return fmt.Errorf("maxembed: refresh swap: %w", err)
+		}
+		db.lay = lay
+		db.src = src
+		db.lastRetier = retierRep
+		db.lastDespread = spreadRep
+		if db.recorder != nil {
+			db.lastRefreshTotal = db.recorder.Total()
+		}
+		return nil
 	}
-	src, err := db.buildStore(lay)
-	if err != nil {
-		return fmt.Errorf("maxembed: refresh store: %w", err)
+}
+
+// intSliceEqual reports whether two shard→tier maps are identical.
+func intSliceEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.pins = pins
-	eng, err := serving.New(db.engineConfig(lay, src))
-	if err != nil {
-		return fmt.Errorf("maxembed: refresh engine: %w", err)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	if _, err := db.handle.Swap(eng); err != nil {
-		return fmt.Errorf("maxembed: refresh swap: %w", err)
-	}
-	db.lay = lay
-	db.src = src
-	db.lastRetier = retierRep
-	if db.recorder != nil {
-		db.lastRefreshTotal = db.recorder.Total()
-	}
-	return nil
+	return true
 }
 
 // RefreshNow snapshots the recorded query history and refreshes the layout
@@ -718,6 +797,17 @@ func (db *DB) LastRetier() *placement.TierReport {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.lastRetier
+}
+
+// LastDespread reports the most recent shard-assignment pass (at Open or
+// the last Refresh): co-activation spread before/after, replica shard
+// collisions repaired, and keys left without a shard-diverse replica. Nil
+// unless the pass ran (WithCoActivationPlacement, or a tiered multi-device
+// DB whose diversity repair runs implicitly).
+func (db *DB) LastDespread() *placement.SpreadReport {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastDespread
 }
 
 // PinnedKeys returns the current DRAM pin-set, hottest first (empty

@@ -1,6 +1,7 @@
 package maxembed
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -176,6 +177,89 @@ func TestRefreshRetiersOnSkewShift(t *testing.T) {
 			for x := range want {
 				if res.Vectors[j][x] != want[x] {
 					t.Fatalf("wrong vector for key %d after re-tier swap", k)
+				}
+			}
+		}
+	}
+}
+
+// TestRefreshDuringFastShardRebuild is the regression test for the stale
+// tier-map race: Refresh samples the shard→tier map, releases the DB lock
+// for the expensive placement/store rebuild, and used to apply the
+// re-tier permutation against that snapshot even if a concurrent shard
+// rebuild had replaced a failed fast shard with a dense spare in the
+// meantime — promoting hot pages onto shards that were no longer fast.
+// Refresh must detect the geometry change at swap time and redo the tier
+// pass against the re-derived map. The test races a Refresh against a
+// fail → rebuild of a fast-tier shard repeatedly; afterwards the DB's
+// tier reports must agree with the live backend and every vector must
+// still be byte-correct.
+func TestRefreshDuringFastShardRebuild(t *testing.T) {
+	tr := smallTrace(t)
+	history, eval := tr.Split(0.5)
+	db, err := Open(tr.NumItems, history.Queries,
+		WithTiers(
+			TierSpec{Profile: DeviceP5800X, Devices: 2},
+			TierSpec{Profile: DeviceP4510, Devices: 2},
+		),
+		WithReplicationRatio(0.2),
+		WithSeed(11),
+		WithHotSpare(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := shiftKeys(history.Queries, tr.NumItems)
+
+	// Two rounds: the first shrinks the fast tier (2×fast → 1×fast), the
+	// second collapses it entirely (all-dense, single tier). Each round
+	// races one Refresh against the fail+rebuild of a fast shard.
+	for round := 0; round < 2; round++ {
+		fastShards := db.Tiers()[0].Shards
+		if db.Backend().(interface{ NumTiers() int }).NumTiers() < 2 {
+			t.Fatalf("round %d: fast tier already gone", round)
+		}
+		victim := fastShards[0]
+		refreshDone := make(chan error, 1)
+		go func() { refreshDone <- db.Refresh(shifted) }()
+		if err := db.FailShard(victim); err != nil {
+			t.Fatalf("round %d: FailShard(%d): %v", round, victim, err)
+		}
+		if _, err := db.RebuildShard(context.Background(), victim, RebuildConfig{}); err != nil {
+			t.Fatalf("round %d: RebuildShard(%d): %v", round, victim, err)
+		}
+		if err := <-refreshDone; err != nil {
+			t.Fatalf("round %d: Refresh racing rebuild: %v", round, err)
+		}
+		if err := db.AttachSpare(); err != nil {
+			t.Fatalf("round %d: AttachSpare: %v", round, err)
+		}
+	}
+	if got := len(db.Tiers()); got != 1 {
+		t.Fatalf("tiers after both fast shards rebuilt onto dense spares = %d, want 1", got)
+	}
+
+	// A quiesced Refresh must now agree with the collapsed geometry: no
+	// tier pass on a single-tier array, and the layout it swaps in serves
+	// every vector byte-correct.
+	if err := db.Refresh(shifted); err != nil {
+		t.Fatalf("post-collapse Refresh: %v", err)
+	}
+	if rep := db.LastRetier(); rep != nil {
+		t.Errorf("LastRetier = %+v on a single-tier backend, want nil (stale tier map applied)", rep)
+	}
+	sess := db.NewSession()
+	var want []float32
+	for _, q := range shiftKeys(eval.Queries[:100], tr.NumItems) {
+		res, err := sess.Lookup(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, k := range res.Keys {
+			want = db.syn.Vector(k, want[:0])
+			for x := range want {
+				if res.Vectors[j][x] != want[x] {
+					t.Fatalf("wrong vector for key %d after rebuild+refresh races", k)
 				}
 			}
 		}
