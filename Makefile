@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race race-shard race-rebuild race-tier race-coact vet vet-tool lint staticcheck bench verify experiments
+.PHONY: build test race race-shard race-rebuild race-tier race-coact race-file alloc-guard vet vet-tool lint staticcheck bench verify experiments
 
 build:
 	$(GO) build ./...
@@ -70,13 +70,26 @@ race-coact:
 	$(GO) test -race -count=3 -run 'Despread|Spread|TopForSet|MaxShardDepth|LookupBatch' ./internal/placement ./internal/hypergraph ./internal/serving
 	$(GO) test -race -count=3 -run 'TestCoActivationPlacementOption|TestRefreshDuringFastShardRebuild' .
 
+# The real-I/O seams under the race detector: the async backend's executor
+# and freelist paths, zero-copy ref lifetimes across retained buffers, the
+# server's lease/encode handoff, and the public WithFileBackend surface.
+race-file:
+	$(GO) test -race -count=3 -run 'TestFile|TestPageBuf|TestPread|TestUring|TestLookupBinary|TestLookupJSONOverFileBackend|TestMetricsBackendLatencyHistogram' ./internal/ssd ./internal/serving ./internal/server
+	$(GO) test -race -count=3 -run 'TestFileBackend' .
+
+# The zero-copy hot path's hard allocation gate: once warm, a cacheless
+# lookup (single and batched) over the real-I/O backend must allocate
+# nothing at all. CI runs this as the bench-smoke gate.
+alloc-guard:
+	$(GO) test -count=1 -run 'TestFileBackendLookupZeroAllocs|TestFileBackendBatchZeroAllocs' -v ./internal/serving
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The full pre-merge gate: static checks (including the repo's own
 # analyzer suite), build, and the test suite under the race detector
 # (the serving engine and HTTP layer are concurrent).
-verify: vet lint staticcheck build race race-shard race-rebuild race-tier race-coact
+verify: vet lint staticcheck build race race-shard race-rebuild race-tier race-coact race-file alloc-guard
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -15,15 +15,19 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"maxembed"
 	"maxembed/internal/server"
+	"maxembed/internal/ssd"
 	"maxembed/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	backend := flag.String("backend", "sim", "read backend: \"sim\" (simulated device model) or \"file:DIR\" (real async I/O over shard files written under DIR; point DIR at an NVMe filesystem to exercise hardware)")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (off by default)")
 	profile := flag.String("profile", "Criteo", "dataset profile for the synthetic history")
 	scale := flag.Float64("scale", 0.1, "profile scale multiplier")
 	tracePath := flag.String("trace", "", "seed placement from this trace file instead of a profile")
@@ -75,6 +79,18 @@ func main() {
 		}
 	}
 
+	fileDir := ""
+	switch {
+	case *backend == "sim":
+	case strings.HasPrefix(*backend, "file:"):
+		fileDir = strings.TrimPrefix(*backend, "file:")
+		if fileDir == "" {
+			log.Fatal("-backend=file: needs a directory, e.g. -backend=file:/mnt/nvme/maxembed")
+		}
+	default:
+		log.Fatalf("unknown -backend %q (want \"sim\" or \"file:DIR\")", *backend)
+	}
+
 	log.Printf("building placement: %d items, %d history queries, strategy=%s r=%.0f%%",
 		history.NumItems, history.NumQueries(), *strategy, *ratio*100)
 	opts := []maxembed.Option{
@@ -85,6 +101,19 @@ func main() {
 		maxembed.WithSeed(*seed),
 	}
 	tiered := *tierFast > 0
+	if fileDir != "" {
+		if tiered {
+			log.Fatal("-backend=file is incompatible with -tier-fast/-tier-dense (the tier model is simulator-only)")
+		}
+		if *faultError > 0 || *faultTimeout > 0 || *faultCorrupt > 0 {
+			log.Fatal("-backend=file is incompatible with fault injection (simulator-only)")
+		}
+		if *hotSpare || *autoRebuildRate > 0 {
+			log.Fatal("-backend=file is incompatible with -hot-spare/-auto-rebuild-rate (simulator-only)")
+		}
+		opts = append(opts, maxembed.WithFileBackend(fileDir))
+		log.Printf("file backend: real async I/O over shard files under %s", fileDir)
+	}
 	if tiered {
 		if *tierDense <= 0 {
 			log.Fatal("-tier-fast requires -tier-dense (the dense shards backing the fast tier)")
@@ -143,6 +172,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
+	if fb, ok := db.Backend().(*ssd.FileBackend); ok {
+		log.Printf("file backend online: executor=%s direct_io=%v shards=%d",
+			fb.ExecutorKind(), fb.Direct(), fb.NumShards())
+	}
 	ls := db.LayoutStats()
 	log.Printf("layout ready: %d pages, %.1f%% replica slots", ls.NumPages, ls.ReplicationRatio*100)
 
@@ -153,7 +187,9 @@ func main() {
 	} else {
 		log.Printf("request coalescing: up to %d lookups per batch, %v max wait", *batchMax, *batchWait)
 	}
-	if *recordLast > 0 {
+	if fileDir != "" {
+		log.Printf("layout refresh unavailable on the file backend (on-disk pages would go stale)")
+	} else if *recordLast > 0 {
 		if *refreshInterval > 0 {
 			srvOpts = append(srvOpts, server.WithRefreshLoop(db, *refreshInterval, *refreshMinQueries))
 			log.Printf("layout refresh: every %v once ≥%d queries recorded (history window %d)",
@@ -164,6 +200,10 @@ func main() {
 		}
 	} else {
 		log.Printf("history recording disabled; layout refresh unavailable")
+	}
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+		log.Printf("pprof endpoints on /debug/pprof/")
 	}
 	if *devices > 1 {
 		srvOpts = append(srvOpts,

@@ -1,0 +1,21 @@
+// Failing fixture: the lease-constructor regression the analyzer must
+// keep catching — a Get that bails out on an early error path before the
+// return handoff, leaking the lease back to the allocator.
+package fixture
+
+import "sync"
+
+type lease struct {
+	keys []uint64
+}
+
+var leasePool = sync.Pool{New: func() any { return new(lease) }}
+
+func newLeakyLease(n int) (*lease, error) {
+	l := leasePool.Get().(*lease)
+	if n < 0 {
+		return nil, errBad // want "return without leasePool.Put of the buffer taken at line"
+	}
+	l.keys = l.keys[:0]
+	return l, nil
+}

@@ -1,0 +1,56 @@
+// Clean fixture: the zero-copy response-lease idioms from
+// internal/server. A constructor Gets the lease from the pool and hands
+// it off by returning it; the release method is the only Put site; the
+// encoder borrows a pooled body buffer and Puts it on every path,
+// including the early error return.
+package fixture
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBadLease = errors.New("bad lease")
+
+type lease struct {
+	keys []uint64
+	vals [][]float32
+}
+
+var leasePool = sync.Pool{New: func() any { return new(lease) }}
+
+// newLease mirrors server.newLease: the Get is discharged by the return;
+// the caller owns the release.
+func newLease(n int) *lease {
+	l := leasePool.Get().(*lease)
+	l.keys = l.keys[:0]
+	l.vals = l.vals[:0]
+	_ = n
+	return l
+}
+
+// release is the handoff's other end: the only Put site for leasePool.
+func (l *lease) release() {
+	l.keys = l.keys[:0]
+	l.vals = l.vals[:0]
+	leasePool.Put(l)
+}
+
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// encode mirrors server.writeLease's body-buffer discipline: the pooled
+// buffer is Put before every return, early error path included.
+func encode(l *lease, fail bool) (int, error) {
+	buf := bodyPool.Get().(*[]byte)
+	if fail {
+		bodyPool.Put(buf)
+		return 0, errBadLease
+	}
+	for range l.keys {
+		*buf = append(*buf, 0)
+	}
+	n := len(*buf)
+	*buf = (*buf)[:0]
+	bodyPool.Put(buf)
+	return n, nil
+}

@@ -111,6 +111,7 @@ func All() []Experiment {
 		{"rebuildsweep", "Supplementary: shard failure, live rebuild onto the hot spare, and scrubbing", RebuildSweep},
 		{"tiersweep", "Supplementary: hotness-tiered memory hierarchy at equal TCO", TierSweep},
 		{"coactsweep", "Supplementary: co-activation-aware cross-SSD placement vs blind striping", CoactSweep},
+		{"hwsweep", "Supplementary: real async I/O backend vs simulator, with hard host-overhead and scaling budgets", HWSweep},
 	}
 }
 

@@ -118,6 +118,26 @@ type Selector struct {
 	keys       []Key
 	coveredBuf []Key
 	tieBreak   func(cand, best PageID) bool
+	sorter     replicaSorter
+}
+
+// replicaSorter orders keys by ascending replica count (§6.1 ❶), ties by
+// key id. It lives in the Selector so sorting allocates nothing per query
+// (sort.Slice's closure and interface conversion both escape; a pointer to
+// a stored sort.Interface does not).
+type replicaSorter struct {
+	keys []Key
+	fwd  [][]PageID
+}
+
+func (s *replicaSorter) Len() int      { return len(s.keys) }
+func (s *replicaSorter) Swap(i, j int) { s.keys[i], s.keys[j] = s.keys[j], s.keys[i] }
+func (s *replicaSorter) Less(i, j int) bool {
+	ri, rj := len(s.fwd[s.keys[i]]), len(s.fwd[s.keys[j]])
+	if ri != rj {
+		return ri < rj
+	}
+	return s.keys[i] < s.keys[j]
 }
 
 // NewSelector returns a selector over idx.
@@ -204,13 +224,9 @@ func (s *Selector) onePass(query []Key, skip func(Key) bool, emit EmitFunc, sort
 	// ❶ Sort by ascending replica count; ties by key id for determinism.
 	idx := s.idx
 	if sorted {
-		sort.Slice(s.keys, func(i, j int) bool {
-			ri, rj := len(idx.forward[s.keys[i]]), len(idx.forward[s.keys[j]])
-			if ri != rj {
-				return ri < rj
-			}
-			return s.keys[i] < s.keys[j]
-		})
+		s.sorter.keys, s.sorter.fwd = s.keys, idx.forward
+		sort.Sort(&s.sorter)
+		s.sorter.keys, s.sorter.fwd = nil, nil
 	}
 	for _, k := range s.keys {
 		if s.coverMark[k] == s.epoch {

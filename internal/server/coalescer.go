@@ -31,13 +31,13 @@ type lookupJob struct {
 	done chan lookupOutcome
 }
 
-// lookupOutcome is a finished lookup: a fully built response (vectors
-// already copied out of worker scratch into a pooled arena) or an engine
-// error. The handler returns the arena to the pool after encoding.
+// lookupOutcome is a finished lookup: a leased response snapshot (keys
+// copied, zero-copy buffer views retained, value vectors in the lease's
+// arena) or an engine error. The handler encodes from the lease and
+// releases it.
 type lookupOutcome struct {
-	resp   LookupResponse
+	lease  *respLease
 	status int
-	arena  *[]float32
 	err    error
 }
 
@@ -192,9 +192,10 @@ func (c *coalescer) gather(batch []lookupJob, first lookupJob) []lookupJob {
 }
 
 // serve runs one coalesced pass over the batch and scatters responses back
-// to the waiting handlers. Responses are built here — vectors copied into
-// pooled arenas — because the worker's scratch is reused by the next batch
-// the moment this returns.
+// to the waiting handlers. Leases are taken here — buffer views retained,
+// value vectors copied — because the worker's scratch is reused by the
+// next batch the moment this returns; the waiting handler goroutines then
+// encode their responses concurrently from the leases.
 func (c *coalescer) serve(batch []lookupJob) {
 	h := c.h
 	c.rebind()
@@ -218,12 +219,12 @@ func (c *coalescer) serve(batch []lookupJob) {
 	st := br.Stats.Combined
 	h.window.Observe(int64(st.ReadFaults), int64(st.PagesRead+st.Retries))
 	for i, job := range batch {
-		resp, arena := buildLookupResponse(br.PerQuery[i])
+		lease := newLease(br.PerQuery[i])
 		status := http.StatusOK
-		if resp.Degraded {
+		if lease.degraded {
 			status = http.StatusPartialContent
 		}
-		job.done <- lookupOutcome{resp: resp, status: status, arena: arena}
+		job.done <- lookupOutcome{lease: lease, status: status}
 	}
 }
 

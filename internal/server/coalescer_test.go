@@ -95,11 +95,11 @@ func TestCoalescerFormsBatchesUnderConcurrency(t *testing.T) {
 				errs <- fmt.Errorf("request %d: status %d", i, out.status)
 				return
 			}
-			if out.resp.Stats.BatchSize < 2 {
-				errs <- fmt.Errorf("request %d served with BatchSize %d, want ≥ 2", i, out.resp.Stats.BatchSize)
+			if out.lease.stats.BatchSize < 2 {
+				errs <- fmt.Errorf("request %d served with BatchSize %d, want ≥ 2", i, out.lease.stats.BatchSize)
 				return
 			}
-			releaseArena(out.arena)
+			out.lease.release()
 		}(i)
 	}
 	close(start)

@@ -24,6 +24,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,6 +93,14 @@ func WithCoalesceQueue(n int) Option {
 	return func(h *Handler) { h.coalesceQueue = n }
 }
 
+// WithPprof exposes Go's runtime profiling endpoints under /debug/pprof/
+// on the handler's own mux. Off by default: profiling handlers leak
+// operational detail and burn CPU when scraped, so production servers opt
+// in explicitly (the -pprof flag on cmd/maxembed-server).
+func WithPprof() Option {
+	return func(h *Handler) { h.pprofEnabled = true }
+}
+
 // Handler serves the HTTP API for one engine (or, with NewDynamic, a
 // swappable engine handle that layout refreshes update in place).
 type Handler struct {
@@ -109,6 +120,7 @@ type Handler struct {
 	coalesceQueue int
 	coal          *coalescer // nil when coalescing is disabled
 	closeOnce     sync.Once
+	pprofEnabled  bool
 
 	nowFn func() time.Time // injected clock (WithClock); wall clock by default
 
@@ -188,6 +200,13 @@ func NewDynamic(handle *serving.Swappable, backend ssd.Backend, opts ...Option) 
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.health)
+	if h.pprofEnabled {
+		h.mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+		h.mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+		h.mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+		h.mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+		h.mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
+	}
 	return h
 }
 
@@ -310,64 +329,32 @@ type LookupStats struct {
 
 const maxLookupKeys = 1 << 16
 
-// arenaPool recycles the flat vector arenas behind lookup responses: all of
-// a response's embedding values are copied into one pooled []float32 and the
-// map holds subslices, so the hot path does one (usually amortized-free)
-// allocation per response instead of one per key. The arena is returned to
-// the pool after the response is encoded.
-var arenaPool = sync.Pool{New: func() any { return new([]float32) }}
-
-// buildLookupResponse copies a scattered per-query result out of worker
-// scratch into a response backed by a pooled arena. The caller must release
-// the returned arena with releaseArena after encoding the response.
-func buildLookupResponse(res serving.Result) (LookupResponse, *[]float32) {
-	total := 0
-	for _, v := range res.Vectors {
-		total += len(v)
-	}
-	ap := arenaPool.Get().(*[]float32)
-	arena := *ap
-	if cap(arena) < total {
-		arena = make([]float32, total)
-	}
-	arena = arena[:total]
-	*ap = arena
-
-	resp := LookupResponse{
-		Embeddings: make(map[uint32][]float32, len(res.Keys)),
-		Stats: LookupStats{
-			DistinctKeys:   res.Stats.DistinctKeys,
-			CacheHits:      res.Stats.CacheHits,
-			PagesRead:      res.Stats.PagesRead,
-			PageShare:      res.Stats.PageShare,
-			BatchSize:      res.Stats.BatchSize,
-			Retries:        res.Stats.Retries,
-			ReplicaRescues: res.Stats.ReplicaRescues,
-			ShardReroutes:  res.Stats.ShardReroutes,
-			StoreFallbacks: res.Stats.StoreFallbacks,
-			LatencyNS:      res.Stats.LatencyNS(),
-			Generation:     res.Stats.Generation,
-		},
-	}
-	off := 0
-	for i, k := range res.Keys {
-		v := res.Vectors[i]
-		dst := arena[off : off+len(v) : off+len(v)]
-		copy(dst, v)
-		resp.Embeddings[k] = dst
-		off += len(v)
-	}
-	if res.Stats.Degraded {
-		resp.Degraded = true
-		resp.FailedKeys = append(resp.FailedKeys, res.FailedKeys...)
-	}
-	return resp, ap
+// wantsBinary reports whether the request negotiated the binary lookup
+// encoding (Accept: application/octet-stream; see lease.go for the frame).
+func wantsBinary(r *http.Request) bool {
+	return r != nil && strings.Contains(r.Header.Get("Accept"), "application/octet-stream")
 }
 
-func releaseArena(ap *[]float32) {
-	if ap != nil {
-		arenaPool.Put(ap)
+// writeLease encodes a leased lookup result into a pooled body buffer,
+// releases the lease (unpinning the backend's completion buffers), and
+// writes the response. Ref-backed payloads flow completion buffer → body
+// buffer → socket with no intermediate representation.
+func (h *Handler) writeLease(w http.ResponseWriter, binary bool, status int, l *respLease) {
+	bp := respBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if binary {
+		buf = l.encodeBinary(buf)
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		buf = l.encodeJSON(buf)
+		w.Header().Set("Content-Type", "application/json")
 	}
+	l.release()
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	w.Write(buf)
+	*bp = buf
+	respBufPool.Put(bp)
 }
 
 func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
@@ -396,7 +383,7 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if h.coal != nil {
-		if h.lookupCoalesced(w, req.Keys) {
+		if h.lookupCoalesced(w, r, req.Keys) {
 			return
 		}
 		// Coalescer shut down mid-request: fall through to isolated serving.
@@ -407,7 +394,7 @@ func (h *Handler) lookup(w http.ResponseWriter, r *http.Request) {
 // lookupCoalesced routes the request through the coalescer. It reports
 // false only when the coalescer has shut down and the request should be
 // served in isolation instead; a full queue is handled here (503).
-func (h *Handler) lookupCoalesced(w http.ResponseWriter, keys []uint32) bool {
+func (h *Handler) lookupCoalesced(w http.ResponseWriter, r *http.Request, keys []uint32) bool {
 	if h.coal.closing.Load() {
 		return false
 	}
@@ -440,8 +427,7 @@ func (h *Handler) lookupCoalesced(w http.ResponseWriter, keys []uint32) bool {
 		httpError(w, http.StatusUnprocessableEntity, "lookup: %v", out.err)
 		return true
 	}
-	writeJSONStatus(w, out.status, out.resp)
-	releaseArena(out.arena)
+	h.writeLease(w, wantsBinary(r), out.status, out.lease)
 	return true
 }
 
@@ -459,14 +445,15 @@ func (h *Handler) lookupIsolated(w http.ResponseWriter, r *http.Request, keys []
 	}
 	h.window.Observe(int64(res.Stats.ReadFaults),
 		int64(res.Stats.PagesRead+res.Stats.Retries))
-	resp, arena := buildLookupResponse(res)
+	// Snapshot the result (pinning any zero-copy buffer views) before the
+	// worker goes back to the pool, where another request may reuse it.
+	lease := newLease(res)
 	h.putWorker(worker, gen)
 	status := http.StatusOK
-	if resp.Degraded {
+	if lease.degraded {
 		status = http.StatusPartialContent
 	}
-	writeJSONStatus(w, status, resp)
-	releaseArena(arena)
+	h.writeLease(w, wantsBinary(r), status, lease)
 }
 
 // StatsResponse is the /v1/stats response body.
@@ -854,6 +841,26 @@ func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	h.coactMetrics(w, h.handle.Engine())
+	if lr, ok := be.(ssd.ReadLatencyReporter); ok {
+		// Measured (wall-clock) per-shard read latency of a real-I/O
+		// backend, in Prometheus cumulative-histogram form.
+		fmt.Fprintf(w, "# TYPE maxembed_backend_read_latency_seconds histogram\n")
+		for s := 0; s < be.NumShards(); s++ {
+			snap := lr.ShardReadLatency(s)
+			var cum int64
+			for i, c := range snap.Counts {
+				cum += c
+				if i < len(snap.UpperNS) {
+					fmt.Fprintf(w, "maxembed_backend_read_latency_seconds_bucket{shard=\"%d\",le=\"%g\"} %d\n",
+						s, float64(snap.UpperNS[i])/1e9, cum)
+				} else {
+					fmt.Fprintf(w, "maxembed_backend_read_latency_seconds_bucket{shard=\"%d\",le=\"+Inf\"} %d\n", s, cum)
+				}
+			}
+			fmt.Fprintf(w, "maxembed_backend_read_latency_seconds_sum{shard=\"%d\"} %g\n", s, float64(snap.SumNS)/1e9)
+			fmt.Fprintf(w, "maxembed_backend_read_latency_seconds_count{shard=\"%d\"} %d\n", s, snap.Count)
+		}
+	}
 	if hr, ok := be.(ssd.HealthReporter); ok {
 		n := be.NumShards()
 		// Shard state machine position: 0 healthy, 1 suspect, 2 failed,

@@ -31,24 +31,40 @@ type BatchResult struct {
 	// apportions shared reads fractionally, and latency is the batch
 	// completion time. Recovery totals (Retries, ReadFaults, Corruptions,
 	// ReplicaRescues) are accounted batch-wide in Stats.Combined, not per
-	// query. Slices alias worker memory reused by the next lookup.
+	// query. PerQuery itself and every slice in it alias worker memory
+	// reused by the next lookup; on real-I/O backends each result's Refs
+	// views follow the same lifetime (Retain to hold longer).
 	PerQuery []Result
 	// Stats aggregates the combined pass.
 	Stats BatchStats
 }
 
-// scatterScratch holds LookupBatch's reusable scatter state.
+// Per-key scatter flags (one byte per batch-distinct key).
+const (
+	kfFailed   uint8 = 1 << iota // key exhausted recovery
+	kfHit                        // served from DRAM cache
+	kfFallback                   // served by host-store read-through
+)
+
+// scatterScratch holds LookupBatch's reusable scatter state. Keys are
+// interned to dense ids (keyIdx) so everything else is flat arrays —
+// ownership is a CSR (ownOff/ownFlat) rather than a map of slices — and a
+// steady-state batch allocates nothing.
 type scatterScratch struct {
-	owners    map[Key][]int32 // distinct key → queries requesting it
-	vecOf     map[Key][]float32
-	failed    map[Key]struct{}
-	hit       map[Key]struct{}
-	fallback  map[Key]struct{} // keys served by host-store read-through
-	distinct  []Key            // per-query distinct keys, flattened
-	bounds    []int            // distinct[bounds[i]:bounds[i+1]] is query i's keys
-	touch     []int32          // queries touched by the page being attributed
+	keyIdx    map[Key]int32 // batch-distinct key → dense id
+	ids       []int32       // dense id per entry of distinct
+	ownCnt    []int32       // CSR: owners per dense id (counting pass)
+	ownOff    []int32       // CSR: ownFlat[ownOff[id]:ownOff[id+1]]
+	ownFlat   []int32       // CSR: owning query indexes, ascending
+	cursor    []int32       // CSR fill cursors
+	vecIdx    []int32       // dense id → index into union.Keys, -1 unserved
+	flags     []uint8       // dense id → kf* bits
+	distinct  []Key         // per-query distinct keys, flattened
+	bounds    []int         // distinct[bounds[i]:bounds[i+1]] is query i's keys
+	touch     []int32       // queries touched by the page being attributed
 	flatKeys  []Key
 	flatVecs  [][]float32
+	flatRefs  []SlotRef
 	flatFail  []Key
 	pagesFor  []int
 	shareFor  []float64
@@ -80,7 +96,11 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 		if err != nil {
 			return br, err
 		}
-		br.PerQuery = []Result{res}
+		if cap(w.perQuery) < 1 {
+			w.perQuery = make([]Result, 0, 8)
+		}
+		w.perQuery = append(w.perQuery[:0], res)
+		br.PerQuery = w.perQuery
 		br.Stats.Combined = res.Stats
 		return br, nil
 	}
@@ -105,19 +125,18 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	union.Stats.PageShare = float64(union.Stats.PagesRead)
 	br.Stats.Combined = union.Stats
 
-	// Ownership: which queries requested each distinct key. w.seen is free
-	// again after lookupCombined; reuse it for per-query dedup.
+	// Ownership pass: intern each batch-distinct key to a dense id and
+	// record, per (query, distinct key) pair, which query owns it. w.seen
+	// is free again after lookupCombined; reuse it for per-query dedup.
 	sc := &w.scatter
-	if sc.owners == nil {
-		sc.owners = make(map[Key][]int32, union.Stats.DistinctKeys)
-		sc.vecOf = make(map[Key][]float32, len(union.Keys))
-		sc.failed = make(map[Key]struct{}, 8)
-		sc.hit = make(map[Key]struct{}, 16)
-		sc.fallback = make(map[Key]struct{}, 8)
+	if sc.keyIdx == nil {
+		sc.keyIdx = make(map[Key]int32, union.Stats.DistinctKeys)
 	}
-	clear(sc.owners)
+	clear(sc.keyIdx)
 	sc.distinct = sc.distinct[:0]
+	sc.ids = sc.ids[:0]
 	sc.bounds = append(sc.bounds[:0], 0)
+	nDist := int32(0)
 	for qi, q := range queries {
 		clear(w.seen)
 		for _, k := range q {
@@ -126,37 +145,70 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			}
 			w.seen[k] = struct{}{}
 			sc.distinct = append(sc.distinct, k)
-			sc.owners[k] = append(sc.owners[k], int32(qi))
+			id, ok := sc.keyIdx[k]
+			if !ok {
+				id = nDist
+				nDist++
+				sc.keyIdx[k] = id
+			}
+			sc.ids = append(sc.ids, id)
 		}
 		sc.bounds = append(sc.bounds, len(sc.distinct))
 		if e.cfg.Recorder != nil {
 			e.cfg.Recorder.Record(sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]])
 		}
 	}
-	for _, qs := range sc.owners {
-		if len(qs) > 1 {
+
+	// Build the ownership CSR: count, prefix-sum, fill (query order, so
+	// each id's owner list is ascending and deterministic).
+	sc.ownCnt = resizeInt32s(sc.ownCnt, int(nDist))
+	for _, id := range sc.ids {
+		sc.ownCnt[id]++
+	}
+	for _, c := range sc.ownCnt {
+		if c > 1 {
 			br.Stats.SharedKeys++
 		}
 	}
+	sc.ownOff = resizeInt32s(sc.ownOff, int(nDist)+1)
+	for id, c := range sc.ownCnt {
+		sc.ownOff[id+1] = sc.ownOff[id] + c
+	}
+	if cap(sc.ownFlat) < len(sc.ids) {
+		sc.ownFlat = make([]int32, len(sc.ids))
+	}
+	sc.ownFlat = sc.ownFlat[:len(sc.ids)]
+	sc.cursor = resizeInt32s(sc.cursor, int(nDist))
+	for qi := range queries {
+		for _, id := range sc.ids[sc.bounds[qi]:sc.bounds[qi+1]] {
+			sc.ownFlat[sc.ownOff[id]+sc.cursor[id]] = int32(qi)
+			sc.cursor[id]++
+		}
+	}
 
-	clear(sc.vecOf)
+	// Per-key outcome: where each dense id's vector sits in the union
+	// result (-1 = unserved) and its failed/hit/fallback flags.
+	sc.vecIdx = resizeInt32s(sc.vecIdx, int(nDist))
+	for i := range sc.vecIdx {
+		sc.vecIdx[i] = -1
+	}
+	sc.flags = resizeBytes(sc.flags, int(nDist))
 	for i, k := range union.Keys {
-		sc.vecOf[k] = union.Vectors[i]
+		if id, ok := sc.keyIdx[k]; ok {
+			sc.vecIdx[id] = int32(i)
+		}
 	}
-	clear(sc.failed)
 	for _, k := range union.FailedKeys {
-		sc.failed[k] = struct{}{}
+		sc.flags[sc.keyIdx[k]] |= kfFailed
 	}
-	clear(sc.hit)
 	for _, k := range w.hitKeys {
-		sc.hit[k] = struct{}{}
+		sc.flags[sc.keyIdx[k]] |= kfHit
 	}
-	clear(sc.fallback)
 	for _, k := range w.fbKeys {
 		// Keys the reroute sent to host-store read-through never touched a
-		// page read; keys the store also failed are in sc.failed already.
-		if _, bad := sc.failed[k]; !bad {
-			sc.fallback[k] = struct{}{}
+		// page read; keys the store also failed carry kfFailed already.
+		if id := sc.keyIdx[k]; sc.flags[id]&kfFailed == 0 {
+			sc.flags[id] |= kfFallback
 		}
 	}
 
@@ -175,7 +227,8 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	for _, pe := range w.plan {
 		sc.touch = sc.touch[:0]
 		for _, k := range w.coveredFlat[pe.from:pe.to] {
-			for _, qi := range sc.owners[k] {
+			id := sc.keyIdx[k]
+			for _, qi := range sc.ownFlat[sc.ownOff[id]:sc.ownOff[id+1]] {
 				if !containsQ(sc.touch, qi) {
 					sc.touch = append(sc.touch, qi)
 				}
@@ -209,19 +262,20 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	sc.fbFor = resizeInts(sc.fbFor, len(queries))
 	totServed, totFailed := 0, 0
 	for qi := range queries {
-		for _, k := range sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]] {
-			if _, bad := sc.failed[k]; bad {
+		for _, id := range sc.ids[sc.bounds[qi]:sc.bounds[qi+1]] {
+			f := sc.flags[id]
+			if f&kfFailed != 0 {
 				sc.failFor[qi]++
 				totFailed++
 				continue
 			}
-			if _, h := sc.hit[k]; h {
+			if f&kfHit != 0 {
 				sc.hitsFor[qi]++
 			}
-			if _, fb := sc.fallback[k]; fb {
+			if f&kfFallback != 0 {
 				sc.fbFor[qi]++
 			}
-			if _, ok := sc.vecOf[k]; ok {
+			if sc.vecIdx[id] >= 0 {
 				sc.servedFor[qi]++
 				totServed++
 			}
@@ -230,19 +284,31 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 	sc.flatKeys = resizeKeys(sc.flatKeys, totServed)[:0]
 	sc.flatVecs = resizeVecs(sc.flatVecs, totServed)[:0]
 	sc.flatFail = resizeKeys(sc.flatFail, totFailed)[:0]
+	withRefs := union.Refs != nil
+	if withRefs {
+		sc.flatRefs = resizeRefs(sc.flatRefs, totServed)[:0]
+	}
 
-	br.PerQuery = make([]Result, len(queries))
+	if cap(w.perQuery) < len(queries) {
+		w.perQuery = make([]Result, len(queries))
+	}
+	w.perQuery = w.perQuery[:len(queries)]
+	br.PerQuery = w.perQuery
 	for qi := range queries {
 		keyFrom, failFrom := len(sc.flatKeys), len(sc.flatFail)
 		d := sc.distinct[sc.bounds[qi]:sc.bounds[qi+1]]
-		for _, k := range d {
-			if _, bad := sc.failed[k]; bad {
+		for j, k := range d {
+			id := sc.ids[sc.bounds[qi]+j]
+			if sc.flags[id]&kfFailed != 0 {
 				sc.flatFail = append(sc.flatFail, k)
 				continue
 			}
-			if v, ok := sc.vecOf[k]; ok {
+			if vi := sc.vecIdx[id]; vi >= 0 {
 				sc.flatKeys = append(sc.flatKeys, k)
-				sc.flatVecs = append(sc.flatVecs, v)
+				sc.flatVecs = append(sc.flatVecs, union.Vectors[vi])
+				if withRefs {
+					sc.flatRefs = append(sc.flatRefs, union.Refs[vi])
+				}
 			}
 		}
 		st := QueryStats{
@@ -274,6 +340,9 @@ func (w *Worker) LookupBatch(queries [][]Key) (BatchResult, error) {
 			Stats:   st,
 			Keys:    sc.flatKeys[keyFrom:len(sc.flatKeys):len(sc.flatKeys)],
 			Vectors: sc.flatVecs[keyFrom:len(sc.flatVecs):len(sc.flatVecs)],
+		}
+		if withRefs {
+			r.Refs = sc.flatRefs[keyFrom:len(sc.flatRefs):len(sc.flatRefs)]
 		}
 		if failFrom < len(sc.flatFail) {
 			r.FailedKeys = sc.flatFail[failFrom:len(sc.flatFail):len(sc.flatFail)]
@@ -313,6 +382,35 @@ func resizeFloats(s []float64, n int) []float64 {
 		s[i] = 0
 	}
 	return s
+}
+
+func resizeInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBytes(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeRefs(s []SlotRef, n int) []SlotRef {
+	if cap(s) < n {
+		return make([]SlotRef, n)
+	}
+	return s[:n]
 }
 
 func resizeKeys(s []Key, n int) []Key {

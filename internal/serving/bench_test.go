@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"maxembed/internal/embedding"
@@ -155,6 +157,91 @@ func BenchmarkWorkerLookupSharded(b *testing.B) {
 
 func fmtDevices(n int) string {
 	return map[int]string{1: "devices=1", 2: "devices=2", 4: "devices=4"}[n]
+}
+
+// benchFileEngine builds the zero-copy real-I/O stack: shard files in a
+// temp dir served through the async backend, cacheless so every lookup
+// takes the ref path end to end.
+func benchFileEngine(b *testing.B, shards int) (*Engine, *workload.Trace) {
+	b.Helper()
+	p := workload.Criteo.Scaled(0.05)
+	tr, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist, _ := tr.Split(0.5)
+	g, err := hypergraph.FromQueries(tr.NumItems, hist.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lay, err := placement.Build(placement.StrategyMaxEmbed, g, placement.Options{
+		Capacity: embedding.PageCapacity(4096, 64), ReplicationRatio: 0.2, Seed: 1,
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := embedding.NewSynthesizer(64, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := store.BuildSharded(lay, syn, 4096, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	files := make([]*store.FileStore, shards)
+	for i := range files {
+		path := fmt.Sprintf("%s/shard%03d.bin", dir, i)
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sh.Shard(i).WriteTo(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if files[i], _, err = store.OpenFileAuto(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fb, err := ssd.NewFileBackend(files, ssd.FileBackendConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fb.Close() })
+	eng, err := New(Config{
+		Layout:   lay,
+		Backend:  fb,
+		Store:    sh,
+		Pipeline: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, tr
+}
+
+// BenchmarkWorkerLookupFileBackend measures the real-I/O hot path end to
+// end — selection, async submit, measured-latency drain, in-place checksum
+// verification, zero-copy ref assembly. Steady state allocates nothing
+// (see TestFileBackendLookupZeroAllocs); -benchmem shows it.
+func BenchmarkWorkerLookupFileBackend(b *testing.B) {
+	for _, shards := range []int{1, 2} {
+		b.Run(fmtDevices(shards), func(b *testing.B) {
+			eng, tr := benchFileEngine(b, shards)
+			w := eng.NewWorker()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Lookup(tr.Queries[i%len(tr.Queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWorkerLookupBatch measures the coalesced batch path end to end:

@@ -494,12 +494,39 @@ type Result struct {
 	Stats QueryStats
 	// Keys and Vectors are parallel: Vectors[i] is the embedding of
 	// Keys[i], covering every distinct key of the query that was served.
+	// On a real-I/O backend a key served straight from a completion buffer
+	// has Vectors[i] == nil on cacheless engines — its payload is carried
+	// by Refs[i] instead (zero-copy; with a cache, both are populated and
+	// Vectors[i] aliases the cache's copy).
 	Keys    []Key
 	Vectors [][]float32
+	// Refs, non-nil exactly when the engine has a Store, is parallel to
+	// Keys: Refs[i], when Valid, is a zero-copy view of Keys[i]'s
+	// checksum-verified payload inside a completion buffer (see SlotRef).
+	// Invalid entries (cache hits, store fallbacks, simulated reads) carry
+	// their value in Vectors[i]. Views stay valid until the worker's next
+	// lookup; retain them to hold the buffers longer.
+	Refs []SlotRef
 	// FailedKeys lists distinct query keys that could not be served
 	// because every read attempt within the retry budget failed. Empty on
 	// a fully successful lookup. The slice is reused by the worker.
 	FailedKeys []Key
+}
+
+// RetainRefs takes one reference per valid ref in the result, pinning the
+// underlying completion buffers past the worker's next lookup. Pair with
+// ReleaseRefs.
+func (r *Result) RetainRefs() {
+	for i := range r.Refs {
+		r.Refs[i].Retain()
+	}
+}
+
+// ReleaseRefs drops the references taken by RetainRefs.
+func (r *Result) ReleaseRefs() {
+	for i := range r.Refs {
+		r.Refs[i].Release()
+	}
 }
 
 // planEntry records one selected page and the range of covered keys in
@@ -528,13 +555,20 @@ type extracted struct {
 	off int
 }
 
+// refExtracted records one checksum-verified zero-copy payload view into a
+// completion buffer (real-I/O backends).
+type refExtracted struct {
+	key Key
+	ref SlotRef
+}
+
 // Worker is a single-threaded serving session: it owns a selector, an SSD
 // queue pair, and a monotonically increasing virtual clock. Create one per
 // concurrent serving thread being modelled. Not safe for concurrent use.
 type Worker struct {
 	eng *Engine
 	sel *selection.Selector
-	q   *ssd.MultiQueue
+	q   ssd.QueuePair
 
 	// now is the worker's virtual clock in nanoseconds.
 	now int64
@@ -566,13 +600,24 @@ type Worker struct {
 	hitVecs     [][]float32
 	vecArena    []float32
 	out         []extracted
+	refOut      []refExtracted // zero-copy extractions (real-I/O backends)
+	held        []*ssd.PageBuf // completion buffers alive until next lookup
 	pageBuf     []byte
 	failures    []pageFailure
 	failedKeys  []Key
 	resKeys     []Key
 	resVecs     [][]float32
+	resRefs     []SlotRef
+	perQuery    []Result // LookupBatch's scattered results, reused per batch
 	compMap     map[layout.PageID]ssd.Completion
 	seen        map[Key]struct{}
+
+	// skipFn and emitFn are the selection callbacks, built once per worker
+	// so the hot path does not allocate a closure per query. emitFn reads
+	// prevSel, which lookupCombined resets before each selection.
+	skipFn  func(Key) bool
+	emitFn  selection.EmitFunc
+	prevSel selection.Stats
 
 	// Batch-scatter scratch (LookupBatch).
 	scatter scatterScratch
@@ -580,15 +625,40 @@ type Worker struct {
 
 // NewWorker returns a worker bound to the engine. The worker's virtual
 // clock starts at the device's current frontier so a session created after
-// prior activity does not appear to queue behind long-finished work.
+// prior activity does not appear to queue behind long-finished work. The
+// queue pair comes from the backend when it mints its own (real-I/O
+// backends); otherwise a simulated MultiQueue over its shards.
 func (e *Engine) NewWorker() *Worker {
 	w := &Worker{
 		eng:     e,
 		sel:     selection.NewSelector(e.idx),
-		q:       ssd.NewMultiQueue(e.be),
+		q:       ssd.NewQueuePairFor(e.be),
 		now:     e.be.Frontier(),
 		seen:    make(map[Key]struct{}, 64),
 		compMap: make(map[layout.PageID]ssd.Completion, 16),
+	}
+	w.skipFn = func(k Key) bool {
+		if e.cache == nil {
+			return false
+		}
+		return e.cache.Contains(k)
+	}
+	w.emitFn = func(p layout.PageID, covered []Key, sofar selection.Stats) {
+		from := len(w.coveredFlat)
+		w.coveredFlat = append(w.coveredFlat, covered...)
+		cost := e.costs.Select(sofar.CandidatePages-w.prevSel.CandidatePages,
+			sofar.InvertScans-w.prevSel.InvertScans) + e.costs.Submit()
+		w.prevSel = sofar
+		w.plan = append(w.plan, planEntry{
+			page:       p,
+			from:       from,
+			to:         len(w.coveredFlat),
+			selectCost: cost,
+		})
+		if w.shardLoad != nil {
+			s, _ := e.be.ShardOf(p)
+			w.shardLoad[s]++
+		}
 	}
 	if e.cfg.Store != nil {
 		w.pageBuf = make([]byte, e.cfg.Store.PageSize())
@@ -718,6 +788,11 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	st.StartNS = w.now
 	t := w.now
 
+	// The previous lookup's zero-copy views die here: drop the worker's
+	// references so completion buffers recycle (unless a caller Retained).
+	w.releaseHeld()
+	w.refOut = w.refOut[:0]
+
 	for i := range w.shardLoad {
 		w.shardLoad[i] = 0
 	}
@@ -757,13 +832,6 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 		st.OtherSoftNS += probe
 		st.CacheHits = len(w.hitKeys)
 	}
-	skip := func(k Key) bool {
-		if e.cache == nil {
-			return false
-		}
-		return e.cache.Contains(k)
-	}
-
 	// Sort cost is charged up front (§6.1 ❶ happens inside the selector;
 	// the model charges for the keys that reach it).
 	missKeys := st.DistinctKeys - st.CacheHits
@@ -771,35 +839,20 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	t += sortCost
 	st.SortNS = sortCost
 
-	// Page selection, optionally pipelined with submission.
+	// Page selection, optionally pipelined with submission. The callbacks
+	// are worker-lifetime (built in NewWorker); emitFn accumulates into
+	// w.plan/w.coveredFlat and reads w.prevSel, reset here per query.
 	w.plan = w.plan[:0]
 	w.coveredFlat = w.coveredFlat[:0]
-	var prev selection.Stats
-	emit := func(p layout.PageID, covered []Key, sofar selection.Stats) {
-		from := len(w.coveredFlat)
-		w.coveredFlat = append(w.coveredFlat, covered...)
-		cost := e.costs.Select(sofar.CandidatePages-prev.CandidatePages,
-			sofar.InvertScans-prev.InvertScans) + e.costs.Submit()
-		prev = sofar
-		w.plan = append(w.plan, planEntry{
-			page:       p,
-			from:       from,
-			to:         len(w.coveredFlat),
-			selectCost: cost,
-		})
-		if w.shardLoad != nil {
-			s, _ := e.be.ShardOf(p)
-			w.shardLoad[s]++
-		}
-	}
+	w.prevSel = selection.Stats{}
 	var selErr error
 	switch {
 	case e.cfg.Greedy:
-		_, selErr = w.sel.Greedy(query, skip, emit)
+		_, selErr = w.sel.Greedy(query, w.skipFn, w.emitFn)
 	case e.cfg.UnsortedSelection:
-		_, selErr = w.sel.OnePassUnsorted(query, skip, emit)
+		_, selErr = w.sel.OnePassUnsorted(query, w.skipFn, w.emitFn)
 	default:
-		_, selErr = w.sel.OnePass(query, skip, emit)
+		_, selErr = w.sel.OnePass(query, w.skipFn, w.emitFn)
 	}
 	if selErr != nil {
 		return Result{}, selErr
@@ -869,18 +922,36 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 		t = w.serveFromStore(&st, t)
 	}
 
-	// Assemble the result and fill the cache.
+	// Assemble the result and fill the cache. Zero-copy extractions come
+	// first (their refs alias completion buffers pinned in w.held), then
+	// arena-backed extractions (simulated reads, store fallbacks), then
+	// DRAM cache hits.
 	res := Result{}
 	w.resKeys = w.resKeys[:0]
 	w.resVecs = w.resVecs[:0]
-	extract := e.costs.Extract(len(w.out))
+	w.resRefs = w.resRefs[:0]
+	extract := e.costs.Extract(len(w.out) + len(w.refOut))
 	t += extract
 	st.OtherSoftNS += extract
 	if e.cfg.Store != nil {
+		for _, x := range w.refOut {
+			w.resKeys = append(w.resKeys, x.key)
+			w.resRefs = append(w.resRefs, x.ref)
+			if e.cache != nil {
+				// The cache owns a decoded copy; the result carries it too,
+				// so value consumers need not touch the ref path.
+				vec := x.ref.AppendVector(nil)
+				e.cache.Put(x.key, vec)
+				w.resVecs = append(w.resVecs, vec)
+			} else {
+				w.resVecs = append(w.resVecs, nil)
+			}
+		}
 		for _, x := range w.out {
 			vec := w.vecArena[x.off : x.off+e.dim]
 			w.resKeys = append(w.resKeys, x.key)
 			w.resVecs = append(w.resVecs, vec)
+			w.resRefs = append(w.resRefs, SlotRef{})
 			if e.cache != nil {
 				// The cache owns its copy: arena memory is reused.
 				cp := make([]float32, len(vec))
@@ -903,6 +974,12 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 	w.resVecs = append(w.resVecs, w.hitVecs...)
 	res.Keys = w.resKeys
 	res.Vectors = w.resVecs
+	if e.cfg.Store != nil {
+		for range w.hitKeys {
+			w.resRefs = append(w.resRefs, SlotRef{})
+		}
+		res.Refs = w.resRefs
+	}
 	// Degradation counters are the caller's: Lookup counts one degraded
 	// query, LookupBatch attributes failed keys to each owning query.
 	if len(w.failedKeys) > 0 {
@@ -925,12 +1002,34 @@ func (w *Worker) lookupCombined(query []Key, record bool) (Result, error) {
 func (w *Worker) consume(st *QueryStats, c ssd.Completion, keys []Key) (failed bool, cause error) {
 	e := w.eng
 	if c.Err != nil {
+		if c.Buf != nil {
+			// Defensive: real-I/O drains release error buffers themselves.
+			c.Buf.Release()
+		}
 		st.ReadFaults++
 		e.Recovery.ReadErrors.Inc()
 		if errors.Is(c.Err, ssd.ErrTimeout) {
 			e.Recovery.Timeouts.Inc()
 		}
 		return true, c.Err
+	}
+	if c.Buf != nil {
+		// Real-I/O backend: the page image arrived in a refcounted
+		// completion buffer. Verify and slice payloads in place — the
+		// zero-copy path — instead of re-reading the host store.
+		if e.cfg.Store == nil {
+			c.Buf.Release()
+			return false, nil
+		}
+		if err := w.extractRefs(c, keys); err != nil {
+			st.ReadFaults++
+			if errors.Is(err, store.ErrCorrupt) {
+				st.Corruptions++
+				e.Recovery.Corruptions.Inc()
+			}
+			return true, err
+		}
+		return false, nil
 	}
 	if e.cfg.Store == nil {
 		// Timing-only: nothing to extract; silent corruption is
@@ -947,6 +1046,58 @@ func (w *Worker) consume(st *QueryStats, c ssd.Completion, keys []Key) (failed b
 		return true, err
 	}
 	return false, nil
+}
+
+// extractRefs verifies every covered key's slot checksum directly in the
+// completion buffer and records a SlotRef payload view per key — no byte
+// of the payload is copied between the device read and the response
+// encoders. On success the buffer joins w.held, keeping it alive until the
+// worker's next lookup releases it (or longer, where a holder Retains). On
+// any failure the views are rolled back and the buffer released so the
+// whole page can be recovered elsewhere.
+func (w *Worker) extractRefs(c ssd.Completion, keys []Key) error {
+	e := w.eng
+	img := c.Buf.Bytes()
+	nSlots := len(e.cfg.Layout.Pages[c.Page])
+	if c.Corrupt {
+		// Injected in-flight corruption damages the buffer (never the
+		// store) so the checksum path detects it like real bit rot.
+		slot := 8 + 4*e.dim
+		for i := 0; i < nSlots; i++ {
+			img[i*slot+4] ^= 0xA5
+		}
+	}
+	mark := len(w.refOut)
+	for _, k := range keys {
+		off, found, err := store.VerifySlotInImage(img, e.dim, k, nSlots)
+		if err != nil || !found {
+			w.refOut = w.refOut[:mark]
+			c.Buf.Release()
+			if err == nil {
+				err = fmt.Errorf("page does not hold key %d", k)
+			}
+			return fmt.Errorf("serving: extract key %d from page %d: %w", k, c.Page, err)
+		}
+		end := off + 4*e.dim
+		w.refOut = append(w.refOut, refExtracted{
+			key: k,
+			ref: SlotRef{buf: c.Buf, payload: img[off:end:end]},
+		})
+	}
+	w.held = append(w.held, c.Buf)
+	return nil
+}
+
+// releaseHeld drops the worker's references on the previous lookup's
+// completion buffers. Refs returned in that lookup's Result become invalid
+// unless their holder Retained them — the same lifetime the Result's other
+// slices have.
+func (w *Worker) releaseHeld() {
+	for i, b := range w.held {
+		b.Release()
+		w.held[i] = nil
+	}
+	w.held = w.held[:0]
 }
 
 // extractPage reads page p's image into the worker's buffer, applies

@@ -1,0 +1,643 @@
+package ssd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxembed/internal/store"
+)
+
+// FileBackend is a real-I/O Backend: page reads are served from serialized
+// per-shard store files (O_DIRECT when the filesystem allows, buffered
+// otherwise) by bounded per-shard executors — an io_uring submission/
+// completion ring where the kernel interface is available, a goroutine
+// pread(2) pool everywhere — with per-queue-pair submission rings and
+// reference-counted completion buffers recycled through freelists sized to
+// the queue depth. It mirrors MultiQueue's queue-pair semantics exactly,
+// so Run/RunOpenLoop, /v1/stats, and the fault/health machinery drive real
+// NVMe (or plain files) unchanged; latencies are measured, not simulated,
+// and folded into the same per-shard Device accounting shells the
+// simulator populates.
+//
+// Striping matches Array and store.Sharded: global page p lives in file
+// p mod n at local index p div n.
+//
+// Virtual-time contract: each FileQueue anchors the worker's virtual clock
+// to the wall clock at the first submit of a batch, so issue/completion
+// stamps and Drain's returned time advance by measured elapsed time. The
+// injected Clock keeps the package clockcheck-clean and lets tests pin
+// time.
+type FileBackend struct {
+	files  []*store.FileStore
+	shards []*Device // accounting shells: stats, fault counters, health taps
+	prof   Profile
+	health *HealthTracker
+	execs  []fileExecutor
+	hists  []latHist
+	free   []chan *PageBuf
+
+	now      func() time.Time
+	epoch    time.Time
+	frontier atomic.Int64
+
+	numPages  int
+	closeOnce sync.Once
+}
+
+// FileBackendConfig parameterizes NewFileBackend; the zero value works.
+type FileBackendConfig struct {
+	// Profile is the headline per-shard profile reported through Stats and
+	// used for queue depth and freelist sizing. Zero value: P5800X geometry
+	// at the files' page size. Latencies under this backend are measured,
+	// so the profile's ReadLatency only labels reports.
+	Profile Profile
+	// PoolWorkers is the number of pread goroutines per shard in the
+	// fallback executor (default 8, capped at the queue depth). io_uring
+	// rings ignore it (one driver goroutine per shard).
+	PoolWorkers int
+	// ForcePread skips the io_uring probe — for A/B measurement and for
+	// sandboxes where the probe itself is unwelcome.
+	ForcePread bool
+	// Clock injects the wall-clock source (nil: time.Now).
+	Clock func() time.Time
+}
+
+// NewFileBackend assembles a backend over per-shard store files. The
+// backend takes ownership of the files; Close releases them.
+func NewFileBackend(files []*store.FileStore, cfg FileBackendConfig) (*FileBackend, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("ssd: file backend needs at least 1 shard file")
+	}
+	base := cfg.Profile
+	if base == (Profile{}) {
+		base = P5800X
+	}
+	base.PageSize = files[0].PageSize()
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	numPages := 0
+	for i, f := range files {
+		if f.PageSize() != base.PageSize {
+			return nil, fmt.Errorf("ssd: shard %d page size %d differs from shard 0's %d",
+				i, f.PageSize(), base.PageSize)
+		}
+		if f.Dim() != files[0].Dim() {
+			return nil, fmt.Errorf("ssd: shard %d dim %d differs from shard 0's %d",
+				i, f.Dim(), files[0].Dim())
+		}
+		numPages += f.NumPages()
+	}
+	// The files must form one contiguous stripe: shard i of n holds
+	// ceil((numPages-i)/n) local pages, exactly like store.BuildSharded.
+	n := len(files)
+	for i, f := range files {
+		if want := (numPages - i + n - 1) / n; f.NumPages() != want {
+			return nil, fmt.Errorf("ssd: shard %d holds %d pages, want %d of a %d-page stripe",
+				i, f.NumPages(), want, numPages)
+		}
+	}
+	nw := cfg.Clock
+	if nw == nil {
+		nw = time.Now
+	}
+	workers := cfg.PoolWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > base.QueueDepth {
+		workers = base.QueueDepth
+	}
+
+	b := &FileBackend{
+		files:    files,
+		shards:   make([]*Device, n),
+		execs:    make([]fileExecutor, n),
+		hists:    make([]latHist, n),
+		free:     make([]chan *PageBuf, n),
+		now:      nw,
+		numPages: numPages,
+	}
+	b.epoch = nw()
+	for i := range files {
+		d, err := NewDevice(base)
+		if err != nil {
+			return nil, err
+		}
+		b.shards[i] = d
+		b.free[i] = make(chan *PageBuf, base.QueueDepth)
+	}
+	for i := range files {
+		if !cfg.ForcePread {
+			if ex, ok := newRingExecutor(b, i, base.QueueDepth); ok {
+				b.execs[i] = ex
+				continue
+			}
+		}
+		b.execs[i] = newPreadExec(b, i, workers, base.QueueDepth)
+	}
+	agg := base
+	for i := 1; i < n; i++ {
+		agg.Bandwidth += base.Bandwidth
+		agg.Channels += base.Channels
+		agg.QueueDepth += base.QueueDepth
+		agg.WriteBandwidth += base.writeBandwidth()
+	}
+	mode := "buffered"
+	if files[0].Direct() {
+		mode = "direct"
+	}
+	agg.Name = fmt.Sprintf("file-%dx%s-%s-%s", n, base.Name, b.execs[0].kind(), mode)
+	b.prof = agg
+	b.health = newHealthTracker(n, HealthConfig{})
+	for i, d := range b.shards {
+		i := i
+		d.setReadObserver(func(faulted bool) { b.health.observe(i, faulted) })
+	}
+	return b, nil
+}
+
+// wallNS returns the wall clock as nanoseconds since the backend's epoch.
+func (b *FileBackend) wallNS() int64 { return b.now().Sub(b.epoch).Nanoseconds() }
+
+// advanceFrontier CAS-maxes the backend frontier to t.
+func (b *FileBackend) advanceFrontier(t int64) {
+	for {
+		cur := b.frontier.Load()
+		if t <= cur || b.frontier.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// getBuf pulls a completion buffer from the shard's freelist, minting a
+// fresh one when the list is dry (start-up, or a burst beyond the depth).
+func (b *FileBackend) getBuf(shard int) *PageBuf {
+	select {
+	case buf := <-b.free[shard]:
+		return buf
+	default:
+		return newPageBuf(b.files[shard].ReadBufSize(), b.free[shard])
+	}
+}
+
+// ExecutorKind reports the read executor in use: "io_uring" or "pread".
+func (b *FileBackend) ExecutorKind() string { return b.execs[0].kind() }
+
+// Direct reports whether the shard files bypass the OS page cache.
+func (b *FileBackend) Direct() bool { return b.files[0].Direct() }
+
+// NumPages returns the global page count across shard files.
+func (b *FileBackend) NumPages() int { return b.numPages }
+
+// Close shuts down the executors and releases the shard files. The
+// backend must be idle: no queue pair may have undrained submissions.
+func (b *FileBackend) Close() error {
+	var err error
+	b.closeOnce.Do(func() {
+		for _, e := range b.execs {
+			e.close()
+		}
+		for _, f := range b.files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// Profile implements Backend.
+func (b *FileBackend) Profile() Profile { return b.prof }
+
+// NumShards implements Backend.
+func (b *FileBackend) NumShards() int { return len(b.files) }
+
+// ShardOf implements Backend with Array's striping.
+func (b *FileBackend) ShardOf(page PageID) (int, PageID) {
+	n := PageID(len(b.files))
+	return int(page % n), page / n
+}
+
+// GlobalOf implements Backend.
+func (b *FileBackend) GlobalOf(shard int, local PageID) PageID {
+	return local*PageID(len(b.files)) + PageID(shard)
+}
+
+// Shard implements Backend: the shard's accounting shell, carrying the
+// measured statistics and health tap (not a simulation clock).
+func (b *FileBackend) Shard(i int) *Device { return b.shards[i] }
+
+// Frontier implements Backend: the latest virtual completion time any
+// queue pair has drained.
+func (b *FileBackend) Frontier() int64 { return b.frontier.Load() }
+
+// Stats implements Backend: measured activity summed across shards.
+func (b *FileBackend) Stats() Stats {
+	var s Stats
+	for _, d := range b.shards {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.BytesRead += ds.BytesRead
+		s.BusyNS += ds.BusyNS
+		s.Errors += ds.Errors
+		s.Timeouts += ds.Timeouts
+		s.Corruptions += ds.Corruptions
+		s.InjectedLatencyNS += ds.InjectedLatencyNS
+		s.Writes += ds.Writes
+		s.BytesWritten += ds.BytesWritten
+	}
+	return s
+}
+
+// ShardStats returns each shard's measured statistics.
+func (b *FileBackend) ShardStats() []Stats {
+	out := make([]Stats, len(b.shards))
+	for i, d := range b.shards {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// Reset implements Backend: statistics, latency histograms, and the
+// virtual frontier restart from zero.
+func (b *FileBackend) Reset() {
+	for _, d := range b.shards {
+		d.Reset()
+	}
+	for i := range b.hists {
+		b.hists[i].reset()
+	}
+	b.frontier.Store(0)
+}
+
+// NewQueuePair implements QueuePairProvider.
+func (b *FileBackend) NewQueuePair() QueuePair {
+	q := &FileQueue{
+		fb:       b,
+		inflight: make([]int, len(b.files)),
+		high:     make([]int, len(b.files)),
+	}
+	q.inbox.cond.L = &q.inbox.mu
+	return q
+}
+
+// ShardReadLatency implements ReadLatencyReporter.
+func (b *FileBackend) ShardReadLatency(shard int) ReadLatencySnapshot {
+	return b.hists[shard].snapshot()
+}
+
+// ConfigureHealth replaces the health tracker (see Array.ConfigureHealth).
+func (b *FileBackend) ConfigureHealth(cfg HealthConfig) {
+	b.health = newHealthTracker(len(b.shards), cfg)
+	for i, d := range b.shards {
+		i := i
+		d.setReadObserver(func(faulted bool) { b.health.observe(i, faulted) })
+	}
+}
+
+// ShardState implements HealthReporter.
+func (b *FileBackend) ShardState(i int) ShardState {
+	return ShardState(b.health.shards[i].state.Load())
+}
+
+// ShardHealth implements HealthReporter.
+func (b *FileBackend) ShardHealth(i int) ShardHealthInfo { return b.health.Info(i) }
+
+// ShardHealths returns every shard's health snapshot.
+func (b *FileBackend) ShardHealths() []ShardHealthInfo {
+	out := make([]ShardHealthInfo, len(b.shards))
+	for i := range out {
+		out[i] = b.health.Info(i)
+	}
+	return out
+}
+
+// LiveShards returns how many shards are currently serving reads.
+func (b *FileBackend) LiveShards() int {
+	n := 0
+	for i := range b.shards {
+		if b.ShardState(i).Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// FailShard declares shard i failed (operator/chaos hook).
+func (b *FileBackend) FailShard(i int) { b.health.setState(i, ShardFailed) }
+
+// MarkHealthy returns shard i to service with a cleared fault window.
+func (b *FileBackend) MarkHealthy(i int) {
+	b.health.shards[i].resetWindow()
+	b.health.setState(i, ShardHealthy)
+}
+
+// NoteLatent adds latent-error counts to shard i (see Array.NoteLatent).
+func (b *FileBackend) NoteLatent(i int, n int64) { b.health.shards[i].latent.Add(n) }
+
+// OnFail registers the shard-failure hook (see Array.OnFail).
+func (b *FileBackend) OnFail(fn func(shard int)) { b.health.OnFail(fn) }
+
+// ReadLatencySnapshot is one shard's measured read-latency histogram:
+// per-bucket counts (the final bucket is unbounded), finite upper bounds
+// in nanoseconds, and the running count/sum for mean latency.
+type ReadLatencySnapshot struct {
+	UpperNS []int64 // len latHistBuckets-1; bucket i counts reads < UpperNS[i]
+	Counts  []int64 // len latHistBuckets; last bucket is +Inf
+	Count   int64
+	SumNS   int64
+}
+
+// ReadLatencyReporter is implemented by backends that measure per-shard
+// read latency (the file backend); /metrics exports it as a histogram.
+type ReadLatencyReporter interface {
+	ShardReadLatency(shard int) ReadLatencySnapshot
+}
+
+// latHistBuckets spans 1 µs to ~16.8 s in ×2 steps plus an overflow.
+const latHistBuckets = 25
+
+// latHist is a lock-free log2 latency histogram.
+type latHist struct {
+	counts [latHistBuckets]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *latHist) observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for b < latHistBuckets-1 && ns >= 1000<<b {
+		b++
+	}
+	h.counts[b].Add(1)
+	h.sumNS.Add(ns)
+	h.n.Add(1)
+}
+
+func (h *latHist) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sumNS.Store(0)
+	h.n.Store(0)
+}
+
+func (h *latHist) snapshot() ReadLatencySnapshot {
+	s := ReadLatencySnapshot{
+		UpperNS: make([]int64, latHistBuckets-1),
+		Counts:  make([]int64, latHistBuckets),
+		Count:   h.n.Load(),
+		SumNS:   h.sumNS.Load(),
+	}
+	for i := range s.UpperNS {
+		s.UpperNS[i] = 1000 << i
+	}
+	for i := range s.Counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// fileReq is one read submitted to a shard executor.
+type fileReq struct {
+	global     PageID
+	local      PageID
+	buf        *PageBuf
+	out        *compInbox
+	submitWall int64
+	submitVirt int64
+}
+
+// fileComp is one completed read on its way back to the submitting queue.
+type fileComp struct {
+	global       PageID
+	buf          *PageBuf
+	err          error
+	submitVirt   int64
+	completeWall int64
+}
+
+// fileExecutor issues a shard's reads: an io_uring ring or a pread pool.
+type fileExecutor interface {
+	// submit enqueues a read; it blocks while the submission ring is full
+	// (the real-I/O analogue of Queue's virtual queue-full wait).
+	submit(fileReq)
+	kind() string
+	close()
+}
+
+// compInbox is a queue pair's completion mailbox. Executors push from
+// their goroutines; the owning worker's Drain blocks until every
+// outstanding submission has arrived. Capacity is retained across
+// batches, so steady-state push/take allocate nothing.
+type compInbox struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	comps []fileComp
+}
+
+func (in *compInbox) push(c fileComp) {
+	in.mu.Lock()
+	in.comps = append(in.comps, c)
+	in.mu.Unlock()
+	in.cond.Signal()
+}
+
+// take blocks until n completions are present, moves them into dst
+// (reusing its capacity), and empties the inbox.
+func (in *compInbox) take(n int, dst []fileComp) []fileComp {
+	in.mu.Lock()
+	for len(in.comps) < n {
+		in.cond.Wait()
+	}
+	dst = append(dst[:0], in.comps...)
+	in.comps = in.comps[:0]
+	in.mu.Unlock()
+	return dst
+}
+
+// preadExec is the portable executor: a bounded pool of goroutines each
+// looping pread(2) (ReadAt) calls against the shard file. The request
+// channel's capacity is the submission ring.
+type preadExec struct {
+	fb    *FileBackend
+	shard int
+	reqC  chan fileReq
+	wg    sync.WaitGroup
+}
+
+func newPreadExec(fb *FileBackend, shard, workers, depth int) *preadExec {
+	e := &preadExec{fb: fb, shard: shard, reqC: make(chan fileReq, depth)}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.run()
+	}
+	return e
+}
+
+func (e *preadExec) run() {
+	defer e.wg.Done()
+	fb := e.fb
+	fs := fb.files[e.shard]
+	shell := fb.shards[e.shard]
+	hist := &fb.hists[e.shard]
+	for req := range e.reqC {
+		start := fb.wallNS()
+		img, err := fs.ReadPageWindow(req.local, req.buf.data)
+		end := fb.wallNS()
+		req.buf.img = img
+		shell.recordExternalRead(end-start, err, false)
+		hist.observe(end - req.submitWall)
+		req.out.push(fileComp{
+			global:       req.global,
+			buf:          req.buf,
+			err:          err,
+			submitVirt:   req.submitVirt,
+			completeWall: end,
+		})
+	}
+}
+
+func (e *preadExec) submit(r fileReq) { e.reqC <- r }
+func (e *preadExec) kind() string     { return "pread" }
+func (e *preadExec) close() {
+	close(e.reqC)
+	e.wg.Wait()
+}
+
+// FileQueue is a queue pair over a FileBackend: per-shard submission into
+// the shard executors, completion reaping through a private inbox. Like
+// MultiQueue it is single-owner; unlike MultiQueue its times are measured.
+// The worker's virtual clock is anchored to the wall clock at the first
+// submit after a drain, so a batch's issue/completion stamps advance by
+// real elapsed time.
+type FileQueue struct {
+	fb       *FileBackend
+	inbox    compInbox
+	pending  int
+	inflight []int // per-shard submitted-not-drained
+	high     []int
+	merged   []Completion
+	scratch  []fileComp
+
+	anchorWall int64
+	anchorVirt int64
+}
+
+// virtOf maps a wall timestamp onto the worker's virtual clock.
+func (q *FileQueue) virtOf(wall int64) int64 {
+	return q.anchorVirt + (wall - q.anchorWall)
+}
+
+// NumShards implements QueuePair.
+func (q *FileQueue) NumShards() int { return len(q.inflight) }
+
+// Submit implements QueuePair: it acquires a completion buffer from the
+// shard's freelist and enqueues the read on the shard's executor,
+// blocking while the submission ring is full — real backpressure in place
+// of the simulator's virtual queue-full wait.
+func (q *FileQueue) Submit(page PageID, nowNS int64) int64 {
+	shard, local := q.fb.ShardOf(page)
+	if q.pending == 0 {
+		q.anchorWall = q.fb.wallNS()
+		q.anchorVirt = nowNS
+	}
+	buf := q.fb.getBuf(shard)
+	buf.rc.Store(1)
+	buf.img = nil
+	submitWall := q.fb.wallNS()
+	issue := q.virtOf(submitWall)
+	if issue < nowNS {
+		issue = nowNS
+	}
+	q.fb.execs[shard].submit(fileReq{
+		global:     page,
+		local:      local,
+		buf:        buf,
+		out:        &q.inbox,
+		submitWall: submitWall,
+		submitVirt: issue,
+	})
+	q.pending++
+	q.inflight[shard]++
+	if q.inflight[shard] > q.high[shard] {
+		q.high[shard] = q.inflight[shard]
+	}
+	return issue
+}
+
+// ShardOutstanding implements QueuePair: submitted-not-drained commands on
+// the shard. Real completions arrive asynchronously, so this is the upper
+// bound the load-balancing signals want (work this queue has in the
+// shard's ring).
+func (q *FileQueue) ShardOutstanding(shard int, _ int64) int { return q.inflight[shard] }
+
+// Outstanding implements QueuePair.
+func (q *FileQueue) Outstanding(_ int64) int { return q.pending }
+
+// HighWater implements QueuePair.
+func (q *FileQueue) HighWater(shard int) int { return q.high[shard] }
+
+// Drain implements QueuePair: it blocks until every submitted read has
+// completed, then hands back completions carrying their page buffers —
+// exactly one reference each, owned by the caller — ordered by
+// (completion time, page). Failed reads release their buffer here and
+// surface with a nil Buf. The slice is reused by the next Drain.
+func (q *FileQueue) Drain(nowNS int64) (doneNS int64, comps []Completion) {
+	doneNS = nowNS
+	q.merged = q.merged[:0]
+	if q.pending == 0 {
+		return doneNS, q.merged
+	}
+	q.scratch = q.inbox.take(q.pending, q.scratch)
+	for i := range q.scratch {
+		fc := &q.scratch[i]
+		c := Completion{
+			Page:       fc.global,
+			SubmitNS:   fc.submitVirt,
+			CompleteNS: q.virtOf(fc.completeWall),
+			Err:        fc.err,
+			Buf:        fc.buf,
+		}
+		if c.CompleteNS <= c.SubmitNS {
+			// Clock granularity can collapse a fast read to zero width;
+			// keep completion strictly after submission for monotone stats.
+			c.CompleteNS = c.SubmitNS + 1
+		}
+		if c.Err != nil && c.Buf != nil {
+			c.Buf.Release()
+			c.Buf = nil
+		}
+		if c.CompleteNS > doneNS {
+			doneNS = c.CompleteNS
+		}
+		q.merged = append(q.merged, c)
+		fc.buf = nil
+	}
+	q.scratch = q.scratch[:0]
+	q.pending = 0
+	for i := range q.inflight {
+		q.inflight[i] = 0
+	}
+	// Insertion sort instead of sort.Slice: completion batches are small
+	// and the hot path must not allocate (sort.Slice's closure does).
+	m := q.merged
+	for i := 1; i < len(m); i++ {
+		c := m[i]
+		j := i - 1
+		for j >= 0 && (m[j].CompleteNS > c.CompleteNS ||
+			(m[j].CompleteNS == c.CompleteNS && m[j].Page > c.Page)) {
+			m[j+1] = m[j]
+			j--
+		}
+		m[j+1] = c
+	}
+	q.fb.advanceFrontier(doneNS)
+	return doneNS, q.merged
+}

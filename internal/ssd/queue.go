@@ -16,6 +16,11 @@ type Completion struct {
 	// Corrupt marks a read that completed successfully but delivered a
 	// corrupted payload (fault injection). Detection is the reader's job.
 	Corrupt bool
+	// Buf holds the page image a real-I/O backend read, nil on simulated
+	// backends (whose payload path is the engine's PageSource). The
+	// consumer owns the single reference the backend hands over and must
+	// Release it (or Retain for longer-lived views) — see PageBuf.
+	Buf *PageBuf
 }
 
 // Queue is an asynchronous submission/completion queue pair bound to a

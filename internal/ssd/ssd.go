@@ -294,6 +294,33 @@ func (d *Device) ReadDetailed(page PageID, submitNS int64) (completeNS int64, fa
 	return completeNS, fault
 }
 
+// recordExternalRead folds one measured real-I/O read into the device's
+// statistics and health window. The file backend's shard shells route
+// their pread/io_uring outcomes here so /v1/stats, shard stats, and the
+// health machinery observe real hardware exactly as they observe the
+// simulation: busyNS is the measured service time of the read, err/corrupt
+// the outcome the health window scores.
+func (d *Device) recordExternalRead(busyNS int64, err error, corrupt bool) {
+	d.mu.Lock()
+	d.readSeq++
+	d.stats.Reads++
+	d.stats.BytesRead += int64(d.prof.PageSize)
+	d.stats.BusyNS += busyNS
+	if err != nil {
+		d.stats.Errors++
+		if errors.Is(err, ErrTimeout) {
+			d.stats.Timeouts++
+		}
+	} else if corrupt {
+		d.stats.Corruptions++
+	}
+	obs := d.observer
+	d.mu.Unlock()
+	if obs != nil {
+		obs(err != nil || corrupt)
+	}
+}
+
 // Frontier returns the latest virtual time at which any device resource
 // becomes idle. A virtual clock that starts at the frontier observes an
 // idle device; one that starts earlier would be (correctly) queued behind

@@ -1,0 +1,353 @@
+//go:build linux
+
+package ssd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// io_uring executor: a per-shard submission/completion ring driven through
+// raw syscalls (io_uring_setup/io_uring_enter are numbered identically on
+// every 64-bit Linux arch, having landed after the syscall-table
+// unification). One driver goroutine owns the ring: it gathers requests
+// from the submission channel, stamps SQEs, and reaps CQEs, so no ring
+// memory is ever touched concurrently from the Go side. Sandboxed kernels
+// (seccomp) commonly deny io_uring_setup; the probe fails soft and the
+// backend falls back to the pread pool.
+const (
+	sysIOURingSetup = 425
+	sysIOURingEnter = 426
+
+	ioringOffSQRing = 0
+	ioringOffCQRing = 0x8000000
+	ioringOffSQEs   = 0x10000000
+
+	ioringEnterGetevents = 1
+	ioringFeatSingleMmap = 1
+
+	ioringOpReadv = 1
+
+	ioringMaxEntries = 32768
+)
+
+type ioSqringOffsets struct {
+	head, tail, ringMask, ringEntries, flags, dropped, array, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type ioCqringOffsets struct {
+	head, tail, ringMask, ringEntries, overflow, cqes, flags, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type ioUringParams struct {
+	sqEntries, cqEntries, flags, sqThreadCPU, sqThreadIdle, features, wqFd uint32
+	resv                                                                   [3]uint32
+	sqOff                                                                  ioSqringOffsets
+	cqOff                                                                  ioCqringOffsets
+}
+
+// ioUringSqe is the 64-byte submission queue entry (fields past userData
+// are padding for the ops this executor issues).
+type ioUringSqe struct {
+	opcode   uint8
+	flags    uint8
+	ioprio   uint16
+	fd       int32
+	off      uint64
+	addr     uint64
+	len      uint32
+	opFlags  uint32
+	userData uint64
+	pad      [3]uint64
+}
+
+// ioUringCqe is the 16-byte completion queue entry.
+type ioUringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uringExec drives one shard's reads through an io_uring ring.
+type uringExec struct {
+	fb    *FileBackend
+	shard int
+	fd    int
+	reqC  chan fileReq
+	wg    sync.WaitGroup
+
+	sqRing, cqRing, sqeMem []byte // mappings (sqRing may alias cqRing)
+
+	sqHead, sqTail, sqMask *uint32
+	cqHead, cqTail, cqMask *uint32
+	sqArray                []uint32
+	sqes                   []ioUringSqe
+	cqes                   []ioUringCqe
+	entries                uint32
+
+	slots     []uringSlot
+	iovecs    []syscall.Iovec
+	freeSlots []uint32
+}
+
+// uringSlot tracks one in-kernel read.
+type uringSlot struct {
+	req     fileReq
+	pageOff int
+}
+
+// newRingExecutor probes io_uring and builds a ring executor for the
+// shard, reporting false when the kernel interface is unavailable (old
+// kernel, seccomp) so the caller falls back to the pread pool.
+func newRingExecutor(fb *FileBackend, shard, depth int) (fileExecutor, bool) {
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > ioringMaxEntries {
+		depth = ioringMaxEntries
+	}
+	var params ioUringParams
+	r1, _, errno := syscall.Syscall(sysIOURingSetup, uintptr(depth), uintptr(unsafe.Pointer(&params)), 0)
+	if errno != 0 {
+		return nil, false
+	}
+	e := &uringExec{
+		fb:    fb,
+		shard: shard,
+		fd:    int(r1),
+		reqC:  make(chan fileReq, depth),
+	}
+	if err := e.mapRings(&params); err != nil {
+		syscall.Close(e.fd)
+		return nil, false
+	}
+	e.entries = params.sqEntries
+	e.slots = make([]uringSlot, e.entries)
+	e.iovecs = make([]syscall.Iovec, e.entries)
+	e.freeSlots = make([]uint32, e.entries)
+	for i := range e.freeSlots {
+		e.freeSlots[i] = uint32(i)
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e, true
+}
+
+// mapRings mmaps the submission/completion rings and the SQE array.
+func (e *uringExec) mapRings(p *ioUringParams) error {
+	sqSize := int(p.sqOff.array) + int(p.sqEntries)*4
+	cqSize := int(p.cqOff.cqes) + int(p.cqEntries)*int(unsafe.Sizeof(ioUringCqe{}))
+	single := p.features&ioringFeatSingleMmap != 0
+	if single && cqSize > sqSize {
+		sqSize = cqSize
+	}
+	sq, err := syscall.Mmap(e.fd, ioringOffSQRing, sqSize,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return err
+	}
+	e.sqRing = sq
+	cq := sq
+	if !single {
+		cq, err = syscall.Mmap(e.fd, ioringOffCQRing, cqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+		if err != nil {
+			syscall.Munmap(sq)
+			return err
+		}
+		e.cqRing = cq
+	}
+	sqes, err := syscall.Mmap(e.fd, ioringOffSQEs, int(p.sqEntries)*int(unsafe.Sizeof(ioUringSqe{})),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		if e.cqRing != nil {
+			syscall.Munmap(e.cqRing)
+		}
+		syscall.Munmap(sq)
+		return err
+	}
+	e.sqeMem = sqes
+
+	e.sqHead = (*uint32)(unsafe.Pointer(&sq[p.sqOff.head]))
+	e.sqTail = (*uint32)(unsafe.Pointer(&sq[p.sqOff.tail]))
+	e.sqMask = (*uint32)(unsafe.Pointer(&sq[p.sqOff.ringMask]))
+	e.sqArray = unsafe.Slice((*uint32)(unsafe.Pointer(&sq[p.sqOff.array])), p.sqEntries)
+	e.sqes = unsafe.Slice((*ioUringSqe)(unsafe.Pointer(&sqes[0])), p.sqEntries)
+
+	e.cqHead = (*uint32)(unsafe.Pointer(&cq[p.cqOff.head]))
+	e.cqTail = (*uint32)(unsafe.Pointer(&cq[p.cqOff.tail]))
+	e.cqMask = (*uint32)(unsafe.Pointer(&cq[p.cqOff.ringMask]))
+	e.cqes = unsafe.Slice((*ioUringCqe)(unsafe.Pointer(&cq[p.cqOff.cqes])), p.cqEntries)
+	return nil
+}
+
+func (e *uringExec) submit(r fileReq) { e.reqC <- r }
+func (e *uringExec) kind() string     { return "io_uring" }
+
+func (e *uringExec) close() {
+	close(e.reqC)
+	e.wg.Wait()
+}
+
+// run is the ring driver: gather → stamp SQEs → enter → reap, until the
+// request channel closes and the last in-kernel read drains.
+func (e *uringExec) run() {
+	defer e.wg.Done()
+	defer e.teardown()
+	fs := e.fb.files[e.shard]
+	fd := int32(fs.File().Fd())
+	inflight := 0
+	open := true
+	for open || inflight > 0 {
+		// Gather: block only when the ring is empty (nothing to wait on).
+		queued := 0
+		if inflight == 0 && open {
+			r, ok := <-e.reqC
+			if !ok {
+				open = false
+			} else if e.prep(fd, r) {
+				queued++
+			}
+		}
+	gather:
+		for open && len(e.freeSlots) > 0 {
+			select {
+			case r, ok := <-e.reqC:
+				if !ok {
+					open = false
+					break gather
+				}
+				if e.prep(fd, r) {
+					queued++
+				}
+			default:
+				break gather
+			}
+		}
+		inflight += queued
+		if inflight == 0 {
+			continue
+		}
+		// Submit what was stamped and wait for at least one completion.
+		// Retrying the same to_submit after EINTR is safe: consumption is
+		// bounded by the SQ head the kernel already advanced.
+		for {
+			_, _, errno := syscall.Syscall6(sysIOURingEnter, uintptr(e.fd),
+				uintptr(queued), 1, ioringEnterGetevents, 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno != 0 {
+				// Ring is wedged; fail everything in flight.
+				e.failAll(errno, &inflight)
+			}
+			break
+		}
+		inflight -= e.reap()
+	}
+}
+
+// prep stamps one request into a free SQE slot; on a bad page it
+// completes the request immediately with the error and stamps nothing.
+func (e *uringExec) prep(fd int32, r fileReq) bool {
+	off, span, pageOff, err := e.fb.files[e.shard].PageSpan(r.local)
+	if err != nil {
+		e.complete(r, err)
+		return false
+	}
+	si := e.freeSlots[len(e.freeSlots)-1]
+	e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+	e.slots[si] = uringSlot{req: r, pageOff: pageOff}
+	e.iovecs[si] = syscall.Iovec{Base: &r.buf.data[0], Len: uint64(span)}
+
+	tail := atomic.LoadUint32(e.sqTail)
+	idx := tail & *e.sqMask
+	e.sqes[idx] = ioUringSqe{
+		opcode:   ioringOpReadv,
+		fd:       fd,
+		off:      uint64(off),
+		addr:     uint64(uintptr(unsafe.Pointer(&e.iovecs[si]))),
+		len:      1,
+		userData: uint64(si),
+	}
+	e.sqArray[idx] = idx
+	atomic.StoreUint32(e.sqTail, tail+1)
+	return true
+}
+
+// reap drains the completion ring, finishing each read.
+func (e *uringExec) reap() int {
+	n := 0
+	head := atomic.LoadUint32(e.cqHead)
+	tail := atomic.LoadUint32(e.cqTail)
+	for head != tail {
+		cqe := e.cqes[head&*e.cqMask]
+		head++
+		si := uint32(cqe.userData)
+		slot := e.slots[si]
+		e.slots[si] = uringSlot{}
+		e.freeSlots = append(e.freeSlots, si)
+		var err error
+		got := 0
+		if cqe.res < 0 {
+			err = fmt.Errorf("ssd: io_uring read: %w", syscall.Errno(-cqe.res))
+		} else {
+			got = int(cqe.res)
+		}
+		if cerr := e.fb.files[e.shard].CheckSpanRead(slot.req.local, slot.pageOff, got, err); cerr != nil {
+			e.complete(slot.req, cerr)
+		} else {
+			slot.req.buf.img = slot.req.buf.data[slot.pageOff : slot.pageOff+e.fb.files[e.shard].PageSize()]
+			e.complete(slot.req, nil)
+		}
+		n++
+	}
+	atomic.StoreUint32(e.cqHead, head)
+	return n
+}
+
+// failAll completes every in-kernel read with errno (enter failed hard).
+func (e *uringExec) failAll(errno syscall.Errno, inflight *int) {
+	for si := range e.slots {
+		if e.slots[si].req.out == nil {
+			continue
+		}
+		e.complete(e.slots[si].req, fmt.Errorf("ssd: io_uring enter: %w", errno))
+		e.slots[si] = uringSlot{}
+		e.freeSlots = append(e.freeSlots, uint32(si))
+		*inflight--
+	}
+}
+
+// complete records the read outcome and pushes the completion.
+func (e *uringExec) complete(r fileReq, err error) {
+	end := e.fb.wallNS()
+	e.fb.shards[e.shard].recordExternalRead(end-r.submitWall, err, false)
+	e.fb.hists[e.shard].observe(end - r.submitWall)
+	r.out.push(fileComp{
+		global:       r.global,
+		buf:          r.buf,
+		err:          err,
+		submitVirt:   r.submitVirt,
+		completeWall: end,
+	})
+}
+
+// teardown unmaps the rings and closes the ring fd.
+func (e *uringExec) teardown() {
+	if e.sqeMem != nil {
+		syscall.Munmap(e.sqeMem)
+	}
+	if e.cqRing != nil {
+		syscall.Munmap(e.cqRing)
+	}
+	if e.sqRing != nil {
+		syscall.Munmap(e.sqRing)
+	}
+	syscall.Close(e.fd)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package ssd
+
+// newRingExecutor reports io_uring unavailable off Linux; the file
+// backend always falls back to the portable pread pool.
+func newRingExecutor(*FileBackend, int, int) (fileExecutor, bool) {
+	return nil, false
+}

@@ -1,0 +1,31 @@
+package store
+
+import "unsafe"
+
+// directIOAlign is the alignment O_DIRECT requires for buffer addresses,
+// file offsets, and transfer sizes. 4096 covers every modern NVMe device
+// (logical block size 512 or 4096). The constant (and AlignedBuf) live in
+// a portable file because the asynchronous file backend sizes its
+// completion buffers with them on every platform, even where the direct
+// open path itself is Linux-only.
+const directIOAlign = 4096
+
+// DirectIOAlign returns the alignment direct I/O reads are issued at.
+func DirectIOAlign() int { return directIOAlign }
+
+// AlignedBuf returns a size-byte slice whose address is directIOAlign-
+// aligned, carved from a larger allocation.
+func AlignedBuf(size int) []byte {
+	raw := make([]byte, size+directIOAlign)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&raw[0])) % directIOAlign; rem != 0 {
+		off = int(directIOAlign - rem)
+	}
+	return raw[off : off+size]
+}
+
+// alignedBuf is the package-internal spelling predating AlignedBuf.
+func alignedBuf(size int) []byte { return AlignedBuf(size) }
+
+// bufAddr returns the address of the first byte of b (test helper).
+func bufAddr(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[0])) }

@@ -1,0 +1,21 @@
+//go:build linux
+
+package store
+
+// openDirectFn is the direct-open implementation OpenFileAuto tries first;
+// a test hook replaces it to exercise the EINVAL fallback deterministically
+// (tmpfs and some overlay filesystems reject O_DIRECT at open or first
+// read).
+var openDirectFn = OpenFileDirect
+
+// OpenFileAuto opens a serialized store with O_DIRECT when the filesystem
+// supports it, falling back to buffered reads when the direct open or its
+// read probe fails (EINVAL on tmpfs/overlayfs, EPERM under some sandboxes).
+// The second result reports whether the direct path was taken.
+func OpenFileAuto(path string) (*FileStore, bool, error) {
+	if s, err := openDirectFn(path); err == nil {
+		return s, true, nil
+	}
+	s, err := OpenFile(path)
+	return s, false, err
+}

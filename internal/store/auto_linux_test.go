@@ -1,0 +1,84 @@
+//go:build linux
+
+package store
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"maxembed/internal/layout"
+)
+
+// TestOpenFileAutoEINVALFallback forces the direct open to fail the way
+// tmpfs does (EINVAL) and checks that OpenFileAuto lands on the buffered
+// path with a fully working store.
+func TestOpenFileAutoEINVALFallback(t *testing.T) {
+	path, mem, lay := writeTestStore(t)
+	orig := openDirectFn
+	openDirectFn = func(string) (*FileStore, error) {
+		return nil, syscall.EINVAL
+	}
+	defer func() { openDirectFn = orig }()
+
+	fs, direct, err := OpenFileAuto(path)
+	if err != nil {
+		t.Fatalf("OpenFileAuto with EINVAL direct open: %v", err)
+	}
+	defer fs.Close()
+	if direct || fs.Direct() {
+		t.Fatal("fallback store claims to be direct")
+	}
+	var got, want []float32
+	for k := layout.Key(0); int(k) < lay.NumKeys; k += 7 {
+		p := lay.Home[k]
+		var ok bool
+		got, ok, err = fs.Extract(p, k, len(lay.Pages[p]), got[:0])
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", k, ok, err)
+		}
+		want, _, _ = mem.Extract(p, k, len(lay.Pages[p]), want[:0])
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vector mismatch for key %d", k)
+			}
+		}
+	}
+}
+
+// TestDirectOddPageSize runs the O_DIRECT path on a page size that is not
+// a multiple of the probed sector size; every page read crosses alignment
+// boundaries at a different interior offset.
+func TestDirectOddPageSize(t *testing.T) {
+	path, mem, lay := writeStoreWith(t, 1032, 4, 50)
+	fs, err := OpenFileDirect(path)
+	if err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.EOPNOTSUPP) {
+			t.Skipf("O_DIRECT unsupported here: %v", err)
+		}
+		t.Fatalf("OpenFileDirect: %v", err)
+	}
+	defer fs.Close()
+	buf := fs.NewReadBuf()
+	for p := 0; p < fs.NumPages(); p++ {
+		img, err := fs.ReadPageWindow(layout.PageID(p), buf)
+		if err != nil {
+			t.Fatalf("page %d (last=%v): %v", p, p == fs.NumPages()-1, err)
+		}
+		want, _ := mem.Page(layout.PageID(p))
+		for i := range want {
+			if img[i] != want[i] {
+				t.Fatalf("page %d byte %d differs", p, i)
+			}
+		}
+	}
+	var got []float32
+	for k := layout.Key(0); int(k) < lay.NumKeys; k++ {
+		p := lay.Home[k]
+		var ok bool
+		got, ok, err = fs.Extract(p, k, len(lay.Pages[p]), got[:0])
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", k, ok, err)
+		}
+	}
+}

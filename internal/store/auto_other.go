@@ -1,0 +1,11 @@
+//go:build !linux
+
+package store
+
+// OpenFileAuto opens a serialized store for buffered reads; O_DIRECT is
+// Linux-only, so the direct path is never taken here and the second result
+// is always false.
+func OpenFileAuto(path string) (*FileStore, bool, error) {
+	s, err := OpenFile(path)
+	return s, false, err
+}

@@ -3,19 +3,12 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"syscall"
-	"unsafe"
-
-	"maxembed/internal/layout"
 )
-
-// directIOAlign is the alignment O_DIRECT requires for buffer addresses,
-// file offsets, and transfer sizes. 4096 covers every modern NVMe device
-// (logical block size 512 or 4096).
-const directIOAlign = 4096
 
 // OpenFileDirect opens a serialized store for page reads that bypass the
 // OS page cache (O_DIRECT) — the access mode the paper's SPDK deployment
@@ -53,48 +46,18 @@ func OpenFileDirect(path string) (*FileStore, error) {
 	// Each pooled buffer covers the aligned window of one page: up to one
 	// alignment block of slack on each side.
 	s.bufs.New = func() any {
-		b := alignedBuf(s.pageSize + 2*directIOAlign)
+		b := alignedBuf(s.ReadBufSize())
 		return &b
 	}
-	// Probe: some filesystems accept the open but fail reads.
+	// Probe: some filesystems accept the open but fail reads. A store
+	// smaller than one alignment block legitimately answers the probe with
+	// a short read at EOF — only a zero-byte or erroring probe disqualifies
+	// the direct path.
 	probe := alignedBuf(directIOAlign)
-	if _, err := f.ReadAt(probe, 0); err != nil {
+	if n, err := f.ReadAt(probe, 0); err != nil && !(errors.Is(err, io.EOF) && n > 0) {
 		f.Close()
 		return nil, fmt.Errorf("store: O_DIRECT read probe: %w", err)
 	}
 	return s, nil
 }
 
-// alignedBuf returns a size-byte slice whose address is directIOAlign-
-// aligned, carved from a larger allocation.
-func alignedBuf(size int) []byte {
-	raw := make([]byte, size+directIOAlign)
-	off := 0
-	if rem := uintptr(unsafe.Pointer(&raw[0])) % directIOAlign; rem != 0 {
-		off = int(directIOAlign - rem)
-	}
-	return raw[off : off+size]
-}
-
-// readPageDirect reads page p through the O_DIRECT descriptor into buf
-// (an aligned pool buffer) and returns the page's bytes within it.
-func (s *FileStore) readPageDirect(p layout.PageID, buf []byte) ([]byte, error) {
-	want := s.dataOff + int64(p)*int64(s.pageSize)
-	start := want &^ (directIOAlign - 1) // round down to alignment
-	span := int(want-start) + s.pageSize
-	// Round the span up to a whole number of blocks.
-	span = (span + directIOAlign - 1) &^ (directIOAlign - 1)
-	n, err := s.f.ReadAt(buf[:span], start)
-	// A read ending at EOF may return fewer bytes; the page must still be
-	// fully covered.
-	if covered := n - int(want-start); covered < s.pageSize {
-		if err == nil {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, fmt.Errorf("store: O_DIRECT read of page %d: %w", p, err)
-	}
-	return buf[want-start : int64(want-start)+int64(s.pageSize)], nil
-}
-
-// bufAddr returns the address of the first byte of b (test helper).
-func bufAddr(b []byte) uintptr { return uintptr(unsafe.Pointer(&b[0])) }

@@ -28,6 +28,7 @@ type FileStore struct {
 	dataOff  int64
 	direct   bool // O_DIRECT descriptor; reads must be aligned
 	bufs     sync.Pool
+	refs     sync.Pool // *PageRef shells for ReadPageRef
 }
 
 // OpenFile opens a serialized store for on-demand page reads.
@@ -84,7 +85,101 @@ func (s *FileStore) Dim() int { return s.dim }
 // NumPages returns the number of pages.
 func (s *FileStore) NumPages() int { return s.numPages }
 
+// Direct reports whether reads bypass the OS page cache (O_DIRECT).
+func (s *FileStore) Direct() bool { return s.direct }
+
+// File returns the underlying descriptor. External read executors (the
+// ssd file backend's io_uring ring) issue their own reads against it using
+// PageSpan geometry; they must not change the descriptor's offset or close
+// it.
+func (s *FileStore) File() *os.File { return s.f }
+
+// ReadBufSize returns the buffer size ReadPageWindow requires: the aligned
+// window enclosing one page under O_DIRECT, or exactly one page otherwise.
+func (s *FileStore) ReadBufSize() int {
+	if s.direct {
+		return s.pageSize + 2*directIOAlign
+	}
+	return s.pageSize
+}
+
+// NewReadBuf allocates a buffer suitable for ReadPageWindow: aligned for
+// the direct path, plain otherwise.
+func (s *FileStore) NewReadBuf() []byte {
+	if s.direct {
+		return alignedBuf(s.ReadBufSize())
+	}
+	return make([]byte, s.ReadBufSize())
+}
+
+// PageSpan returns the file-read geometry of page p: the offset and span
+// of the read to issue, and the page's offset within the returned bytes.
+// Under O_DIRECT the read covers the aligned window enclosing the page
+// (the store header precedes the data, so page offsets are never
+// sector-aligned); otherwise it is the page itself. External executors
+// (io_uring) use this to build submission entries without going through
+// ReadPageWindow.
+func (s *FileStore) PageSpan(p layout.PageID) (off int64, span, pageOff int, err error) {
+	if int(p) >= s.numPages {
+		return 0, 0, 0, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	want := s.dataOff + int64(p)*int64(s.pageSize)
+	if !s.direct {
+		return want, s.pageSize, 0, nil
+	}
+	start := want &^ (directIOAlign - 1) // round down to alignment
+	span = int(want-start) + s.pageSize
+	// Round the span up to a whole number of blocks.
+	span = (span + directIOAlign - 1) &^ (directIOAlign - 1)
+	return start, span, int(want - start), nil
+}
+
+// CheckSpanRead validates the byte count an external executor's read of
+// PageSpan(p) geometry returned: a read ending at EOF may be short, but
+// the page itself must be fully covered.
+func (s *FileStore) CheckSpanRead(p layout.PageID, pageOff, n int, err error) error {
+	if covered := n - pageOff; covered < s.pageSize {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("store: read of page %d: %w", p, err)
+	}
+	return nil
+}
+
+// ReadPageWindow reads page p into buf — a caller-owned buffer of at least
+// ReadBufSize bytes (aligned when Direct; see NewReadBuf) — and returns
+// the page's bytes within it. No pooling, no copies: this is the zero-copy
+// primitive the asynchronous file backend's completion buffers are filled
+// through; the returned slice aliases buf and stays valid until the caller
+// reuses it.
+func (s *FileStore) ReadPageWindow(p layout.PageID, buf []byte) ([]byte, error) {
+	off, span, pageOff, err := s.PageSpan(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < span {
+		return nil, fmt.Errorf("store: window buffer of %d bytes, need %d", len(buf), span)
+	}
+	n, err := s.f.ReadAt(buf[:span], off)
+	if cerr := s.CheckSpanRead(p, pageOff, n, err); cerr != nil {
+		return nil, cerr
+	}
+	return buf[pageOff : pageOff+s.pageSize], nil
+}
+
+// readPageDirect reads page p through the O_DIRECT descriptor into buf
+// (an aligned pool buffer) and returns the page's bytes within it.
+func (s *FileStore) readPageDirect(p layout.PageID, buf []byte) ([]byte, error) {
+	return s.ReadPageWindow(p, buf)
+}
+
 // ReadPage reads page p into dst (which must be at least PageSize bytes).
+//
+// dst is an arbitrary caller buffer, so under O_DIRECT the aligned window
+// read necessarily lands in a pooled aligned buffer and the page is copied
+// out — one copy, forced by the API shape. Callers that can consume the
+// page in place should use ReadPageRef (pooled, copy-free) instead.
 func (s *FileStore) ReadPage(p layout.PageID, dst []byte) error {
 	if int(p) >= s.numPages {
 		return fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
@@ -95,7 +190,7 @@ func (s *FileStore) ReadPage(p layout.PageID, dst []byte) error {
 	if s.direct {
 		bufp := s.bufs.Get().(*[]byte)
 		defer s.bufs.Put(bufp)
-		img, err := s.readPageDirect(p, *bufp)
+		img, err := s.ReadPageWindow(p, *bufp)
 		if err != nil {
 			return err
 		}
@@ -104,6 +199,62 @@ func (s *FileStore) ReadPage(p layout.PageID, dst []byte) error {
 	}
 	_, err := s.f.ReadAt(dst[:s.pageSize], s.dataOff+int64(p)*int64(s.pageSize))
 	return err
+}
+
+// PageRef is a pooled, zero-copy view of one page image read by
+// ReadPageRef. Bytes stays valid until Release, which returns the buffer
+// (and the ref itself) to the store's pools. A PageRef must be released
+// exactly once and not used after.
+type PageRef struct {
+	img []byte
+	buf *[]byte
+	s   *FileStore
+}
+
+// Bytes returns the page image. The slice aliases a pooled buffer; it is
+// invalid after Release.
+func (r *PageRef) Bytes() []byte { return r.img }
+
+// Release returns the ref's buffer to the store's pool.
+func (r *PageRef) Release() {
+	s, buf := r.s, r.buf
+	r.img, r.buf, r.s = nil, nil, nil
+	if s != nil && buf != nil {
+		s.bufs.Put(buf)
+		s.refs.Put(r)
+	}
+}
+
+// ReadPageRef reads page p and returns a pooled view of its image without
+// copying it out of the read buffer — the fix for the direct path's
+// historical double-buffering (window read into a pooled aligned buffer,
+// then a copy to the caller). Steady-state calls allocate nothing; the
+// caller must Release the ref when done with Bytes.
+func (s *FileStore) ReadPageRef(p layout.PageID) (*PageRef, error) {
+	if int(p) >= s.numPages {
+		return nil, fmt.Errorf("store: page %d out of range (%d pages)", p, s.numPages)
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	var (
+		img []byte
+		err error
+	)
+	if s.direct {
+		img, err = s.ReadPageWindow(p, *bufp)
+	} else {
+		img = (*bufp)[:s.pageSize]
+		_, err = s.f.ReadAt(img, s.dataOff+int64(p)*int64(s.pageSize))
+	}
+	if err != nil {
+		s.bufs.Put(bufp)
+		return nil, err
+	}
+	ref, _ := s.refs.Get().(*PageRef)
+	if ref == nil {
+		ref = new(PageRef)
+	}
+	ref.img, ref.buf, ref.s = img, bufp, s
+	return ref, nil
 }
 
 // Extract reads page p, scans its first nSlots slots for key k, verifies

@@ -3,6 +3,8 @@ package maxembed
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +79,7 @@ type config struct {
 	autoRebuild  bool
 	rebuildRate  float64
 	coact        bool
+	fileDir      string
 }
 
 // despreadEnabled reports whether the shard-assignment pass
@@ -218,6 +221,22 @@ func WithAutoRebuild(pagesPerSec float64) Option {
 	}
 }
 
+// WithFileBackend serves reads from real files instead of the simulated
+// device model: at Open the built store is written to one file per shard
+// under dir (shard000.bin, ...), opened with O_DIRECT when the filesystem
+// allows it, and read through the asynchronous real-I/O backend (io_uring
+// where available, a pread goroutine pool otherwise). Lookups then return
+// zero-copy views into the backend's completion buffers and all latency
+// accounting is measured wall-clock time rather than simulation. Point dir
+// at an NVMe-backed filesystem to exercise real hardware. Combine with
+// WithDevices(n) to stripe across n shard files.
+//
+// Incompatible with TimingOnly (payloads must exist to be written),
+// WithTiers, WithFaultInjection, WithHotSpare/WithAutoRebuild (all
+// simulator-only), and with Refresh (the on-disk pages would go stale).
+// Call DB.Close to release the backend's files.
+func WithFileBackend(dir string) Option { return func(c *config) { c.fileDir = dir } }
+
 // WithFaultInjection arms the simulated device with a deterministic fault
 // injector: reads fail, time out, spike, or deliver corrupt payloads at
 // the configured rates, and the serving engine's recovery path (retry,
@@ -285,6 +304,18 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 	if numItems < 0 {
 		return nil, errors.New("maxembed: numItems must be non-negative")
 	}
+	if cfg.fileDir != "" {
+		switch {
+		case cfg.timingOnly:
+			return nil, errors.New("maxembed: WithFileBackend is incompatible with TimingOnly (nothing to write)")
+		case len(cfg.tiers) > 0:
+			return nil, errors.New("maxembed: WithFileBackend is incompatible with WithTiers (simulator-only)")
+		case cfg.faults != nil:
+			return nil, errors.New("maxembed: WithFileBackend is incompatible with WithFaultInjection (simulator-only)")
+		case cfg.hotSpare || cfg.autoRebuild:
+			return nil, errors.New("maxembed: WithFileBackend is incompatible with hot-spare rebuilds (simulator-only)")
+		}
+	}
 
 	g, err := hypergraph.FromQueries(numItems, history)
 	if err != nil {
@@ -301,8 +332,13 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		return nil, fmt.Errorf("maxembed: placement: %w", err)
 	}
 
+	// With a file backend the read target is built from the store image
+	// below (the files ARE the store); only simulated DBs get a device
+	// model here.
 	var backend ssd.Backend
-	if len(cfg.tiers) > 0 {
+	if cfg.fileDir != "" {
+		// backend assembled after the store is materialized.
+	} else if len(cfg.tiers) > 0 {
 		arr, err := ssd.NewTieredArray(cfg.tiers)
 		if err != nil {
 			return nil, fmt.Errorf("maxembed: tiered array: %w", err)
@@ -373,6 +409,13 @@ func Open(numItems int, history [][]Key, opts ...Option) (*DB, error) {
 		}
 	}
 	db.src = src
+	if cfg.fileDir != "" {
+		fb, err := buildFileBackend(cfg.fileDir, src, cfg.devices)
+		if err != nil {
+			return nil, err
+		}
+		db.backend = fb
+	}
 
 	if cfg.recordLast > 0 {
 		db.recorder = serving.NewHistoryRecorder(cfg.recordLast)
@@ -460,6 +503,69 @@ func (db *DB) buildStore(lay *layout.Layout) (serving.PageSource, error) {
 		return nil, fmt.Errorf("maxembed: store: %w", err)
 	}
 	return st, nil
+}
+
+// buildFileBackend writes the built store to one file per shard under dir
+// and opens the asynchronous real-I/O backend over them. The files are the
+// serving copy: reads go through them (O_DIRECT where supported), while
+// the in-memory store stays wired as the engine's PageSource for pinning
+// and fallback.
+func buildFileBackend(dir string, src serving.PageSource, shards int) (*ssd.FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("maxembed: file backend dir: %w", err)
+	}
+	shardStore := func(i int) *store.Store {
+		if sh, ok := src.(*store.Sharded); ok {
+			return sh.Shard(i)
+		}
+		return src.(*store.Store)
+	}
+	files := make([]*store.FileStore, 0, shards)
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%03d.bin", i))
+		f, err := os.Create(path)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("maxembed: file backend shard %d: %w", i, err)
+		}
+		if _, err := shardStore(i).WriteTo(f); err != nil {
+			f.Close()
+			closeAll()
+			return nil, fmt.Errorf("maxembed: writing shard %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("maxembed: writing shard %d: %w", i, err)
+		}
+		fs, _, err := store.OpenFileAuto(path)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("maxembed: opening shard %d: %w", i, err)
+		}
+		files = append(files, fs)
+	}
+	fb, err := ssd.NewFileBackend(files, ssd.FileBackendConfig{})
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("maxembed: file backend: %w", err)
+	}
+	return fb, nil
+}
+
+// Close releases resources the DB holds outside the Go heap — today the
+// file backend's descriptors and executor goroutines (WithFileBackend).
+// Simulated DBs hold none and Close is a no-op. Lookups must have
+// quiesced; Sessions must not be used afterwards.
+func (db *DB) Close() error {
+	if fb, ok := db.backend.(*ssd.FileBackend); ok {
+		return fb.Close()
+	}
+	return nil
 }
 
 // tierMapOf returns the shard→tier map of a multi-tier backend, nil for
@@ -584,6 +690,12 @@ func (db *DB) Lookup(query []Key) (Result, error) {
 func (db *DB) Refresh(history [][]Key) error {
 	if db.cfg.strategy != StrategyMaxEmbed {
 		return fmt.Errorf("maxembed: Refresh requires StrategyMaxEmbed, have %q", db.cfg.strategy)
+	}
+	if db.cfg.fileDir != "" {
+		// A refresh re-places replicas, but the shard files on disk keep
+		// the old placement — serving the new layout against them would
+		// read keys from pages that no longer hold them.
+		return errors.New("maxembed: Refresh is not supported on a file backend (on-disk pages would go stale)")
 	}
 	db.mu.Lock()
 	cur := db.lay
